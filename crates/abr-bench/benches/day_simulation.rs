@@ -1,0 +1,45 @@
+//! End-to-end throughput of the simulator: how fast a full measured day
+//! runs, and what one rearrangement cycle costs.
+
+use abr_core::{Experiment, ExperimentConfig};
+use abr_disk::models;
+use abr_sim::SimDuration;
+use abr_workload::WorkloadProfile;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_day(c: &mut Criterion) {
+    let mut g = c.benchmark_group("day_simulation");
+    g.sample_size(10);
+    g.bench_function("system_fs_1h_day", |b| {
+        b.iter_batched(
+            || {
+                let mut profile = WorkloadProfile::system_fs();
+                profile.day_length = SimDuration::from_hours(1);
+                let mut cfg = ExperimentConfig::new(models::toshiba_mk156f(), profile);
+                cfg.warmup_days = 0;
+                Experiment::new(cfg)
+            },
+            |mut e| black_box(e.run_day().all.n),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("rearrange_1017_blocks", |b| {
+        b.iter_batched(
+            || {
+                let mut profile = WorkloadProfile::system_fs();
+                profile.day_length = SimDuration::from_mins(30);
+                let mut cfg = ExperimentConfig::new(models::toshiba_mk156f(), profile);
+                cfg.warmup_days = 0;
+                let mut e = Experiment::new(cfg);
+                e.run_day();
+                e
+            },
+            |mut e| black_box(e.rearrange_for_next_day(1017).blocks_placed),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_day);
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! Criterion micro-benchmarks for the driver's hot paths.
+//!
+//! The block-table lookup and the monitor record run on *every* request
+//! in a real kernel, so their cost bounds the driver overhead the paper's
+//! technique adds. The analyzer and placement run once per monitoring
+//! period / per day but over thousands of entries.
+
+use abr_core::analyzer::{BoundedAnalyzer, FullAnalyzer, HotBlock, ReferenceAnalyzer};
+use abr_core::placement::{PolicyKind, SlotMap};
+use abr_disk::disk::IoDir;
+use abr_disk::{models, Disk, DiskLabel};
+use abr_driver::blocktable::BlockTable;
+use abr_driver::request::IoRequest;
+use abr_driver::{AdaptiveDriver, DriverConfig, ReservedLayout, SchedulerKind};
+use abr_sim::dist::Zipf;
+use abr_sim::{SimRng, SimTime};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_block_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block_table");
+    for size in [100usize, 1018, 3500] {
+        let mut table = BlockTable::new();
+        for i in 0..size {
+            table.insert(i as u64 * 16, i as u32);
+        }
+        g.bench_with_input(BenchmarkId::new("lookup_hit", size), &size, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 1) % size as u64;
+                black_box(table.lookup(i * 16))
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("lookup_miss", size), &size, |b, _| {
+            b.iter(|| black_box(table.lookup(u64::MAX - 5)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler_dispatch");
+    // Dispatch cost through the full driver with a queue of N requests.
+    for &(kind, depth) in &[
+        (SchedulerKind::Fcfs, 32usize),
+        (SchedulerKind::Scan, 32),
+        (SchedulerKind::Sstf, 32),
+        (SchedulerKind::Scan, 256),
+    ] {
+        let id = format!("{}_{}", kind.name(), depth);
+        g.bench_function(BenchmarkId::new("submit_drain", id), |b| {
+            let model = models::toshiba_mk156f();
+            let label = DiskLabel::whole_disk(model.geometry);
+            let cfg = DriverConfig {
+                scheduler: kind,
+                ..DriverConfig::default()
+            };
+            let mut disk = Disk::new(model);
+            AdaptiveDriver::format(&mut disk, &label, &cfg);
+            let mut driver = AdaptiveDriver::attach(disk, cfg).unwrap();
+            let mut rng = SimRng::new(1);
+            let total_blocks = driver.label().virtual_geometry().total_sectors() / 16;
+            let mut now = 0u64;
+            b.iter(|| {
+                for _ in 0..depth {
+                    let blk = rng.below(total_blocks);
+                    now += 1000;
+                    driver
+                        .submit(
+                            IoRequest::read(0, blk * 16, 16),
+                            SimTime::from_micros(now),
+                        )
+                        .unwrap();
+                }
+                black_box(driver.drain().len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_analyzer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analyzer");
+    let zipf = Zipf::new(2000, 1.4);
+    let mut rng = SimRng::new(2);
+    let stream: Vec<u64> = (0..10_000).map(|_| zipf.sample(&mut rng) as u64).collect();
+    g.bench_function("full_observe_10k", |b| {
+        b.iter(|| {
+            let mut a = FullAnalyzer::new();
+            for &x in &stream {
+                a.observe(x, 1);
+            }
+            black_box(a.tracked())
+        });
+    });
+    g.bench_function("bounded_observe_10k_cap200", |b| {
+        b.iter(|| {
+            let mut a = BoundedAnalyzer::new(200);
+            for &x in &stream {
+                a.observe(x, 1);
+            }
+            black_box(a.tracked())
+        });
+    });
+    let mut full = FullAnalyzer::new();
+    for &x in &stream {
+        full.observe(x, 1);
+    }
+    g.bench_function("hot_list_1018_of_2000", |b| {
+        b.iter(|| black_box(full.hot_list(1018).len()));
+    });
+    g.finish();
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("placement");
+    let geometry = models::toshiba_mk156f().geometry;
+    let label = DiskLabel::rearranged(geometry, 48);
+    let layout = ReservedLayout::for_label(&label, 8192, 1020).unwrap();
+    let slots = SlotMap::new(&layout, &geometry);
+    let hot: Vec<HotBlock> = (0..1017u64)
+        .map(|i| HotBlock {
+            block: i * 37 % 16000,
+            count: 2000 - i,
+        })
+        .collect();
+    for kind in PolicyKind::all() {
+        g.bench_function(kind.name(), |b| {
+            let policy = kind.make(1);
+            b.iter(|| black_box(policy.place(&hot, &slots).len()));
+        });
+    }
+    g.bench_function("slot_map_build", |b| {
+        b.iter(|| black_box(SlotMap::new(&layout, &geometry).n_slots()));
+    });
+    g.finish();
+}
+
+fn bench_disk_service(c: &mut Criterion) {
+    let mut g = c.benchmark_group("disk_service");
+    for model in [models::toshiba_mk156f(), models::fujitsu_m2266()] {
+        let name = model.name.clone();
+        g.bench_function(BenchmarkId::new("random_8k", name), |b| {
+            let mut disk = Disk::new(model.clone());
+            let total = disk.geometry().total_sectors() - 16;
+            let mut rng = SimRng::new(3);
+            let mut now = 0u64;
+            b.iter(|| {
+                now += 20_000;
+                let s = rng.below(total / 16) * 16;
+                black_box(disk.service(IoDir::Read, s, 16, SimTime::from_micros(now)))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_block_table,
+    bench_scheduler,
+    bench_analyzer,
+    bench_placement,
+    bench_disk_service
+);
+criterion_main!(benches);

@@ -1,0 +1,542 @@
+//! `abrctl` — the user-level control programs of the paper's Figure 1,
+//! operating on persistent disk images.
+//!
+//! The paper's system is a modified kernel driver steered by user-level
+//! processes (the reference stream analyzer and the block arranger) via
+//! ioctls. `abrctl` plays those processes against a disk image file:
+//!
+//! ```text
+//! abrctl create  disk.img [--disk toshiba|fujitsu] [--reserved N]
+//! abrctl info    disk.img
+//! abrctl workload disk.img [--profile system|users|tiny] [--minutes N]
+//!                          [--seed S] [--trace out.jsonl]
+//! abrctl analyze disk.img [--top N]
+//! abrctl rearrange disk.img [--blocks N] [--policy organ|interleaved|serial]
+//!                           [--incremental]
+//! abrctl clean   disk.img
+//! abrctl stats   disk.img
+//! abrctl replay  disk.img trace.jsonl [--blocks N]
+//! ```
+//!
+//! State carried between invocations: the disk image itself (label, block
+//! table, all sector data), `<image>.counts.json` (the analyzer's
+//! reference counts from the last workload run — the request-monitor
+//! contents a real analyzer process would have accumulated) and
+//! `<image>.stats.json` (the last run's day metrics).
+//!
+//! `workload` persists the file system and workload-generator state in
+//! `<image>.fs.json` / `<image>.wl.json`: a second invocation resumes
+//! the same population (with the configured day-to-day drift applied)
+//! instead of rebuilding it, so consecutive runs model consecutive days.
+//! Pass `--fresh` to rebuild from scratch.
+
+use abr_core::analyzer::HotBlock;
+use abr_core::arranger::BlockArranger;
+use abr_core::placement::PolicyKind;
+use abr_core::replay::{replay, ReplayConfig};
+use abr_core::DayMetrics;
+use abr_disk::{image, models, Disk, DiskLabel, DiskModel};
+use abr_driver::{AdaptiveDriver, DriverConfig, Ioctl, IoctlReply};
+use abr_fs::{FileSystem, FsConfig, MountMode};
+use abr_sim::{SimDuration, SimRng, SimTime};
+use abr_workload::{TraceEvent, TraceLog, WorkloadProfile, WorkloadState};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("abrctl: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type Error = Box<dyn std::error::Error>;
+
+fn run(args: &[String]) -> Result<(), Error> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "create" => create(rest),
+        "info" => info(rest),
+        "workload" => workload(rest),
+        "analyze" => analyze(rest),
+        "rearrange" => rearrange(rest),
+        "clean" => clean(rest),
+        "stats" => stats(rest),
+        "replay" => replay_cmd(rest),
+        "help" | "--help" | "-h" => {
+            eprintln!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage()).into()),
+    }
+}
+
+fn usage() -> Box<dyn std::error::Error> {
+    "usage: abrctl <create|info|workload|analyze|rearrange|clean|stats|replay|help> <image> [options]"
+        .into()
+}
+
+/// Pull `--flag value` out of an argument list.
+fn opt(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn image_path(args: &[String]) -> Result<PathBuf, Error> {
+    args.iter()
+        .find(|a| !a.starts_with("--"))
+        .map(PathBuf::from)
+        .ok_or_else(|| "missing disk image path".into())
+}
+
+fn driver_config() -> DriverConfig {
+    DriverConfig {
+        block_size: 8192,
+        scheduler: abr_driver::SchedulerKind::Scan,
+        monitor_capacity: 1 << 21,
+        table_max_entries: 8192,
+    }
+}
+
+fn load_driver(path: &Path) -> Result<AdaptiveDriver, Error> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    let disk = image::load(std::io::BufReader::new(file))?;
+    Ok(AdaptiveDriver::attach(disk, driver_config())?)
+}
+
+fn save_driver(driver: AdaptiveDriver, path: &Path) -> Result<(), Error> {
+    let disk = driver.crash(); // detach; all persistent state is on-disk
+    let file = std::fs::File::create(path)?;
+    image::save(&disk, std::io::BufWriter::new(file))?;
+    Ok(())
+}
+
+fn disk_model(args: &[String]) -> Result<DiskModel, Error> {
+    match opt(args, "--disk").as_deref() {
+        None | Some("toshiba") => Ok(models::toshiba_mk156f()),
+        Some("fujitsu") => Ok(models::fujitsu_m2266()),
+        Some("tiny") => Ok(models::tiny_test_disk()),
+        Some(other) => Err(format!("unknown disk `{other}` (toshiba|fujitsu|tiny)").into()),
+    }
+}
+
+fn counts_path(img: &Path) -> PathBuf {
+    img.with_extension("counts.json")
+}
+
+fn fs_state_path(img: &Path) -> PathBuf {
+    img.with_extension("fs.json")
+}
+
+fn wl_state_path(img: &Path) -> PathBuf {
+    img.with_extension("wl.json")
+}
+
+fn stats_path(img: &Path) -> PathBuf {
+    img.with_extension("stats.json")
+}
+
+// ----- commands --------------------------------------------------------
+
+fn create(args: &[String]) -> Result<(), Error> {
+    let path = image_path(args)?;
+    let model = disk_model(args)?;
+    let reserved: u32 = match opt(args, "--reserved") {
+        Some(s) => s.parse()?,
+        None => {
+            if model.geometry.cylinders >= 1200 {
+                80
+            } else if model.geometry.cylinders >= 500 {
+                48
+            } else {
+                10
+            }
+        }
+    };
+    let label = if reserved > 0 {
+        DiskLabel::rearranged_aligned(model.geometry, reserved, 16)
+    } else {
+        DiskLabel::whole_disk(model.geometry)
+    };
+    let mut disk = Disk::new(model);
+    AdaptiveDriver::format(&mut disk, &label, &driver_config());
+    let file = std::fs::File::create(&path)?;
+    image::save(&disk, std::io::BufWriter::new(file))?;
+    // A fresh image invalidates any sidecar state from a previous image
+    // at the same path.
+    for side in [
+        counts_path(&path),
+        stats_path(&path),
+        fs_state_path(&path),
+        wl_state_path(&path),
+    ] {
+        let _ = std::fs::remove_file(side);
+    }
+    println!(
+        "created {}: {} with {} reserved cylinders",
+        path.display(),
+        disk.model().name,
+        reserved
+    );
+    Ok(())
+}
+
+fn info(args: &[String]) -> Result<(), Error> {
+    let path = image_path(args)?;
+    let driver = load_driver(&path)?;
+    let label = driver.label();
+    let g = label.physical;
+    println!("image     : {}", path.display());
+    println!(
+        "disk      : {} ({} cyl x {} trk x {} sect, {:.0} MB)",
+        driver.disk().model().name,
+        g.cylinders,
+        g.tracks_per_cylinder,
+        g.sectors_per_track,
+        g.capacity_bytes() as f64 / (1 << 20) as f64
+    );
+    match label.reserved {
+        Some(r) => {
+            let layout = driver.layout().expect("rearranged");
+            println!(
+                "reserved  : cylinders {}..{} ({} slots of 8 KB)",
+                r.start_cylinder,
+                r.start_cylinder + r.n_cylinders,
+                layout.n_slots
+            );
+        }
+        None => println!("reserved  : none (plain disk)"),
+    }
+    println!(
+        "block tbl : {} entries ({} dirty)",
+        driver.block_table().len(),
+        driver.block_table().iter().filter(|(_, e)| e.dirty).count()
+    );
+    println!(
+        "written   : {} sectors ({:.1} MB)",
+        driver.disk().store().written_sectors(),
+        driver.disk().store().written_sectors() as f64 * 512.0 / (1 << 20) as f64
+    );
+    Ok(())
+}
+
+fn workload(args: &[String]) -> Result<(), Error> {
+    let path = image_path(args)?;
+    let mut driver = load_driver(&path)?;
+    let profile = match opt(args, "--profile").as_deref() {
+        None | Some("system") => WorkloadProfile::system_fs(),
+        Some("users") => WorkloadProfile::users_fs(),
+        Some("tiny") => WorkloadProfile::tiny_test(),
+        Some(other) => Err(format!("unknown profile `{other}`"))?,
+    };
+    let minutes: u64 = opt(args, "--minutes").map_or(Ok(30), |s| s.parse())?;
+    let seed: u64 = opt(args, "--seed").map_or(Ok(1), |s| s.parse())?;
+    let trace_out = opt(args, "--trace");
+
+    // Resume the persisted file system + population if present (and not
+    // --fresh); otherwise build it from scratch on the image's partition.
+    let mut clock = SimTime::ZERO;
+    let resumable = !has_flag(args, "--fresh")
+        && fs_state_path(&path).exists()
+        && wl_state_path(&path).exists();
+    let (mut fs, mut state) = if resumable {
+        let fs_state: serde_json::Value =
+            serde_json::from_slice(&std::fs::read(fs_state_path(&path))?)?;
+        let wl_state: serde_json::Value =
+            serde_json::from_slice(&std::fs::read(wl_state_path(&path))?)?;
+        let fs = FileSystem::load_state(&fs_state)?;
+        let mut state = WorkloadState::load_state(&wl_state, seed)?;
+        if state.profile().name != profile.name {
+            eprintln!(
+                "note: resuming the persisted `{}` population; --profile {} is ignored (use --fresh to rebuild)",
+                state.profile().name,
+                profile.name
+            );
+        }
+        state.advance_day(); // consecutive invocations model consecutive days
+        eprintln!("resumed day {} of the persisted population", state.day());
+        (fs, state)
+    } else {
+        let part_sectors = driver.label().partitions[0].n_sectors;
+        let spc = driver.label().physical.sectors_per_cylinder();
+        let fs_cfg = FsConfig {
+            cache_blocks: profile.cache_blocks,
+            write_through: profile.nfs_write_through,
+            ..FsConfig::default()
+        };
+        let mut fs = FileSystem::newfs(fs_cfg, part_sectors, spc);
+        let mut rng = SimRng::new(seed);
+        let (state, setup) = WorkloadState::setup(profile.clone(), &mut fs, &mut rng)
+            .map_err(|e| format!("workload setup: {e}"))?;
+        for req in setup {
+            driver.submit(req, clock)?;
+            while driver.queue_len() > 32 {
+                let t = driver.next_completion().expect("queued");
+                clock = t;
+                driver.complete_next(t);
+            }
+        }
+        (fs, state)
+    };
+    while let Some(t) = driver.next_completion() {
+        clock = t;
+        driver.complete_next(t);
+    }
+    if !profile.is_mutating() {
+        fs.remount(MountMode::ReadOnly);
+    }
+    // Clear monitors: measure only the run below.
+    driver.ioctl(Ioctl::ReadStats, clock)?;
+    driver.ioctl(Ioctl::ReadRequestTable, clock)?;
+
+    let start = clock + SimDuration::from_mins(1);
+    let end = start + SimDuration::from_mins(minutes);
+    let mut now = start;
+    let mut trace = TraceLog::new();
+    let mut next_sync = start + SimDuration::from_secs(30);
+    let (mut op_at, mut op) = state.next_op(now, &fs);
+    // Requests from one file-level op are paced like NFS RPC trains (see
+    // ExperimentConfig::request_pacing).
+    let pace = SimDuration::from_millis(150);
+    let mut pending: abr_sim::EventQueue<abr_driver::IoRequest> = abr_sim::EventQueue::new();
+    loop {
+        let next_completion = driver.next_completion().unwrap_or(SimTime::MAX);
+        let next_pending = pending.peek_time().unwrap_or(SimTime::MAX);
+        let t = op_at
+            .min(next_sync)
+            .min(next_completion)
+            .min(next_pending);
+        if t > end && pending.is_empty() {
+            break;
+        }
+        now = t;
+        if t == next_completion {
+            driver.complete_next(t);
+        } else if t == next_pending {
+            let (_, r) = pending.pop().expect("non-empty");
+            trace.push(TraceEvent::of(&r, (t - start).as_micros()));
+            driver.submit(r, t)?;
+        } else if t == op_at {
+            for (i, r) in state.apply(op, &mut fs).into_iter().enumerate() {
+                pending.schedule(t + pace * i as u64, r);
+            }
+            let (at, next) = state.next_op(t, &fs);
+            op_at = at;
+            op = next;
+        } else {
+            for r in fs.sync() {
+                trace.push(TraceEvent::of(&r, (t - start).as_micros()));
+                driver.submit(r, t)?;
+            }
+            next_sync = t + SimDuration::from_secs(30);
+        }
+    }
+    while let Some(t) = driver.next_completion() {
+        now = t;
+        driver.complete_next(t);
+    }
+
+    // Persist: reference counts (analyze/rearrange read these), stats,
+    // optional trace, and the image itself.
+    let (records, dropped) = match driver.ioctl(Ioctl::ReadRequestTable, now)? {
+        IoctlReply::RequestTable { records, dropped } => (records, dropped),
+        _ => unreachable!(),
+    };
+    let mut analyzer = abr_core::FullAnalyzer::new();
+    for r in &records {
+        analyzer.observe(r.block, 1);
+    }
+    use abr_core::ReferenceAnalyzer as _;
+    let counts = analyzer.hot_list(analyzer.tracked());
+    std::fs::write(counts_path(&path), serde_json::to_vec_pretty(&counts)?)?;
+
+    let snapshot = match driver.ioctl(Ioctl::ReadStats, now)? {
+        IoctlReply::Stats(s) => s,
+        _ => unreachable!(),
+    };
+    let metrics = DayMetrics::new(
+        0,
+        !driver.block_table().is_empty(),
+        driver.block_table().len() as u32,
+        &snapshot,
+        &driver.disk().model().seek,
+        counts.iter().map(|h| h.count).collect(),
+        vec![],
+    );
+    std::fs::write(stats_path(&path), serde_json::to_vec_pretty(&metrics)?)?;
+    if let Some(out) = trace_out {
+        let f = std::fs::File::create(&out)?;
+        trace.write_jsonl(std::io::BufWriter::new(f))?;
+        println!("trace     : {} events -> {out}", trace.len());
+    }
+    println!(
+        "ran {minutes} min of `{}`: {} requests ({} unrecorded), {} distinct blocks",
+        profile.name,
+        records.len(),
+        dropped,
+        counts.len()
+    );
+    println!(
+        "mean seek {:.2} ms | mean service {:.2} ms | mean wait {:.2} ms",
+        metrics.all.seek_ms, metrics.all.service_ms, metrics.all.waiting_ms
+    );
+    // Persist the file system (after a final flush) and the generator.
+    for r in fs.sync() {
+        driver.submit(r, SimTime::from_micros(now.as_micros() + 1_000_000))?;
+    }
+    driver.drain();
+    std::fs::write(
+        fs_state_path(&path),
+        serde_json::to_vec(&fs.save_state())?,
+    )?;
+    std::fs::write(
+        wl_state_path(&path),
+        serde_json::to_vec(&state.save_state())?,
+    )?;
+    save_driver(driver, &path)?;
+    Ok(())
+}
+
+fn read_counts(img: &Path) -> Result<Vec<HotBlock>, Error> {
+    let bytes = std::fs::read(counts_path(img)).map_err(|_| {
+        format!(
+            "no reference counts next to {} — run `abrctl workload` first",
+            img.display()
+        )
+    })?;
+    Ok(serde_json::from_slice(&bytes)?)
+}
+
+fn analyze(args: &[String]) -> Result<(), Error> {
+    let path = image_path(args)?;
+    let top: usize = opt(args, "--top").map_or(Ok(20), |s| s.parse())?;
+    let counts = read_counts(&path)?;
+    let total: u64 = counts.iter().map(|h| h.count).sum();
+    println!(
+        "{} distinct blocks, {} references; top {top}:",
+        counts.len(),
+        total
+    );
+    for (i, h) in counts.iter().take(top).enumerate() {
+        println!(
+            "{:4}. block {:8}  {:6} refs ({:4.1}%)",
+            i + 1,
+            h.block,
+            h.count,
+            h.count as f64 / total as f64 * 100.0
+        );
+    }
+    let top100: u64 = counts.iter().take(100).map(|h| h.count).sum();
+    println!(
+        "top-100 blocks absorb {:.1}% of references",
+        top100 as f64 / total as f64 * 100.0
+    );
+    Ok(())
+}
+
+fn rearrange(args: &[String]) -> Result<(), Error> {
+    let path = image_path(args)?;
+    let mut driver = load_driver(&path)?;
+    let counts = read_counts(&path)?;
+    let n_blocks: usize = opt(args, "--blocks").map_or(Ok(1000), |s| s.parse())?;
+    let policy = match opt(args, "--policy").as_deref() {
+        None | Some("organ") => PolicyKind::OrganPipe,
+        Some("interleaved") => PolicyKind::Interleaved,
+        Some("serial") => PolicyKind::Serial,
+        Some(other) => Err(format!("unknown policy `{other}`"))?,
+    };
+    let arranger = BlockArranger::new(policy.make(1));
+    let report = if has_flag(args, "--incremental") {
+        arranger.rearrange_incremental(&mut driver, &counts, n_blocks, SimTime::ZERO)?
+    } else {
+        arranger.rearrange(&mut driver, &counts, n_blocks, SimTime::ZERO)?
+    };
+    println!(
+        "placed {} blocks with {} ({} disk ops, {:.1} s of disk time)",
+        report.blocks_placed,
+        policy.name(),
+        report.io_ops,
+        report.busy.as_secs_f64()
+    );
+    save_driver(driver, &path)?;
+    Ok(())
+}
+
+fn clean(args: &[String]) -> Result<(), Error> {
+    let path = image_path(args)?;
+    let mut driver = load_driver(&path)?;
+    let before = driver.block_table().len();
+    let arranger = BlockArranger::new(PolicyKind::OrganPipe.make(1));
+    let report = arranger.clean(&mut driver, SimTime::ZERO)?;
+    println!(
+        "cleaned {} blocks out of the reserved area ({} disk ops)",
+        before, report.io_ops
+    );
+    save_driver(driver, &path)?;
+    Ok(())
+}
+
+fn stats(args: &[String]) -> Result<(), Error> {
+    let path = image_path(args)?;
+    let bytes = std::fs::read(stats_path(&path)).map_err(|_| {
+        format!(
+            "no stats next to {} — run `abrctl workload` first",
+            path.display()
+        )
+    })?;
+    let m: DayMetrics = serde_json::from_slice(&bytes)?;
+    println!("last workload run ({} requests, rearranged: {}):", m.all.n, m.rearranged);
+    println!(
+        "  all   : fcfs_dist {:6.1} | dist {:6.1} | zero {:4.1}% | seek {:5.2} ms | svc {:5.2} ms | wait {:6.2} ms",
+        m.all.fcfs_seek_dist, m.all.seek_dist, m.all.zero_seek_pct,
+        m.all.seek_ms, m.all.service_ms, m.all.waiting_ms
+    );
+    println!(
+        "  reads : dist {:6.1} | zero {:4.1}% | seek {:5.2} ms | svc {:5.2} ms | wait {:6.2} ms",
+        m.reads.seek_dist, m.reads.zero_seek_pct, m.reads.seek_ms,
+        m.reads.service_ms, m.reads.waiting_ms
+    );
+    Ok(())
+}
+
+fn replay_cmd(args: &[String]) -> Result<(), Error> {
+    let path = image_path(args)?;
+    let trace_file = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .nth(1)
+        .ok_or("missing trace file")?;
+    let f = std::fs::File::open(trace_file)?;
+    let trace = TraceLog::read_jsonl(std::io::BufReader::new(f))?;
+    let driver = load_driver(&path)?;
+    let mut cfg = ReplayConfig::new(driver.disk().model().clone());
+    cfg.reserved_cylinders = driver
+        .label()
+        .reserved
+        .map(|r| r.n_cylinders)
+        .unwrap_or(0);
+    cfg.n_blocks = opt(args, "--blocks").map_or(Ok(0), |s| s.parse::<usize>())?;
+    let m = replay(&trace, &cfg);
+    println!(
+        "replayed {} requests ({} blocks pre-placed):",
+        m.all.n, cfg.n_blocks
+    );
+    println!(
+        "  seek {:5.2} ms | service {:5.2} ms | wait {:6.2} ms | zero-seeks {:4.1}%",
+        m.all.seek_ms, m.all.service_ms, m.all.waiting_ms, m.all.zero_seek_pct
+    );
+    Ok(())
+}

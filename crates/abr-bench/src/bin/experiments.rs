@@ -1,0 +1,46 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments                 # run everything, write results/
+//! experiments table2 fig8     # run selected ids
+//! experiments --list          # list ids
+//! ```
+
+use abr_bench::ablations;
+use abr_bench::runs::Campaign;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for id in Campaign::all_ids() {
+            println!("{id}");
+        }
+        for id in ablations::ablation_ids() {
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "--ablations") {
+        ablations::ablation_ids().to_vec()
+    } else if args.is_empty() {
+        Campaign::all_ids().to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let results_dir = PathBuf::from("results");
+    let mut campaign = Campaign::new();
+    for id in ids {
+        let t0 = std::time::Instant::now();
+        let report = if id.starts_with("ablate-") {
+            ablations::run_ablation(id)
+        } else {
+            campaign.run(id)
+        };
+        eprintln!("[{id} took {:.1?}]", t0.elapsed());
+        println!("{}", report.text);
+        if let Err(e) = report.save(&results_dir) {
+            eprintln!("warning: could not save {id}: {e}");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # abr-bench — experiment regenerators and micro-benchmarks
+//!
+//! One regenerator per table and figure of the paper's evaluation
+//! (§5), runnable via the `experiments` binary:
+//!
+//! ```text
+//! cargo run --release -p abr-bench --bin experiments            # everything
+//! cargo run --release -p abr-bench --bin experiments -- table2  # one id
+//! ```
+//!
+//! Each regenerator runs the same protocol the paper describes (daily
+//! on/off alternation, per-day rearrangement from the previous day's
+//! reference counts) on the simulated file server, and prints its rows
+//! next to the paper's published numbers. Results are also written to
+//! `results/<id>.txt` and `results/<id>.json` for EXPERIMENTS.md.
+//!
+//! Criterion micro-benchmarks for the hot paths live in `benches/`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablations;
+pub mod report;
+pub mod runs;
+
+pub use report::Report;

@@ -1,0 +1,746 @@
+//! One regenerator per table and figure of the paper's evaluation.
+//!
+//! Protocol fidelity notes:
+//! * On/off tables run the paper's alternating-days protocol (§5.2): an
+//!   "off" day with the reserved area empty, then blocks placed from that
+//!   day's reference counts for the following "on" day, repeated.
+//! * Seek times are computed from measured seek-distance distributions
+//!   through the Table 1 curves — the paper's own method.
+//! * The Figure 8 sweep varies the number of rearranged blocks day by day
+//!   on one long-running instance, just as §5.4 describes.
+
+use crate::report::{triple, Report};
+use abr_core::{DayMetrics, Experiment, ExperimentConfig, PolicyKind};
+use abr_disk::{models, DiskModel};
+use abr_workload::WorkloadProfile;
+use serde_json::json;
+use std::collections::HashMap;
+
+/// Which disk, by paper name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiskKind {
+    /// Toshiba MK156F (135 MB).
+    Toshiba,
+    /// Fujitsu M2266 (1 GB).
+    Fujitsu,
+}
+
+impl DiskKind {
+    fn model(self) -> DiskModel {
+        match self {
+            DiskKind::Toshiba => models::toshiba_mk156f(),
+            DiskKind::Fujitsu => models::fujitsu_m2266(),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            DiskKind::Toshiba => "Toshiba",
+            DiskKind::Fujitsu => "Fujitsu",
+        }
+    }
+
+    /// Blocks the paper rearranged on this disk.
+    fn paper_blocks(self) -> usize {
+        match self {
+            DiskKind::Toshiba => 1018,
+            DiskKind::Fujitsu => 3500,
+        }
+    }
+
+    fn both() -> [DiskKind; 2] {
+        [DiskKind::Toshiba, DiskKind::Fujitsu]
+    }
+}
+
+/// Which workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FsKind {
+    /// The read-only *system* file system.
+    System,
+    /// The read/write *users* file system.
+    Users,
+}
+
+impl FsKind {
+    fn profile(self) -> WorkloadProfile {
+        match self {
+            FsKind::System => WorkloadProfile::system_fs(),
+            FsKind::Users => WorkloadProfile::users_fs(),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            FsKind::System => "system",
+            FsKind::Users => "users",
+        }
+    }
+}
+
+/// Number of on/off day pairs per summary table (the paper ran 5–6).
+const PAIRS: usize = 5;
+
+/// A system-fs Toshiba config with a 4-hour day — the standard setup for
+/// ablation sweeps, where many configurations must run.
+pub fn short_system_config(seed: u64) -> ExperimentConfig {
+    let mut profile = WorkloadProfile::system_fs();
+    profile.day_length = abr_sim::SimDuration::from_hours(4);
+    let mut cfg = ExperimentConfig::new(models::toshiba_mk156f(), profile);
+    cfg.seed = seed;
+    cfg
+}
+
+fn config(disk: DiskKind, fs: FsKind, policy: PolicyKind, seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::new(disk.model(), fs.profile());
+    cfg.policy = policy;
+    cfg.seed = seed ^ (disk as u64) << 8 ^ (fs as u64) << 16;
+    cfg
+}
+
+/// A campaign memoizes the expensive multi-day runs so `run all` does not
+/// repeat them across tables that share data (e.g. Tables 2 and 4).
+#[derive(Default)]
+pub struct Campaign {
+    onoff: HashMap<(DiskKind, FsKind), Vec<DayMetrics>>,
+    policy_days: HashMap<(DiskKind, PolicyKind), Vec<DayMetrics>>,
+}
+
+impl Campaign {
+    /// A fresh campaign.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All experiment ids in paper order.
+    pub fn all_ids() -> &'static [&'static str] {
+        &[
+            "table1", "table2", "table3", "table4", "fig4", "fig5", "table5", "fig6", "fig7",
+            "table6", "fig8", "table7", "table8", "table9", "table10", "fig3",
+        ]
+    }
+
+    /// Run one experiment by id.
+    ///
+    /// # Panics
+    /// Panics on an unknown id.
+    pub fn run(&mut self, id: &str) -> Report {
+        match id {
+            "table1" => table1(),
+            "table2" => self.table2_or_4_or_5_or_6("table2"),
+            "table3" => self.table3(),
+            "table4" => self.table2_or_4_or_5_or_6("table4"),
+            "table5" => self.table2_or_4_or_5_or_6("table5"),
+            "table6" => self.table2_or_4_or_5_or_6("table6"),
+            "fig4" => self.fig_cdf("fig4"),
+            "fig6" => self.fig_cdf("fig6"),
+            "fig5" => self.fig_dist("fig5"),
+            "fig7" => self.fig_dist("fig7"),
+            "fig8" => fig8(),
+            "table7" => self.table7(),
+            "table8" => self.table8_or_9(DiskKind::Toshiba),
+            "table9" => self.table8_or_9(DiskKind::Fujitsu),
+            "table10" => self.table10(),
+            "fig3" => fig3(),
+            other => panic!("unknown experiment id {other}"),
+        }
+    }
+
+    /// The standard alternating on/off run for a (disk, fs), memoized.
+    fn onoff_days(&mut self, disk: DiskKind, fs: FsKind) -> &[DayMetrics] {
+        self.onoff.entry((disk, fs)).or_insert_with(|| {
+            eprintln!("  running {} / {} on/off days...", disk.name(), fs.name());
+            let cfg = config(disk, fs, PolicyKind::OrganPipe, 0xA5A5);
+            let mut e = Experiment::new(cfg);
+            e.run_on_off(PAIRS, disk.paper_blocks())
+        })
+    }
+
+    /// Days measured under a given placement policy (on-days only),
+    /// system file system, memoized (Tables 7–10).
+    fn policy_onoff(&mut self, disk: DiskKind, policy: PolicyKind) -> &[DayMetrics] {
+        self.policy_days.entry((disk, policy)).or_insert_with(|| {
+            eprintln!(
+                "  running {} / system with {} placement...",
+                disk.name(),
+                policy.name()
+            );
+            let cfg = config(disk, FsKind::System, policy, 0xBEEF);
+            let mut e = Experiment::new(cfg);
+            e.run_on_off(2, disk.paper_blocks())
+        })
+    }
+
+    fn table2_or_4_or_5_or_6(&mut self, id: &'static str) -> Report {
+        let (fs, reads_only, title, paper): (_, _, _, &[[f64; 9]]) = match id {
+            "table2" => (
+                FsKind::System,
+                false,
+                "On/Off summary, system file system (daily mean min/avg/max)",
+                // paper rows: [seek min avg max, svc min avg max, wait min avg max]
+                &[
+                    [18.70, 19.46, 21.51, 38.41, 39.78, 41.71, 65.39, 82.73, 94.52],
+                    [0.98, 1.17, 1.55, 22.61, 22.88, 23.34, 40.39, 46.43, 51.13],
+                    [7.80, 8.14, 8.67, 21.26, 21.60, 22.04, 61.35, 66.57, 72.69],
+                    [0.70, 0.91, 1.16, 13.83, 14.18, 14.41, 35.65, 45.31, 52.52],
+                ],
+            ),
+            "table4" => (
+                FsKind::System,
+                true,
+                "On/Off summary, system file system, READ requests only",
+                &[
+                    [12.46, 14.31, 16.60, 30.50, 32.80, 35.32, 4.48, 5.80, 6.86],
+                    [3.54, 3.89, 4.49, 22.57, 23.59, 24.03, 4.46, 4.97, 5.47],
+                    [7.52, 7.79, 8.02, 19.69, 20.29, 21.48, 3.21, 4.72, 7.59],
+                    [1.32, 1.58, 1.89, 12.34, 12.87, 13.41, 2.54, 2.98, 3.32],
+                ],
+            ),
+            "table5" => (
+                FsKind::Users,
+                false,
+                "On/Off summary, users file system",
+                &[
+                    [11.06, 13.10, 15.45, 28.83, 31.14, 34.06, 8.32, 16.86, 31.93],
+                    [8.10, 8.90, 10.78, 26.08, 27.32, 29.54, 4.74, 10.18, 18.63],
+                    [3.27, 4.27, 4.79, 16.23, 17.00, 17.37, 4.33, 15.19, 48.96],
+                    [1.76, 2.73, 3.92, 14.04, 15.12, 16.13, 3.53, 5.83, 8.75],
+                ],
+            ),
+            "table6" => (
+                FsKind::Users,
+                true,
+                "On/Off summary, users file system, READ requests only",
+                &[
+                    [11.97, 15.38, 17.73, 30.03, 32.90, 35.29, 1.18, 5.16, 16.87],
+                    [6.67, 8.40, 9.64, 25.35, 26.48, 27.79, 0.73, 2.48, 4.19],
+                    [4.95, 5.98, 7.13, 16.62, 17.59, 18.00, 1.30, 3.01, 7.21],
+                    [2.05, 2.44, 2.74, 13.12, 13.84, 14.51, 0.99, 2.04, 4.05],
+                ],
+            ),
+            other => panic!("bad id {other}"),
+        };
+        let mut r = Report::new(id, title);
+        r.line(format!(
+            "{:8} {:4} | {:^22} | {:^22} | {:^22}",
+            "Disk", "On?", "Seek (min avg max)", "Service", "Waiting"
+        ));
+        let mut json_rows = Vec::new();
+        for (di, disk) in DiskKind::both().into_iter().enumerate() {
+            let days = self.onoff_days(disk, fs).to_vec();
+            for (oi, on) in [false, true].into_iter().enumerate() {
+                let pick = |d: &DayMetrics| {
+                    if reads_only {
+                        d.reads
+                    } else {
+                        d.all
+                    }
+                };
+                let sel: Vec<&DayMetrics> =
+                    days.iter().filter(|d| d.rearranged == on).collect();
+                let seeks: Vec<f64> = sel.iter().map(|d| pick(d).seek_ms).collect();
+                let svcs: Vec<f64> = sel.iter().map(|d| pick(d).service_ms).collect();
+                let waits: Vec<f64> = sel.iter().map(|d| pick(d).waiting_ms).collect();
+                r.line(format!(
+                    "{:8} {:4} | {} | {} | {}",
+                    disk.name(),
+                    if on { "On" } else { "Off" },
+                    triple(&seeks),
+                    triple(&svcs),
+                    triple(&waits)
+                ));
+                let p = paper[di * 2 + oi];
+                r.line(format!(
+                    "{:8} {:4} | {:6.2} {:6.2} {:6.2} | {:6.2} {:6.2} {:6.2} | {:6.2} {:6.2} {:6.2}   (paper)",
+                    "", "", p[0], p[1], p[2], p[3], p[4], p[5], p[6], p[7], p[8]
+                ));
+                json_rows.push(json!({
+                    "disk": disk.name(), "on": on,
+                    "seek_ms": seeks, "service_ms": svcs, "waiting_ms": waits,
+                    "paper": p.to_vec(),
+                }));
+            }
+        }
+        r.json = json!({ "rows": json_rows });
+        r
+    }
+
+    fn table3(&mut self) -> Report {
+        let mut r = Report::new(
+            "table3",
+            "Two-day detail, system file system (off day / on day)",
+        );
+        // Paper: [fcfs_dist, dist, zero%, fcfs_seek, seek, svc, wait]
+        let paper: HashMap<(DiskKind, bool), [f64; 7]> = HashMap::from([
+            (
+                (DiskKind::Toshiba, false),
+                [220.0, 173.0, 23.0, 20.92, 18.21, 38.41, 87.30],
+            ),
+            (
+                (DiskKind::Toshiba, true),
+                [225.0, 8.0, 88.0, 21.46, 1.55, 22.95, 50.03],
+            ),
+            (
+                (DiskKind::Fujitsu, false),
+                [435.0, 315.0, 27.0, 10.31, 8.01, 21.15, 69.98],
+            ),
+            (
+                (DiskKind::Fujitsu, true),
+                [413.0, 27.0, 76.0, 9.73, 1.16, 14.08, 35.65],
+            ),
+        ]);
+        let mut json_rows = Vec::new();
+        for disk in DiskKind::both() {
+            let days = self.onoff_days(disk, FsKind::System).to_vec();
+            // The first off/on pair is "Day 1 / Day 2".
+            for day in days.iter().take(2) {
+                let m = day.all;
+                let p = paper[&(disk, day.rearranged)];
+                r.line(format!(
+                    "{:8} {:3} | fcfs_dist {:5.0} (paper {:4.0}) | dist {:5.0} ({:4.0}) | zero {:4.1}% ({:2.0}%) | fcfs_seek {:5.2} ({:5.2}) | seek {:5.2} ({:5.2}) | svc {:5.2} ({:5.2}) | wait {:6.2} ({:5.2})",
+                    disk.name(),
+                    if day.rearranged { "On" } else { "Off" },
+                    m.fcfs_seek_dist, p[0], m.seek_dist, p[1], m.zero_seek_pct, p[2],
+                    m.fcfs_seek_ms, p[3], m.seek_ms, p[4], m.service_ms, p[5],
+                    m.waiting_ms, p[6],
+                ));
+                json_rows.push(json!({
+                    "disk": disk.name(), "on": day.rearranged,
+                    "fcfs_seek_dist": m.fcfs_seek_dist, "seek_dist": m.seek_dist,
+                    "zero_seek_pct": m.zero_seek_pct, "fcfs_seek_ms": m.fcfs_seek_ms,
+                    "seek_ms": m.seek_ms, "service_ms": m.service_ms,
+                    "waiting_ms": m.waiting_ms, "paper": p.to_vec(),
+                }));
+            }
+        }
+        r.json = json!({ "rows": json_rows });
+        r
+    }
+
+    fn fig_cdf(&mut self, id: &'static str) -> Report {
+        let (fs, title) = match id {
+            "fig4" => (
+                FsKind::System,
+                "Service time distribution, system fs, Fujitsu (off vs on day)",
+            ),
+            _ => (
+                FsKind::Users,
+                "Service time distribution, users fs, Fujitsu (off vs on day)",
+            ),
+        };
+        let mut r = Report::new(id, title);
+        let days = self.onoff_days(DiskKind::Fujitsu, fs).to_vec();
+        let off = days.iter().find(|d| !d.rearranged).expect("off day");
+        let on = days.iter().find(|d| d.rearranged).expect("on day");
+        fn frac_below(d: &[(f64, f64)], ms: f64) -> f64 {
+            d.iter()
+                .take_while(|(t, _)| *t <= ms)
+                .last()
+                .map_or(0.0, |(_, f)| *f)
+        }
+        r.line(format!("{:>8} {:>10} {:>10}", "ms", "off", "on"));
+        for ms in [5, 10, 15, 20, 25, 30, 40, 50, 75, 100] {
+            r.line(format!(
+                "{:8} {:9.1}% {:9.1}%",
+                ms,
+                frac_below(&off.service_cdf, ms as f64) * 100.0,
+                frac_below(&on.service_cdf, ms as f64) * 100.0
+            ));
+        }
+        if id == "fig4" {
+            r.blank();
+            r.line(format!(
+                "paper: ~50% of off-day requests complete in <20 ms vs ~85% on-day; measured {:.0}% vs {:.0}%",
+                frac_below(&off.service_cdf, 20.0) * 100.0,
+                frac_below(&on.service_cdf, 20.0) * 100.0
+            ));
+        }
+        r.json = json!({
+            "off": off.service_cdf, "on": on.service_cdf,
+        });
+        // Plot-ready CSV: service-time CDF for both days.
+        let mut csv = String::from("ms,off_cumulative,on_cumulative\n");
+        let max_ms = off
+            .service_cdf
+            .last()
+            .map(|p| p.0)
+            .unwrap_or(0.0)
+            .max(on.service_cdf.last().map(|p| p.0).unwrap_or(0.0));
+        let mut ms = 1.0;
+        while ms <= max_ms.min(150.0) {
+            csv.push_str(&format!(
+                "{ms:.0},{:.4},{:.4}\n",
+                frac_below(&off.service_cdf, ms),
+                frac_below(&on.service_cdf, ms)
+            ));
+            ms += 1.0;
+        }
+        r.attach_csv(format!("{id}_cdf.csv"), csv);
+        r
+    }
+
+    fn fig_dist(&mut self, id: &'static str) -> Report {
+        let (fs, title) = match id {
+            "fig5" => (
+                FsKind::System,
+                "Block access distribution, system fs (both disks, reads and all)",
+            ),
+            _ => (
+                FsKind::Users,
+                "Block access distribution, users fs (both disks, reads and all)",
+            ),
+        };
+        let mut r = Report::new(id, title);
+        let mut json_rows = Vec::new();
+        for disk in DiskKind::both() {
+            let days = self.onoff_days(disk, fs).to_vec();
+            let day = &days[0];
+            let share = |counts: &[u64], k: usize| {
+                let total: u64 = counts.iter().sum();
+                let top: u64 = counts.iter().take(k).sum();
+                if total == 0 {
+                    0.0
+                } else {
+                    top as f64 / total as f64 * 100.0
+                }
+            };
+            r.line(format!(
+                "{:8} all : active {:5} blocks | top-21 {:4.1}% top-100 {:4.1}% top-500 {:4.1}%",
+                disk.name(),
+                day.block_counts.len(),
+                share(&day.block_counts, 21),
+                share(&day.block_counts, 100),
+                share(&day.block_counts, 500),
+            ));
+            r.line(format!(
+                "{:8} read: active {:5} blocks | top-21 {:4.1}% top-100 {:4.1}% top-500 {:4.1}%",
+                disk.name(),
+                day.block_counts_reads.len(),
+                share(&day.block_counts_reads, 21),
+                share(&day.block_counts_reads, 100),
+                share(&day.block_counts_reads, 500),
+            ));
+            json_rows.push(json!({
+                "disk": disk.name(),
+                "all": day.block_counts.iter().take(2000).collect::<Vec<_>>(),
+                "reads": day.block_counts_reads.iter().take(2000).collect::<Vec<_>>(),
+            }));
+            // Plot-ready CSV: rank vs count, all and reads.
+            let mut csv = String::from("rank,count_all,count_reads\n");
+            let n = day.block_counts.len().max(day.block_counts_reads.len()).min(2000);
+            for i in 0..n {
+                csv.push_str(&format!(
+                    "{},{},{}\n",
+                    i + 1,
+                    day.block_counts.get(i).copied().unwrap_or(0),
+                    day.block_counts_reads.get(i).copied().unwrap_or(0)
+                ));
+            }
+            r.attach_csv(format!("{id}_{}.csv", disk.name().to_lowercase()), csv);
+        }
+        if id == "fig5" {
+            r.blank();
+            r.line("paper (§5.4): fewer than 2000 blocks absorbed all requests; the 100 hottest absorbed ~90%");
+        }
+        r.json = json!({ "rows": json_rows });
+        r
+    }
+
+    fn table7(&mut self) -> Report {
+        let mut r = Report::new(
+            "table7",
+            "Placement policy summary: % reduction in daily mean seek time vs FCFS/no-rearrangement",
+        );
+        let paper: HashMap<(DiskKind, &str, bool), f64> = HashMap::from([
+            ((DiskKind::Toshiba, "Organ-pipe", false), 95.0),
+            ((DiskKind::Toshiba, "Interleaved", false), 87.0),
+            ((DiskKind::Toshiba, "Serial", false), 58.0),
+            ((DiskKind::Toshiba, "Organ-pipe", true), 76.0),
+            ((DiskKind::Toshiba, "Interleaved", true), 62.0),
+            ((DiskKind::Toshiba, "Serial", true), 40.0),
+            ((DiskKind::Fujitsu, "Organ-pipe", false), 90.0),
+            ((DiskKind::Fujitsu, "Interleaved", false), 88.0),
+            ((DiskKind::Fujitsu, "Serial", false), 76.0),
+            ((DiskKind::Fujitsu, "Organ-pipe", true), 78.0),
+            ((DiskKind::Fujitsu, "Interleaved", true), 77.0),
+            ((DiskKind::Fujitsu, "Serial", true), 65.0),
+        ]);
+        let mut json_rows = Vec::new();
+        for disk in DiskKind::both() {
+            for policy in PolicyKind::all() {
+                let days = self.policy_onoff(disk, policy).to_vec();
+                let ons: Vec<&DayMetrics> = days.iter().filter(|d| d.rearranged).collect();
+                let all: f64 = ons
+                    .iter()
+                    .map(|d| d.all.seek_time_reduction_pct())
+                    .sum::<f64>()
+                    / ons.len() as f64;
+                let reads: f64 = ons
+                    .iter()
+                    .map(|d| d.reads.seek_time_reduction_pct())
+                    .sum::<f64>()
+                    / ons.len() as f64;
+                r.line(format!(
+                    "{:8} {:12} | all {:5.1}% (paper {:2.0}%) | reads {:5.1}% (paper {:2.0}%)",
+                    disk.name(),
+                    policy.name(),
+                    all,
+                    paper[&(disk, policy.name(), false)],
+                    reads,
+                    paper[&(disk, policy.name(), true)],
+                ));
+                json_rows.push(json!({
+                    "disk": disk.name(), "policy": policy.name(),
+                    "all_reduction_pct": all, "reads_reduction_pct": reads,
+                }));
+            }
+        }
+        r.blank();
+        r.line("expected shape: organ-pipe >= interleaved > serial on both disks");
+        r.json = json!({ "rows": json_rows });
+        r
+    }
+
+    fn table8_or_9(&mut self, disk: DiskKind) -> Report {
+        let (id, title): (&'static str, &'static str) = match disk {
+            DiskKind::Toshiba => ("table8", "Placement policy detail, Toshiba (on days)"),
+            DiskKind::Fujitsu => ("table9", "Placement policy detail, Fujitsu (on days)"),
+        };
+        let mut r = Report::new(id, title);
+        let mut json_rows = Vec::new();
+        for policy in PolicyKind::all() {
+            let days = self.policy_onoff(disk, policy).to_vec();
+            let on = days.iter().find(|d| d.rearranged).expect("on day");
+            for (label, m) in [("all", on.all), ("reads", on.reads)] {
+                r.line(format!(
+                    "{:12} {:5} | fcfs_dist {:5.0} | dist {:4.0} | zero {:4.1}% | fcfs_seek {:5.2} | seek {:5.2} | svc {:5.2} | wait {:6.2}",
+                    policy.name(), label,
+                    m.fcfs_seek_dist, m.seek_dist, m.zero_seek_pct,
+                    m.fcfs_seek_ms, m.seek_ms, m.service_ms, m.waiting_ms,
+                ));
+                json_rows.push(json!({
+                    "policy": policy.name(), "scope": label,
+                    "fcfs_seek_dist": m.fcfs_seek_dist, "seek_dist": m.seek_dist,
+                    "zero_seek_pct": m.zero_seek_pct, "seek_ms": m.seek_ms,
+                    "service_ms": m.service_ms, "waiting_ms": m.waiting_ms,
+                }));
+            }
+        }
+        r.blank();
+        match disk {
+            DiskKind::Toshiba => r.line(
+                "paper (all): organ-pipe dist 8 zero 88% seek 1.55 svc 22.95 | interleaved dist 15 zero 83% seek 2.50 svc 23.71 | serial dist 22 zero 26% seek 8.50 svc 28.53",
+            ),
+            DiskKind::Fujitsu => r.line(
+                "paper (all): organ-pipe dist 22 zero 74% seek 1.10 svc 13.83 | interleaved dist 26 zero 77% seek 1.12 svc 14.35 | serial dist 26 zero 35% seek 2.49 svc 15.47",
+            ),
+        }
+        r.json = json!({ "rows": json_rows });
+        r
+    }
+
+    fn table10(&mut self) -> Report {
+        let mut r = Report::new(
+            "table10",
+            "Rotational latency + transfer time by placement policy (reads, Toshiba)",
+        );
+        // Without rearrangement: the off day of the organ-pipe run.
+        let days = self.policy_onoff(DiskKind::Toshiba, PolicyKind::OrganPipe).to_vec();
+        let off = days.iter().find(|d| !d.rearranged).expect("off day");
+        let base = off.reads.rotation_ms + off.reads.transfer_ms;
+        r.line(format!(
+            "{:22} {:6.2} ms   (paper 18.58)",
+            "Without rearrangement", base
+        ));
+        let paper: HashMap<&str, f64> = HashMap::from([
+            ("Organ-pipe", 19.42),
+            ("Serial", 19.29),
+            ("Interleaved", 18.47),
+        ]);
+        let mut json_rows = vec![json!({"policy": "none", "rot_plus_xfer_ms": base})];
+        for policy in PolicyKind::all() {
+            let days = self.policy_onoff(DiskKind::Toshiba, policy).to_vec();
+            let on = days.iter().find(|d| d.rearranged).expect("on day");
+            let v = on.reads.rotation_ms + on.reads.transfer_ms;
+            r.line(format!(
+                "{:22} {:6.2} ms   (paper {:5.2})",
+                policy.name(),
+                v,
+                paper[policy.name()],
+            ));
+            json_rows.push(json!({"policy": policy.name(), "rot_plus_xfer_ms": v}));
+        }
+        r.blank();
+        r.line("shape: interleaved preserves rotational placement (lowest); organ-pipe/serial add ~1 ms");
+        r.line("note: our 'transfer' includes the fixed controller overhead, as does the paper's service-minus-seek residual");
+        r.json = json!({ "rows": json_rows });
+        r
+    }
+}
+
+/// Table 1: disk model self-check.
+fn table1() -> Report {
+    let mut r = Report::new("table1", "Disk specifications and seek curves");
+    let mut rows = Vec::new();
+    for m in [models::toshiba_mk156f(), models::fujitsu_m2266()] {
+        let g = m.geometry;
+        r.line(format!(
+            "{:16} {:4} cyl x {:2} trk x {:2} sect @ {} RPM = {:.0} MB{}",
+            m.name,
+            g.cylinders,
+            g.tracks_per_cylinder,
+            g.sectors_per_track,
+            g.rpm,
+            g.capacity_bytes() as f64 / (1 << 20) as f64,
+            if m.track_buffer.is_some() {
+                " + 256 KB track buffer"
+            } else {
+                ""
+            },
+        ));
+        let samples: Vec<String> = [1u64, 10, 50, 100, 226, 315, 500, 800]
+            .iter()
+            .map(|&d| format!("seek({d})={:.2}ms", m.seek.time_ms(d)))
+            .collect();
+        r.line(format!("    {}", samples.join("  ")));
+        rows.push(json!({
+            "name": m.name,
+            "cylinders": g.cylinders,
+            "seek_1": m.seek.time_ms(1),
+            "seek_full": m.seek.full_stroke_ms(g.cylinders),
+        }));
+    }
+    r.json = json!({ "models": rows });
+    r
+}
+
+/// Figure 8: % reduction vs number of rearranged blocks (Toshiba, system
+/// fs, all requests and reads only).
+fn fig8() -> Report {
+    let mut r = Report::new(
+        "fig8",
+        "Seek reduction vs number of rearranged blocks (Toshiba, system fs)",
+    );
+    let cfg = config(DiskKind::Toshiba, FsKind::System, PolicyKind::OrganPipe, 0xF16);
+    let mut e = Experiment::new(cfg);
+    // One day with each block count, like the paper's several-week sweep.
+    let counts = [0usize, 25, 50, 100, 200, 400, 700, 1017];
+    r.line(format!(
+        "{:>7} | {:>10} {:>10} | {:>10} {:>10}",
+        "blocks", "dist red%", "time red%", "rd dist%", "rd time%"
+    ));
+    let mut rows = Vec::new();
+    // Burn one day to gather counts for the first placement.
+    e.run_day();
+    for &n in &counts {
+        e.rearrange_for_next_day(n);
+        let day = e.run_day();
+        let (dr, tr) = (
+            day.all.seek_dist_reduction_pct(),
+            day.all.seek_time_reduction_pct(),
+        );
+        let (rdr, rtr) = (
+            day.reads.seek_dist_reduction_pct(),
+            day.reads.seek_time_reduction_pct(),
+        );
+        r.line(format!(
+            "{:7} | {:9.1}% {:9.1}% | {:9.1}% {:9.1}%",
+            n, dr, tr, rdr, rtr
+        ));
+        rows.push(json!({
+            "blocks": n,
+            "all_dist_reduction_pct": dr, "all_time_reduction_pct": tr,
+            "reads_dist_reduction_pct": rdr, "reads_time_reduction_pct": rtr,
+        }));
+    }
+    r.blank();
+    r.line("paper shape: marginal benefit beyond ~100 blocks is small (top-100 blocks absorb ~90% of requests)");
+    r.json = json!({ "points": rows });
+    let mut csv =
+        String::from("blocks,all_dist_reduction_pct,all_time_reduction_pct,reads_dist_reduction_pct,reads_time_reduction_pct\n");
+    for p in &rows {
+        csv.push_str(&format!(
+            "{},{:.1},{:.1},{:.1},{:.1}\n",
+            p["blocks"],
+            p["all_dist_reduction_pct"].as_f64().unwrap_or(0.0),
+            p["all_time_reduction_pct"].as_f64().unwrap_or(0.0),
+            p["reads_dist_reduction_pct"].as_f64().unwrap_or(0.0),
+            p["reads_time_reduction_pct"].as_f64().unwrap_or(0.0),
+        ));
+    }
+    r.attach_csv("fig8_sweep.csv".to_string(), csv);
+    r
+}
+
+/// Figure 3: the worked placement-policy example.
+fn fig3() -> Report {
+    use abr_core::analyzer::HotBlock;
+    use abr_core::placement::SlotMap;
+    use abr_disk::DiskLabel;
+    use abr_driver::ReservedLayout;
+
+    let mut r = Report::new("fig3", "Placement policy illustration (worked example)");
+    // A small reserved area, 4-KB blocks: mirrors the paper's 3-cylinder,
+    // 4-blocks-per-cylinder illustration in structure.
+    let g = models::tiny_test_disk().geometry;
+    let label = DiskLabel::rearranged_aligned(g, 3, 8);
+    let layout = ReservedLayout::for_label(&label, 4096, 8).expect("rearranged");
+    let slots = SlotMap::new(&layout, &g);
+    let hot = vec![
+        HotBlock { block: 100, count: 20 },
+        HotBlock { block: 102, count: 15 }, // successor of 100 (gap 2)
+        HotBlock { block: 40, count: 12 },
+        HotBlock { block: 42, count: 5 },   // NOT close to 40 (5 < 6)
+        HotBlock { block: 7, count: 4 },
+        HotBlock { block: 9, count: 3 },    // successor of 7
+    ];
+    r.line("hot list (block: count): 100:20 102:15 40:12 42:5 7:4 9:3");
+    r.line("successor gap = interleave + 1 = 2; 'close' = at least 50% of predecessor's count");
+    r.blank();
+    let mut json_rows = Vec::new();
+    for kind in PolicyKind::all() {
+        let policy = kind.make(1);
+        let placed = policy.place(&hot, &slots);
+        let desc: Vec<String> = placed
+            .iter()
+            .map(|(b, s)| format!("{b}->slot{s}"))
+            .collect();
+        r.line(format!("{:12}: {}", kind.name(), desc.join("  ")));
+        json_rows.push(json!({
+            "policy": kind.name(),
+            "assignment": placed,
+        }));
+    }
+    r.json = json!({ "rows": json_rows });
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_complete() {
+        let ids = Campaign::all_ids();
+        let set: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(set.len(), ids.len());
+        assert_eq!(ids.len(), 16);
+    }
+
+    #[test]
+    fn table1_and_fig3_run_instantly() {
+        let mut c = Campaign::new();
+        let t1 = c.run("table1");
+        assert!(t1.text.contains("Toshiba MK156F"));
+        assert!(t1.json["models"].as_array().unwrap().len() == 2);
+        let f3 = c.run("fig3");
+        assert!(f3.text.contains("Organ-pipe"));
+        assert!(f3.text.contains("Serial"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment id")]
+    fn unknown_id_panics() {
+        Campaign::new().run("table99");
+    }
+}

@@ -1,0 +1,143 @@
+//! End-to-end test of the `abrctl` control tool: the full paper workflow
+//! (create, workload, analyze, rearrange, stats, replay, clean) driven
+//! through the real binary against a disk image on disk.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn abrctl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_abrctl"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = abrctl().args(args).output().expect("spawn abrctl");
+    assert!(
+        out.status.success(),
+        "abrctl {args:?} failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("abrctl-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn full_control_workflow() {
+    let tmp = TempDir::new("workflow");
+    let img = tmp.path("disk.img");
+    let trace = tmp.path("day.jsonl");
+
+    let out = run_ok(&["create", &img, "--disk", "toshiba"]);
+    assert!(out.contains("48 reserved cylinders"), "{out}");
+
+    let out = run_ok(&["info", &img]);
+    assert!(out.contains("Toshiba MK156F"), "{out}");
+    assert!(out.contains("0 entries"), "{out}");
+
+    let out = run_ok(&[
+        "workload", &img, "--profile", "tiny", "--minutes", "8", "--seed", "5", "--trace", &trace,
+    ]);
+    assert!(out.contains("requests"), "{out}");
+    assert!(std::path::Path::new(&trace).exists());
+
+    let out = run_ok(&["analyze", &img, "--top", "3"]);
+    assert!(out.contains("top-100 blocks absorb"), "{out}");
+
+    let out = run_ok(&["rearrange", &img, "--blocks", "200"]);
+    assert!(out.contains("placed"), "{out}");
+
+    let out = run_ok(&["info", &img]);
+    assert!(out.contains("200 entries"), "{out}");
+
+    let out = run_ok(&["stats", &img]);
+    assert!(out.contains("seek"), "{out}");
+
+    let out = run_ok(&["replay", &img, &trace, "--blocks", "200"]);
+    assert!(out.contains("replayed"), "{out}");
+
+    let out = run_ok(&["clean", &img]);
+    assert!(out.contains("cleaned 200 blocks"), "{out}");
+
+    let out = run_ok(&["info", &img]);
+    assert!(out.contains("0 entries"), "{out}");
+}
+
+#[test]
+fn errors_are_reported_cleanly() {
+    let tmp = TempDir::new("errors");
+    let img = tmp.path("missing.img");
+
+    // Unknown command.
+    let out = abrctl().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing image.
+    let out = abrctl().args(["info", &img]).output().unwrap();
+    assert!(!out.status.success());
+
+    // Analyze before any workload ran.
+    run_ok(&["create", &img, "--disk", "tiny", "--reserved", "5"]);
+    let out = abrctl().args(["analyze", &img]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("run `abrctl workload` first"));
+}
+
+#[test]
+fn workload_sessions_resume_across_invocations() {
+    let tmp = TempDir::new("resume");
+    let img = tmp.path("disk.img");
+    run_ok(&["create", &img]);
+    run_ok(&["workload", &img, "--profile", "tiny", "--minutes", "4"]);
+    // Second run must resume (day 1) rather than rebuild.
+    let out = abrctl()
+        .args(["workload", &img, "--profile", "tiny", "--minutes", "4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("resumed day 1"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // --fresh rebuilds.
+    let out = abrctl()
+        .args(["workload", &img, "--profile", "tiny", "--minutes", "4", "--fresh"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("resumed"));
+}
+
+#[test]
+fn incremental_rearrange_via_cli() {
+    let tmp = TempDir::new("incremental");
+    let img = tmp.path("disk.img");
+    run_ok(&["create", &img]);
+    run_ok(&["workload", &img, "--profile", "tiny", "--minutes", "5"]);
+    run_ok(&["rearrange", &img, "--blocks", "100"]);
+    // Second rearrangement from the same counts: incremental should move
+    // nothing (hot list identical).
+    let out = run_ok(&["rearrange", &img, "--blocks", "100", "--incremental"]);
+    assert!(out.contains("(0 disk ops"), "{out}");
+}

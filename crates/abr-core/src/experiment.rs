@@ -1,0 +1,669 @@
+//! The experiment harness: a simulated file server running multi-day
+//! measured workloads, reproducing the paper's experimental method (§5).
+//!
+//! One [`Experiment`] assembles the full stack — disk mechanism, adaptive
+//! driver, FFS-lite file system, synthetic workload, rearrangement daemon
+//! — and runs *days*: 15 hours of request traffic (7am–10pm in the
+//! paper), with the update daemon flushing dirty buffers every 30 s and
+//! the monitoring process reading the request table every 2 minutes. At
+//! the end of each day the caller decides how many blocks to place for
+//! the next day (0 = an "off" day), exactly like the paper's alternating
+//! on/off protocol.
+
+use crate::analyzer::{BoundedAnalyzer, FullAnalyzer, ReferenceAnalyzer};
+use crate::arranger::{BlockArranger, RearrangeReport};
+use crate::daemon::RearrangementDaemon;
+use crate::metrics::DayMetrics;
+use crate::placement::PolicyKind;
+use abr_disk::{Disk, DiskLabel, DiskModel};
+use abr_driver::{AdaptiveDriver, DriverConfig, Ioctl, IoctlReply, SchedulerKind};
+use abr_fs::{FileSystem, FsConfig, MountMode};
+use abr_sim::{SimDuration, SimRng, SimTime};
+use abr_workload::{WorkloadProfile, WorkloadState};
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// The disk under test.
+    pub disk: DiskModel,
+    /// Reserved cylinders for rearrangement (paper: 48 on the Toshiba,
+    /// 80 on the Fujitsu). 0 disables rearrangement entirely.
+    pub reserved_cylinders: u32,
+    /// Put the reserved region at the edge of the disk instead of the
+    /// middle (ablation: organ-pipe theory says the middle is optimal).
+    pub reserved_at_edge: bool,
+    /// Workload to run.
+    pub profile: WorkloadProfile,
+    /// Placement policy for rearranged blocks.
+    pub policy: PolicyKind,
+    /// Disk queueing policy (the measured system ran SCAN).
+    pub scheduler: SchedulerKind,
+    /// Buffer cache capacity in blocks.
+    pub cache_blocks: usize,
+    /// Update-daemon period (classic: 30 s).
+    pub sync_period: SimDuration,
+    /// Request-monitor read period (paper: 2 minutes).
+    pub monitor_period: SimDuration,
+    /// Reference-analyzer list capacity; `None` = unbounded exact counts
+    /// (the paper's configuration).
+    pub analyzer_capacity: Option<usize>,
+    /// Carry counts across days with this decay factor instead of the
+    /// paper's nightly reset (extension; overrides `analyzer_capacity`).
+    pub analyzer_decay: Option<f64>,
+    /// Spacing between successive block requests of one file-level
+    /// operation. An NFS client walks a file one 8 KB read RPC at a time,
+    /// so a whole-file read reaches the server as a paced train, not an
+    /// instantaneous burst — and trains from different clients interleave,
+    /// which is what makes hot blocks from different files alternate in
+    /// the request stream (§1.1). Sync-daemon write bursts are *not*
+    /// paced (the update daemon queues all dirty buffers at once).
+    pub request_pacing: SimDuration,
+    /// Use incremental rearrangement (evict/copy only day-over-day
+    /// differences) instead of the paper's full clean-and-recopy cycle.
+    pub incremental_rearrange: bool,
+    /// Online (continuous) rearrangement: every `period`, if the driver
+    /// is idle, incrementally re-place the hottest `n_blocks` from the
+    /// counts gathered so far today — the intelligent-controller variant
+    /// the paper sketches against Loge. `None` = the paper's
+    /// overnight-only protocol.
+    pub online: Option<OnlineConfig>,
+    /// Unmeasured warm-up days run at construction, so measured days see
+    /// a steady-state buffer cache rather than a cold one (the paper
+    /// measured a long-running production server).
+    pub warmup_days: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// Paper-shaped defaults for a disk and workload: organ-pipe
+    /// placement, SCAN scheduling, reserved region sized like the paper
+    /// (48 cylinders on the Toshiba-sized disk, 80 on the Fujitsu-sized
+    /// one), 30 s sync, 2 min monitoring.
+    pub fn new(disk: DiskModel, profile: WorkloadProfile) -> Self {
+        let reserved = if disk.geometry.cylinders >= 1200 { 80 } else { 48 };
+        let cache_blocks = profile.cache_blocks;
+        ExperimentConfig {
+            disk,
+            reserved_cylinders: reserved,
+            reserved_at_edge: false,
+            profile,
+            policy: PolicyKind::OrganPipe,
+            scheduler: SchedulerKind::Scan,
+            cache_blocks,
+            sync_period: SimDuration::from_secs(30),
+            monitor_period: SimDuration::from_mins(2),
+            analyzer_capacity: None,
+            analyzer_decay: None,
+            request_pacing: SimDuration::from_millis(150),
+            incremental_rearrange: false,
+            online: None,
+            warmup_days: 1,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Online rearrangement parameters (see `ExperimentConfig::online`).
+#[derive(Debug, Clone, Copy)]
+pub struct OnlineConfig {
+    /// How often to attempt an online step.
+    pub period: SimDuration,
+    /// Hot-list size to keep placed.
+    pub n_blocks: usize,
+}
+
+/// Overnight gap between measured days (7am–10pm measured, then 9 hours
+/// of quiet during which the arranger runs).
+const OVERNIGHT: SimDuration = SimDuration::from_hours(9);
+
+/// The assembled simulated file server.
+pub struct Experiment {
+    config: ExperimentConfig,
+    driver: AdaptiveDriver,
+    fs: FileSystem,
+    workload: WorkloadState,
+    daemon: RearrangementDaemon,
+    clock: SimTime,
+    day_index: u64,
+    /// Blocks currently placed in the reserved area.
+    placed: u32,
+    /// When set, every submitted request is also logged (relative to the
+    /// current day's start) for trace-driven replay.
+    trace: Option<(SimTime, abr_workload::TraceLog)>,
+    /// Online-rearrangement movement cost of the last day.
+    last_online_io: crate::arranger::RearrangeReport,
+}
+
+impl std::fmt::Debug for Experiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Experiment")
+            .field("disk", &self.config.disk.name)
+            .field("profile", &self.config.profile.name)
+            .field("day", &self.day_index)
+            .field("placed", &self.placed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Experiment {
+    /// Build the whole stack: format the disk (with the reserved region
+    /// if configured), attach the driver, create the file system, build
+    /// the workload's file population (pushing its I/O through the driver
+    /// before measurement starts), and zero all monitors.
+    pub fn new(config: ExperimentConfig) -> Self {
+        let model = config.disk.clone();
+        let spb = 16; // 8 KB blocks
+        let label = if config.reserved_cylinders > 0 {
+            if config.reserved_at_edge {
+                DiskLabel::rearranged_at_edge(model.geometry, config.reserved_cylinders, spb)
+            } else {
+                DiskLabel::rearranged_aligned(model.geometry, config.reserved_cylinders, spb)
+            }
+        } else {
+            DiskLabel::whole_disk(model.geometry)
+        };
+        let driver_cfg = DriverConfig {
+            block_size: 8192,
+            scheduler: config.scheduler,
+            monitor_capacity: 1 << 20,
+            table_max_entries: 8192,
+        };
+        let mut disk = Disk::new(model);
+        AdaptiveDriver::format(&mut disk, &label, &driver_cfg);
+        let mut driver = AdaptiveDriver::attach(disk, driver_cfg).expect("fresh format attaches");
+
+        let part_sectors = driver.label().partitions[0].n_sectors;
+        let spc = driver.label().physical.sectors_per_cylinder();
+        let fs_cfg = FsConfig {
+            partition: 0,
+            cache_blocks: config.cache_blocks,
+            mode: MountMode::ReadWrite,
+            write_through: config.profile.nfs_write_through,
+            ..FsConfig::default()
+        };
+        let mut fs = FileSystem::newfs(fs_cfg, part_sectors, spc);
+
+        // Build the file population; push its writes through the driver
+        // synchronously (setup, unmeasured).
+        let mut rng = SimRng::new(config.seed);
+        let mut clock = SimTime::ZERO;
+        let (workload, setup_reqs) =
+            WorkloadState::setup(config.profile.clone(), &mut fs, &mut rng)
+                .expect("workload population fits the file system");
+        for req in setup_reqs {
+            driver
+                .submit(req, clock)
+                .expect("setup requests are valid");
+            if driver.queue_len() > 64 {
+                if let Some(t) = driver.next_completion() {
+                    clock = t;
+                    driver.complete_next(t);
+                }
+            }
+        }
+        while let Some(t) = driver.next_completion() {
+            clock = t;
+            driver.complete_next(t);
+        }
+
+        // The paper's *system* file system is served read-only.
+        if !config.profile.is_mutating() {
+            fs.remount(MountMode::ReadOnly);
+        }
+
+        // The rearrangement machinery.
+        let analyzer: Box<dyn ReferenceAnalyzer> = match (config.analyzer_decay, config.analyzer_capacity) {
+            (Some(decay), _) => Box::new(crate::analyzer::DecayingAnalyzer::new(decay)),
+            (None, Some(cap)) => Box::new(BoundedAnalyzer::new(cap)),
+            (None, None) => Box::new(FullAnalyzer::new()),
+        };
+        let arranger = BlockArranger::new(
+            config
+                .policy
+                .make(fs.layout().interleave),
+        );
+        let mut daemon = RearrangementDaemon::new(analyzer, arranger, config.monitor_period);
+        daemon.set_incremental(config.incremental_rearrange);
+
+        // Zero the monitors so day 1 starts clean.
+        driver
+            .ioctl(Ioctl::ReadStats, clock)
+            .expect("stats read");
+        driver
+            .ioctl(Ioctl::ReadRequestTable, clock)
+            .expect("table read");
+
+        let mut e = Experiment {
+            config,
+            driver,
+            fs,
+            workload,
+            daemon,
+            clock: clock + SimDuration::from_mins(10),
+            day_index: 0,
+            placed: 0,
+            trace: None,
+            last_online_io: crate::arranger::RearrangeReport::default(),
+        };
+        for _ in 0..e.config.warmup_days {
+            e.run_day();
+            e.rearrange_for_next_day(0);
+        }
+        e.day_index = 0;
+        e
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Blocks currently placed in the reserved area.
+    pub fn placed(&self) -> u32 {
+        self.placed
+    }
+
+    /// Direct access to the driver (inspection in tests and benches).
+    pub fn driver(&self) -> &AdaptiveDriver {
+        &self.driver
+    }
+
+    /// Direct access to the rearrangement daemon (inspection).
+    pub fn daemon(&self) -> &RearrangementDaemon {
+        &self.daemon
+    }
+
+    /// Fraction of today's (all, read) request counts that landed on
+    /// currently-rearranged blocks — the coverage that determines how
+    /// much of the day benefits. Call before `rearrange_for_next_day`.
+    pub fn remap_coverage(&self) -> (f64, f64) {
+        let spb = u64::from(self.driver.sectors_per_block());
+        let cover = |dist: &[crate::analyzer::HotBlock]| {
+            let mut hit = 0u64;
+            let mut total = 0u64;
+            for h in dist {
+                total += h.count;
+                let phys = self.driver.label().virtual_to_physical(h.block * spb);
+                if self.driver.block_table().lookup(phys).is_some() {
+                    hit += h.count;
+                }
+            }
+            if total == 0 {
+                0.0
+            } else {
+                hit as f64 / total as f64
+            }
+        };
+        let (all, reads) = self.daemon.distributions();
+        (cover(&all), cover(&reads))
+    }
+
+    /// Run one measured day while recording the block-level request
+    /// stream (timestamps relative to the day start), for trace-driven
+    /// replay (see the [`mod@crate::replay`] module).
+    pub fn run_day_traced(&mut self) -> (DayMetrics, abr_workload::TraceLog) {
+        self.trace = Some((self.clock, abr_workload::TraceLog::new()));
+        let metrics = self.run_day();
+        let (_, log) = self.trace.take().expect("set above");
+        (metrics, log)
+    }
+
+    /// Log a request into the active trace, if tracing.
+    fn trace_submit(&mut self, req: &abr_driver::IoRequest, at: SimTime) {
+        if let Some((day_start, log)) = &mut self.trace {
+            log.push(abr_workload::TraceEvent::of(
+                req,
+                (at - *day_start).as_micros(),
+            ));
+        }
+    }
+
+    /// Run one measured day of workload and return its metrics.
+    pub fn run_day(&mut self) -> DayMetrics {
+        let day_start = self.clock;
+        let day_end = day_start + self.config.profile.day_length;
+        let mut next_sync = day_start + self.config.sync_period;
+        let mut next_monitor = day_start + self.config.monitor_period;
+        let mut next_online = self
+            .config
+            .online
+            .map(|o| day_start + o.period)
+            .unwrap_or(SimTime::MAX);
+        let mut online_io = crate::arranger::RearrangeReport::default();
+        let (mut op_at, mut op) = self.workload.next_op(day_start, &self.fs);
+        // Requests from file-level ops, paced out like NFS read/write RPC
+        // trains (see `ExperimentConfig::request_pacing`). Trains from
+        // different operations overlap, so a time-ordered queue merges
+        // them.
+        let mut pending: abr_sim::EventQueue<abr_driver::IoRequest> = abr_sim::EventQueue::new();
+
+        loop {
+            let next_completion = self.driver.next_completion().unwrap_or(SimTime::MAX);
+            let next_pending = pending.peek_time().unwrap_or(SimTime::MAX);
+            let t = op_at
+                .min(next_sync)
+                .min(next_monitor)
+                .min(next_completion)
+                .min(next_pending)
+                .min(next_online);
+            if t > day_end && pending.is_empty() {
+                break;
+            }
+            if t == next_completion {
+                self.driver.complete_next(t);
+            } else if t == next_online {
+                let online = self.config.online.expect("tick only when configured");
+                // Keep the freshest counts, then re-place if idle.
+                self.daemon.collect(&mut self.driver, t);
+                if self.driver.is_idle() && self.driver.layout().is_some() {
+                    let report = self
+                        .daemon
+                        .rearrange_online(&mut self.driver, online.n_blocks, t)
+                        .expect("idle driver accepts movement");
+                    online_io.io_ops += report.io_ops;
+                    online_io.busy += report.busy;
+                    self.placed = self.driver.block_table().len() as u32;
+                }
+                next_online = t + online.period;
+            } else if t == next_pending {
+                let (_, r) = pending.pop().expect("non-empty");
+                self.trace_submit(&r, t);
+                self.driver.submit(r, t).expect("workload request valid");
+            } else if t == op_at {
+                let reqs = self.workload.apply(op, &mut self.fs);
+                let pace = self.config.request_pacing;
+                for (i, r) in reqs.into_iter().enumerate() {
+                    pending.schedule(t + pace * i as u64, r);
+                }
+                let (at, next) = self.workload.next_op(t, &self.fs);
+                // New operations stop at the day boundary; only already-
+                // issued request trains drain past it.
+                op_at = if at > day_end { SimTime::MAX } else { at };
+                op = next;
+            } else if t == next_sync {
+                for r in self.fs.sync() {
+                    self.trace_submit(&r, t);
+                    self.driver.submit(r, t).expect("sync request valid");
+                }
+                next_sync = t + self.config.sync_period;
+            } else {
+                self.daemon.collect(&mut self.driver, t);
+                next_monitor = t + self.config.monitor_period;
+            }
+        }
+
+        // Day end: drain outstanding requests, flush the cache, collect
+        // the final monitor contents.
+        let mut t = day_end;
+        while let Some(c) = self.driver.next_completion() {
+            t = c;
+            self.driver.complete_next(c);
+        }
+        for r in self.fs.sync() {
+            self.trace_submit(&r, t);
+            self.driver.submit(r, t).expect("final sync valid");
+        }
+        while let Some(c) = self.driver.next_completion() {
+            t = c;
+            self.driver.complete_next(c);
+        }
+        self.daemon.collect(&mut self.driver, t);
+
+        // Daily metrics: performance stats (read-and-clear) plus the
+        // daily block request distributions.
+        let snapshot = match self
+            .driver
+            .ioctl(Ioctl::ReadStats, t)
+            .expect("stats read")
+        {
+            IoctlReply::Stats(s) => s,
+            _ => unreachable!(),
+        };
+        let (all_dist, read_dist) = self.daemon.distributions();
+        let metrics = DayMetrics::new(
+            self.day_index,
+            self.placed > 0,
+            self.placed,
+            &snapshot,
+            &self.config.disk.seek,
+            all_dist.iter().map(|h| h.count).collect(),
+            read_dist.iter().map(|h| h.count).collect(),
+        );
+        self.clock = t.max(day_end);
+        self.last_online_io = online_io;
+        metrics
+    }
+
+    /// Movement I/O performed by online rearrangement during the last
+    /// day (zero when `config.online` is `None`).
+    pub fn last_online_io(&self) -> crate::arranger::RearrangeReport {
+        self.last_online_io
+    }
+
+    /// End the day Vongsathorn & Carson-style: aggregate today's counts
+    /// per cylinder and install the organ-pipe *cylinder* permutation for
+    /// tomorrow (the baseline the paper's Related Work contrasts with).
+    /// Requires a disk without a reserved area
+    /// (`config.reserved_cylinders == 0`).
+    pub fn shuffle_cylinders_for_next_day(&mut self) -> RearrangeReport {
+        use abr_driver::cylmap::CylinderMap;
+        let g = self.driver.label().physical;
+        let spb = u64::from(self.driver.sectors_per_block());
+        let (all, _) = self.daemon.distributions();
+        let mut counts = vec![0u64; g.cylinders as usize];
+        for h in &all {
+            let cyl = g.cylinder_of((h.block * spb).min(g.total_sectors() - 1));
+            counts[cyl as usize] += h.count;
+        }
+        let map = CylinderMap::organ_pipe(&counts);
+        let reply = self
+            .driver
+            .ioctl(Ioctl::ShuffleCylinders { map }, self.clock)
+            .expect("shuffle on idle plain disk");
+        let report = match reply {
+            IoctlReply::Moved { ops, busy } => RearrangeReport {
+                blocks_placed: 0,
+                io_ops: ops,
+                busy,
+            },
+            _ => unreachable!(),
+        };
+        self.daemon.end_day_keep_placement();
+        self.workload.advance_day();
+        self.day_index += 1;
+        self.clock += OVERNIGHT.max(report.busy + SimDuration::from_mins(1));
+        self.driver
+            .ioctl(Ioctl::ReadStats, self.clock)
+            .expect("stats clear");
+        report
+    }
+
+    /// Advance to the next day WITHOUT touching the reserved area —
+    /// online mode carries its placement across days. Drift still
+    /// applies and counts reset/decay per the analyzer.
+    pub fn advance_day_keep_placement(&mut self) {
+        self.daemon.end_day_keep_placement();
+        self.workload.advance_day();
+        self.day_index += 1;
+        self.clock += OVERNIGHT;
+    }
+
+    /// End the day: use today's reference counts to place `n_blocks`
+    /// blocks for tomorrow (0 = "off" day, reserved area emptied), apply
+    /// workload drift, and advance the clock over the overnight gap.
+    pub fn rearrange_for_next_day(&mut self, n_blocks: usize) -> RearrangeReport {
+        let hot = self.daemon.hot_list(n_blocks);
+        self.rearrange_for_next_day_with(&hot, n_blocks)
+    }
+
+    /// [`Experiment::rearrange_for_next_day`] with an externally supplied
+    /// hot list — for selection-strategy ablations.
+    pub fn rearrange_for_next_day_with(
+        &mut self,
+        hot: &[crate::analyzer::HotBlock],
+        n_blocks: usize,
+    ) -> RearrangeReport {
+        let report = self
+            .daemon
+            .end_day_with(&mut self.driver, hot, n_blocks, self.clock)
+            .expect("overnight rearrangement on idle driver");
+        self.placed = report.blocks_placed;
+        self.workload.advance_day();
+        self.day_index += 1;
+        self.clock += OVERNIGHT.max(report.busy + SimDuration::from_mins(1));
+        // The overnight block movement polluted the stats; clear them so
+        // the next day starts clean.
+        self.driver
+            .ioctl(Ioctl::ReadStats, self.clock)
+            .expect("stats clear");
+        report
+    }
+
+    /// Convenience: run the paper's alternating protocol — `days` pairs
+    /// of (off day, on day with `n_blocks` placed) — returning all
+    /// metrics in order.
+    pub fn run_on_off(&mut self, pairs: usize, n_blocks: usize) -> Vec<DayMetrics> {
+        let mut out = Vec::with_capacity(pairs * 2);
+        for _ in 0..pairs {
+            // Off day.
+            out.push(self.run_day());
+            self.rearrange_for_next_day(n_blocks);
+            // On day.
+            out.push(self.run_day());
+            self.rearrange_for_next_day(0);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_disk::models;
+
+    fn tiny_experiment_config() -> ExperimentConfig {
+        let mut profile = WorkloadProfile::tiny_test();
+        profile.day_length = SimDuration::from_mins(20);
+        let mut cfg = ExperimentConfig::new(models::toshiba_mk156f(), profile);
+        cfg.cache_blocks = 192;
+        cfg.seed = 12345;
+        cfg
+    }
+
+    /// A fast experiment: tiny workload on the small test disk.
+    fn tiny_experiment() -> Experiment {
+        Experiment::new(tiny_experiment_config())
+    }
+
+    #[test]
+    fn day_produces_traffic_and_metrics() {
+        let mut e = tiny_experiment();
+        let m = e.run_day();
+        assert!(m.all.n > 100, "day produced only {} requests", m.all.n);
+        assert!(m.reads.n > 0);
+        assert!(m.writes.n > 0, "sync bursts must produce writes");
+        assert!(m.all.service_ms > 0.0);
+        assert!(m.all.fcfs_seek_dist > 0.0);
+        assert!(!m.service_cdf.is_empty());
+        assert!(m.active_blocks() > 10);
+    }
+
+    #[test]
+    fn rearrangement_reduces_seek_times() {
+        // Rearrange enough blocks to absorb most of the tiny workload's
+        // active set — with too small a hot set the head ping-pongs
+        // between the reserved region and the rest, which is exactly why
+        // the paper sizes the region to the skew knee (Fig. 8).
+        let mut e = tiny_experiment();
+        let off = e.run_day();
+        e.rearrange_for_next_day(400);
+        let on = e.run_day();
+        assert!(on.rearranged);
+        assert!(
+            on.all.seek_ms < off.all.seek_ms,
+            "on-day seek {} !< off-day {}",
+            on.all.seek_ms,
+            off.all.seek_ms
+        );
+        assert!(
+            on.all.seek_dist < 0.6 * off.all.seek_dist,
+            "seek distance {} not well below {}",
+            on.all.seek_dist,
+            off.all.seek_dist
+        );
+    }
+
+    #[test]
+    fn off_day_after_on_day_cleans_up() {
+        let mut e = tiny_experiment();
+        e.run_day();
+        e.rearrange_for_next_day(40);
+        e.run_day();
+        e.rearrange_for_next_day(0);
+        assert_eq!(e.placed(), 0);
+        assert!(e.driver().block_table().is_empty());
+        let m = e.run_day();
+        assert!(!m.rearranged);
+    }
+
+    #[test]
+    fn run_on_off_alternates() {
+        let mut e = tiny_experiment();
+        let days = e.run_on_off(2, 40);
+        assert_eq!(days.len(), 4);
+        assert!(!days[0].rearranged);
+        assert!(days[1].rearranged);
+        assert!(!days[2].rearranged);
+        assert!(days[3].rearranged);
+    }
+
+    #[test]
+    fn experiments_are_deterministic() {
+        let run = || {
+            let mut e = tiny_experiment();
+            let m = e.run_day();
+            (m.all.n, m.all.service_ms.to_bits(), m.all.seek_dist.to_bits())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn online_mode_adapts_within_the_first_day() {
+        let mut cfg_off = tiny_experiment_config();
+        cfg_off.warmup_days = 0;
+        let baseline = Experiment::new(cfg_off).run_day();
+
+        let mut cfg_on = tiny_experiment_config();
+        cfg_on.warmup_days = 0;
+        cfg_on.analyzer_decay = Some(0.5);
+        cfg_on.online = Some(crate::experiment::OnlineConfig {
+            period: SimDuration::from_mins(3),
+            n_blocks: 400,
+        });
+        let mut e = Experiment::new(cfg_on);
+        let day1 = e.run_day();
+        assert!(e.last_online_io().io_ops > 0, "online mode must move blocks");
+        assert!(e.placed() > 0);
+        assert!(
+            day1.all.seek_ms < baseline.all.seek_ms,
+            "online day-1 {:.2} !< baseline {:.2}",
+            day1.all.seek_ms,
+            baseline.all.seek_ms
+        );
+        // Placement persists across days without overnight work.
+        e.advance_day_keep_placement();
+        assert!(e.placed() > 0);
+        assert!(!e.driver().block_table().is_empty());
+    }
+
+    #[test]
+    fn clock_advances_across_days() {
+        let mut e = tiny_experiment();
+        let c0 = e.clock;
+        e.run_day();
+        e.rearrange_for_next_day(10);
+        assert!(e.clock > c0 + SimDuration::from_hours(9));
+        assert_eq!(e.day_index, 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! # abr-core — adaptive block rearrangement
+//!
+//! The paper's contribution (Akyürek & Salem, *Adaptive Block
+//! Rearrangement*, ICDE 1993): estimate block reference frequencies by
+//! monitoring the request stream, and periodically copy the hottest
+//! blocks into a reserved cylinder group near the middle of the disk,
+//! placed by the organ-pipe heuristic.
+//!
+//! * [`analyzer`] — the *reference stream analyzer* (§4.2): exact
+//!   counting, plus the bounded-memory variant with a replacement
+//!   heuristic (after [Salem 92, Salem 93]).
+//! * [`placement`] — the three placement policies of §4.2: organ-pipe,
+//!   interleaved, and serial.
+//! * [`arranger`] — the *block arranger*: turns a hot list and a policy
+//!   into `DKIOCCLEAN` + `DKIOCBCOPY` calls against the driver.
+//! * [`daemon`] — the rearrangement daemon: periodic request-table reads
+//!   (every 2 minutes in the paper) feeding the analyzer, and the daily
+//!   rearrangement cycle.
+//! * [`experiment`] — the measurement harness reproducing the paper's
+//!   experimental method: multi-day on/off runs on a simulated file
+//!   server, with per-day metrics matching the paper's tables.
+//! * [`metrics`] — per-day and per-run metric types.
+//! * [`mod@replay`] — trace-driven evaluation (the companion ICDE 1993
+//!   paper's methodology): record a day's block-level stream, replay it
+//!   against differently-configured drivers with zero workload variance.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analyzer;
+pub mod arranger;
+pub mod daemon;
+pub mod experiment;
+pub mod metrics;
+pub mod placement;
+pub mod replay;
+
+pub use analyzer::{BoundedAnalyzer, DecayingAnalyzer, FullAnalyzer, HotBlock, ReferenceAnalyzer};
+pub use arranger::BlockArranger;
+pub use daemon::RearrangementDaemon;
+pub use experiment::{Experiment, ExperimentConfig};
+pub use metrics::{DayMetrics, DirMetrics};
+pub use placement::{Interleaved, OrganPipe, PlacementPolicy, PolicyKind, Serial, SlotMap};
+pub use replay::{replay, ReplayConfig};

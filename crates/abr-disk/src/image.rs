@@ -1,0 +1,201 @@
+//! Disk image persistence.
+//!
+//! Saves a [`Disk`]'s full state — model, head position, and every
+//! written sector — to a single file, so the `abrctl` control programs
+//! (and tests) can operate on a disk across process lifetimes, the way
+//! the paper's user-level programs operated on a real drive across
+//! reboots.
+//!
+//! Format (little-endian): magic, version, JSON-encoded model length +
+//! bytes, head cylinder, sector count, then `(sector_index, 512 bytes)`
+//! records, and a trailing Fletcher-64 checksum over everything before
+//! it.
+
+use crate::disk::Disk;
+use crate::models::DiskModel;
+use crate::SECTOR_SIZE;
+use std::io::{self, Read, Write};
+
+const IMAGE_MAGIC: u64 = 0x4142_5244_4953_4b31; // "ABRDISK1"
+
+/// Errors from image encoding/decoding.
+#[derive(Debug)]
+pub enum ImageError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not an image file (bad magic or version).
+    BadFormat,
+    /// Corrupt image (checksum mismatch).
+    BadChecksum,
+    /// The embedded model failed to parse.
+    BadModel(serde_json::Error),
+}
+
+impl std::fmt::Display for ImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageError::Io(e) => write!(f, "i/o: {e}"),
+            ImageError::BadFormat => write!(f, "not a disk image"),
+            ImageError::BadChecksum => write!(f, "corrupt disk image"),
+            ImageError::BadModel(e) => write!(f, "bad embedded disk model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+impl From<io::Error> for ImageError {
+    fn from(e: io::Error) -> Self {
+        ImageError::Io(e)
+    }
+}
+
+/// Serialize a disk to a writer.
+pub fn save<W: Write>(disk: &Disk, mut w: W) -> Result<(), ImageError> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&IMAGE_MAGIC.to_le_bytes());
+    let model_json = serde_json::to_vec(disk.model()).expect("model serializes");
+    buf.extend_from_slice(&(model_json.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&model_json);
+    buf.extend_from_slice(&u64::from(disk.head_cylinder()).to_le_bytes());
+
+    // Collect written sectors in ascending order for a canonical image.
+    let total = disk.geometry().total_sectors();
+    let mut sectors: Vec<u64> = Vec::new();
+    // The store is sparse; walk it via its public probe (read each written
+    // sector). To stay O(written) rather than O(disk), the store exposes
+    // its indices.
+    for idx in disk.store().written_indices() {
+        sectors.push(idx);
+    }
+    sectors.sort_unstable();
+    sectors.dedup();
+    buf.extend_from_slice(&(sectors.len() as u64).to_le_bytes());
+    for s in sectors {
+        debug_assert!(s < total);
+        buf.extend_from_slice(&s.to_le_bytes());
+        buf.extend_from_slice(&disk.store().read_sector(s));
+    }
+    let sum = fletcher64(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Deserialize a disk from a reader.
+pub fn load<R: Read>(mut r: R) -> Result<Disk, ImageError> {
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf)?;
+    if buf.len() < 8 + 8 + 8 {
+        return Err(ImageError::BadFormat);
+    }
+    let (body, tail) = buf.split_at(buf.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8"));
+    if fletcher64(body) != stored {
+        return Err(ImageError::BadChecksum);
+    }
+    let mut pos = 0usize;
+    let take_u64 = |pos: &mut usize| -> Result<u64, ImageError> {
+        let end = *pos + 8;
+        if end > body.len() {
+            return Err(ImageError::BadFormat);
+        }
+        let v = u64::from_le_bytes(body[*pos..end].try_into().expect("8"));
+        *pos = end;
+        Ok(v)
+    };
+    if take_u64(&mut pos)? != IMAGE_MAGIC {
+        return Err(ImageError::BadFormat);
+    }
+    let model_len = take_u64(&mut pos)? as usize;
+    if pos + model_len > body.len() {
+        return Err(ImageError::BadFormat);
+    }
+    let model: DiskModel =
+        serde_json::from_slice(&body[pos..pos + model_len]).map_err(ImageError::BadModel)?;
+    pos += model_len;
+    let head = take_u64(&mut pos)? as u32;
+    let n_sectors = take_u64(&mut pos)? as usize;
+
+    let mut disk = Disk::new(model);
+    for _ in 0..n_sectors {
+        let idx = take_u64(&mut pos)?;
+        if pos + SECTOR_SIZE > body.len() {
+            return Err(ImageError::BadFormat);
+        }
+        disk.store_mut().write(idx, &body[pos..pos + SECTOR_SIZE]);
+        pos += SECTOR_SIZE;
+    }
+    disk.set_head_cylinder(head.min(disk.geometry().cylinders - 1));
+    Ok(disk)
+}
+
+/// Fletcher-style 64-bit checksum over a byte slice (used for the disk
+/// image format and the on-disk block table).
+pub fn fletcher64(bytes: &[u8]) -> u64 {
+    let (mut a, mut b) = (0u64, 0u64);
+    for chunk in bytes.chunks(4) {
+        let mut w = [0u8; 4];
+        w[..chunk.len()].copy_from_slice(chunk);
+        a = a.wrapping_add(u64::from(u32::from_le_bytes(w)));
+        b = b.wrapping_add(a);
+    }
+    (b << 32) | (a & 0xffff_ffff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::IoDir;
+    use crate::models;
+    use abr_sim::SimTime;
+
+    #[test]
+    fn roundtrip_preserves_data_and_head() {
+        let mut d = Disk::new(models::tiny_test_disk());
+        d.store_mut().write(5, &[0xAA; SECTOR_SIZE]);
+        d.store_mut().write(99, &[0xBB; SECTOR_SIZE * 2]);
+        d.service(IoDir::Read, 640, 1, SimTime::ZERO); // moves head to cyl 10
+
+        let mut img = Vec::new();
+        save(&d, &mut img).unwrap();
+        let back = load(&img[..]).unwrap();
+        assert_eq!(back.head_cylinder(), 10);
+        assert_eq!(back.store().read_sector(5), [0xAA; SECTOR_SIZE]);
+        assert_eq!(back.store().read_sector(99), [0xBB; SECTOR_SIZE]);
+        assert_eq!(back.store().read_sector(100), [0xBB; SECTOR_SIZE]);
+        assert!(back.store().read_sector(7).iter().all(|&b| b == 0));
+        assert_eq!(back.model().name, "TinyTest");
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let d = Disk::new(models::tiny_test_disk());
+        let mut img = Vec::new();
+        save(&d, &mut img).unwrap();
+        let mid = img.len() / 2;
+        img[mid] ^= 0x01;
+        assert!(matches!(
+            load(&img[..]),
+            Err(ImageError::BadChecksum) | Err(ImageError::BadFormat)
+        ));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(matches!(
+            load(&b"not an image"[..]),
+            Err(ImageError::BadFormat)
+        ));
+    }
+
+    #[test]
+    fn empty_disk_roundtrips() {
+        let d = Disk::new(models::fujitsu_m2266());
+        let mut img = Vec::new();
+        save(&d, &mut img).unwrap();
+        let back = load(&img[..]).unwrap();
+        assert_eq!(back.store().written_sectors(), 0);
+        assert_eq!(back.model().name, "Fujitsu M2266");
+    }
+}

@@ -1,0 +1,42 @@
+//! # abr-disk — disk mechanism model
+//!
+//! A calibrated model of the two SCSI disks from Table 1 of *Adaptive
+//! Block Rearrangement* (Akyürek & Salem): the Toshiba MK156F (135 MB,
+//! 815 cylinders) and the Fujitsu M2266 (1 GB, 1658 cylinders, 256 KB
+//! read-ahead track buffer). The model computes, for each request, the
+//! same service-time decomposition the paper measures: seek time (from the
+//! paper's measured piecewise seek curves), rotational latency (3600 RPM
+//! rotational position tracking), and media transfer time.
+//!
+//! Modules:
+//! * [`geometry`] — cylinders/tracks/sectors layout and address math.
+//! * [`seek`] — piecewise seek-time curves (Table 1).
+//! * [`models`] — the two disk presets, plus a small synthetic disk for
+//!   tests.
+//! * [`disk`] — the disk mechanism itself: head position, rotation,
+//!   track-buffer read-ahead, per-request [`disk::ServiceBreakdown`].
+//! * [`store`] — sparse in-memory sector store for data-integrity checks.
+//! * [`label`] — the UNIX-style disk label: partitions, virtual geometry,
+//!   and the "rearranged disk" marker with the reserved-area extent
+//!   (§4.1.1).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod disk;
+pub mod geometry;
+pub mod image;
+pub mod label;
+pub mod models;
+pub mod seek;
+pub mod store;
+
+pub use disk::{Disk, ServiceBreakdown};
+pub use geometry::{Geometry, SectorAddr};
+pub use label::{DiskLabel, Partition, ReservedArea};
+pub use models::DiskModel;
+pub use seek::SeekCurve;
+pub use store::SectorStore;
+
+/// Bytes per sector, fixed at the SCSI-classic 512.
+pub const SECTOR_SIZE: usize = 512;

@@ -1,0 +1,167 @@
+//! Seek-time curves.
+//!
+//! Table 1 of the paper gives measured piecewise seek-time functions for
+//! both disks, of the form
+//!
+//! ```text
+//! seektime(d) = 0                                   if d = 0
+//!             = a + b*sqrt(d) + c*cbrt(d) + e*ln(d) if 0 < d < boundary
+//!             = f + g*d                             if d >= boundary
+//! ```
+//!
+//! with `d` the seek distance in cylinders and the result in milliseconds.
+//! The short-seek curve captures the arm's acceleration-dominated regime;
+//! the linear tail is the constant-velocity regime. The paper *computes*
+//! its reported seek times by pushing measured seek-distance distributions
+//! through these curves — [`SeekCurve::time_ms`] is that function.
+
+use abr_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Coefficients of the short-seek regime:
+/// `a + b*sqrt(d) + c*cbrt(d) + e*ln(d)` milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShortSeek {
+    /// Constant term (ms).
+    pub a: f64,
+    /// `sqrt(d)` coefficient.
+    pub b: f64,
+    /// `cbrt(d)` coefficient.
+    pub c: f64,
+    /// `ln(d)` coefficient.
+    pub e: f64,
+}
+
+/// Coefficients of the long-seek (linear) regime: `f + g*d` milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LongSeek {
+    /// Constant term (ms).
+    pub f: f64,
+    /// Per-cylinder slope (ms/cylinder).
+    pub g: f64,
+}
+
+/// A piecewise seek-time curve in the paper's Table 1 form.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeekCurve {
+    /// Seek distances `1..boundary` use the short-seek curve; `>= boundary`
+    /// the linear regime.
+    pub boundary: u32,
+    /// Short-seek coefficients.
+    pub short: ShortSeek,
+    /// Long-seek coefficients.
+    pub long: LongSeek,
+}
+
+impl SeekCurve {
+    /// Seek time in (fractional) milliseconds for a seek of `d` cylinders.
+    /// Zero-distance seeks take zero time, exactly as in Table 1.
+    pub fn time_ms(&self, d: u64) -> f64 {
+        if d == 0 {
+            return 0.0;
+        }
+        let df = d as f64;
+        if d < u64::from(self.boundary) {
+            self.short.a
+                + self.short.b * df.sqrt()
+                + self.short.c * df.cbrt()
+                + self.short.e * df.ln()
+        } else {
+            self.long.f + self.long.g * df
+        }
+    }
+
+    /// Seek time as a simulation duration (rounded to microseconds).
+    pub fn time(&self, d: u64) -> SimDuration {
+        SimDuration::from_millis_f64(self.time_ms(d))
+    }
+
+    /// Full-stroke seek time across `cylinders - 1` cylinders.
+    pub fn full_stroke_ms(&self, cylinders: u32) -> f64 {
+        self.time_ms(u64::from(cylinders.saturating_sub(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::models;
+
+    #[test]
+    fn zero_seek_is_free_on_both_disks() {
+        assert_eq!(models::toshiba_mk156f().seek.time_ms(0), 0.0);
+        assert_eq!(models::fujitsu_m2266().seek.time_ms(0), 0.0);
+    }
+
+    #[test]
+    fn toshiba_curve_values() {
+        let c = models::toshiba_mk156f().seek;
+        // d = 1: 6.248 + 1.393 - 0.99 + 0 = 6.651 ms.
+        assert!((c.time_ms(1) - 6.651).abs() < 1e-9);
+        // d = 315 uses the linear regime: 17.503 + 0.03*315 = 26.953.
+        assert!((c.time_ms(315) - 26.953).abs() < 1e-9);
+        // d = 814 (full stroke): 17.503 + 24.42 = 41.923.
+        assert!((c.full_stroke_ms(815) - 41.923).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fujitsu_curve_values() {
+        let c = models::fujitsu_m2266().seek;
+        // d = 1: 1.205 + 0.65 - 0.734 + 0 = 1.121 ms.
+        assert!((c.time_ms(1) - 1.121).abs() < 1e-9);
+        // Boundary in Table 1 is "<= 225" for the curve, "> 225" linear;
+        // we encode boundary = 226.
+        let at_225_curve =
+            1.205 + 0.65 * 225f64.sqrt() - 0.734 * 225f64.cbrt() + 0.659 * 225f64.ln();
+        assert!((c.time_ms(225) - at_225_curve).abs() < 1e-9);
+        let at_226_linear = 7.44 + 0.0114 * 226.0;
+        assert!((c.time_ms(226) - at_226_linear).abs() < 1e-9);
+    }
+
+    #[test]
+    fn curves_are_monotone_within_each_regime() {
+        // The paper's fitted curves are monotone within each regime but
+        // have a small documented discontinuity at the regime boundary
+        // (the fits were made independently), so monotonicity is only
+        // checked per-regime.
+        for model in [models::toshiba_mk156f(), models::fujitsu_m2266()] {
+            let b = u64::from(model.seek.boundary);
+            let mut prev = 0.0;
+            for d in 1..b {
+                let t = model.seek.time_ms(d);
+                assert!(t > prev, "{}: short seek({d}) = {t} <= {prev}", model.name);
+                prev = t;
+            }
+            prev = 0.0;
+            for d in b..u64::from(model.geometry.cylinders) {
+                let t = model.seek.time_ms(d);
+                assert!(t > prev, "{}: long seek({d}) = {t} <= {prev}", model.name);
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn fujitsu_is_faster_than_toshiba() {
+        // The paper's Fujitsu is a much newer, faster mechanism.
+        let t = models::toshiba_mk156f().seek;
+        let f = models::fujitsu_m2266().seek;
+        for d in [1u64, 10, 50, 100, 400, 800] {
+            assert!(f.time_ms(d) < t.time_ms(d));
+        }
+    }
+
+    #[test]
+    fn short_seeks_dramatically_cheaper_than_average() {
+        // The core premise of block rearrangement: a 1-cylinder seek costs
+        // a fraction of an average random seek (~1/3 stroke).
+        let c = models::toshiba_mk156f().seek;
+        assert!(c.time_ms(1) < 0.35 * c.time_ms(815 / 3));
+    }
+
+    #[test]
+    fn time_rounds_to_micros() {
+        let c = models::toshiba_mk156f().seek;
+        let d = c.time(1);
+        assert_eq!(d.as_micros(), 6_651);
+    }
+}

@@ -1,0 +1,344 @@
+//! The block table (§4.1.2).
+//!
+//! "When a block is copied into the reserved space, its old and new
+//! physical block addresses are entered into the table. If an entry for
+//! the requested block is found in the block table, its new physical
+//! address is used to retrieve (or update) the data. A copy of the block
+//! table is also stored on the disk (at the beginning of the reserved
+//! area) ... the table also contains a dirty bit for each block entry ...
+//! all blocks are marked as dirty when \[the\] memory-resident copy of the
+//! table is recreated after a failure."
+//!
+//! The in-memory table is a hash map keyed by the block's *original
+//! physical* starting sector; each entry records the reserved-area slot it
+//! now occupies and its dirty bit. The on-disk form is a compact binary
+//! record with a checksum, written into the table region at the head of
+//! the reserved area.
+
+use crate::layout::ReservedLayout;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One block-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Entry {
+    /// Reserved-area slot index holding the copy.
+    pub slot: u32,
+    /// Whether the copy has been written since it was placed (and so must
+    /// be copied back before the slot is reused).
+    pub dirty: bool,
+}
+
+/// Errors from decoding the on-disk table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// Magic mismatch — no table present.
+    BadMagic,
+    /// Checksum mismatch — torn or corrupt table write.
+    BadChecksum,
+    /// More entries than the table region can hold.
+    TooLarge,
+    /// Structurally valid but internally inconsistent (duplicate block or
+    /// slot entries).
+    Inconsistent,
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::BadMagic => write!(f, "no block table on disk (bad magic)"),
+            TableError::BadChecksum => write!(f, "corrupt block table (bad checksum)"),
+            TableError::TooLarge => write!(f, "block table too large for table region"),
+            TableError::Inconsistent => write!(f, "inconsistent block table entries"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+const TABLE_MAGIC: u64 = 0x4142_5254_4142_4c45; // "ABRTABLE"
+
+/// The block table: original physical block address → reserved slot.
+#[derive(Debug, Clone, Default)]
+pub struct BlockTable {
+    map: HashMap<u64, Entry>,
+    /// Which slots are occupied, and by which original block.
+    slots: HashMap<u32, u64>,
+}
+
+impl BlockTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rearranged blocks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no blocks are rearranged.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Look up a block by its original physical starting sector.
+    pub fn lookup(&self, orig_sector: u64) -> Option<Entry> {
+        self.map.get(&orig_sector).copied()
+    }
+
+    /// The original block occupying `slot`, if any.
+    pub fn occupant(&self, slot: u32) -> Option<u64> {
+        self.slots.get(&slot).copied()
+    }
+
+    /// Insert a mapping (clean). Replaces any previous mapping for the
+    /// same block.
+    ///
+    /// # Panics
+    /// Panics if the slot is already occupied by a *different* block —
+    /// the arranger must clean before re-copying.
+    pub fn insert(&mut self, orig_sector: u64, slot: u32) {
+        if let Some(&occ) = self.slots.get(&slot) {
+            assert_eq!(occ, orig_sector, "slot {slot} already occupied");
+        }
+        if let Some(old) = self.map.insert(orig_sector, Entry { slot, dirty: false }) {
+            self.slots.remove(&old.slot);
+        }
+        self.slots.insert(slot, orig_sector);
+    }
+
+    /// Remove the mapping for a block, returning its entry.
+    pub fn remove(&mut self, orig_sector: u64) -> Option<Entry> {
+        let e = self.map.remove(&orig_sector)?;
+        self.slots.remove(&e.slot);
+        Some(e)
+    }
+
+    /// Set the dirty bit for a block (called when a write is redirected
+    /// into the reserved area).
+    pub fn mark_dirty(&mut self, orig_sector: u64) {
+        if let Some(e) = self.map.get_mut(&orig_sector) {
+            e.dirty = true;
+        }
+    }
+
+    /// Mark every entry dirty — the conservative recovery rule applied
+    /// when the in-memory table is recreated after a failure (§4.1.2).
+    pub fn mark_all_dirty(&mut self) {
+        for e in self.map.values_mut() {
+            e.dirty = true;
+        }
+    }
+
+    /// Iterate `(orig_sector, entry)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Entry)> + '_ {
+        self.map.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All entries sorted by slot (deterministic order for cleaning).
+    pub fn entries_by_slot(&self) -> Vec<(u64, Entry)> {
+        let mut v: Vec<_> = self.iter().collect();
+        v.sort_by_key(|(_, e)| e.slot);
+        v
+    }
+
+    /// Serialize to the on-disk form. The result is padded to fill
+    /// `layout.table_sectors` sectors exactly.
+    ///
+    /// Returns [`TableError::TooLarge`] if the entries do not fit.
+    pub fn encode(&self, layout: &ReservedLayout) -> Result<Vec<u8>, TableError> {
+        let capacity = layout.table_sectors as usize * abr_disk::SECTOR_SIZE;
+        let need = 16 + self.map.len() * 17 + 8;
+        if need > capacity {
+            return Err(TableError::TooLarge);
+        }
+        let mut buf = Vec::with_capacity(capacity);
+        buf.extend_from_slice(&TABLE_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&(self.map.len() as u64).to_le_bytes());
+        for (orig, e) in self.entries_by_slot() {
+            buf.extend_from_slice(&orig.to_le_bytes());
+            buf.extend_from_slice(&e.slot.to_le_bytes());
+            buf.extend_from_slice(&[0u8; 4]); // reserved/padding
+            buf.push(u8::from(e.dirty));
+        }
+        let sum = fletcher64(&buf);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        buf.resize(capacity, 0);
+        Ok(buf)
+    }
+
+    /// Decode the on-disk form. Validates magic and checksum.
+    pub fn decode(bytes: &[u8]) -> Result<BlockTable, TableError> {
+        if bytes.len() < 24 {
+            return Err(TableError::BadMagic);
+        }
+        let magic = u64::from_le_bytes(bytes[0..8].try_into().expect("8"));
+        if magic != TABLE_MAGIC {
+            return Err(TableError::BadMagic);
+        }
+        let n = u64::from_le_bytes(bytes[8..16].try_into().expect("8")) as usize;
+        let body_end = 16 + n * 17;
+        if body_end + 8 > bytes.len() {
+            return Err(TableError::TooLarge);
+        }
+        let stored = u64::from_le_bytes(bytes[body_end..body_end + 8].try_into().expect("8"));
+        if fletcher64(&bytes[..body_end]) != stored {
+            return Err(TableError::BadChecksum);
+        }
+        let mut t = BlockTable::new();
+        for i in 0..n {
+            let off = 16 + i * 17;
+            let orig = u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8"));
+            let slot = u32::from_le_bytes(bytes[off + 8..off + 12].try_into().expect("4"));
+            let dirty = bytes[off + 16] != 0;
+            // A checksum-valid table should never be inconsistent, but a
+            // buggy writer must surface as an error, not a panic.
+            if t.lookup(orig).is_some() || t.occupant(slot).is_some() {
+                return Err(TableError::Inconsistent);
+            }
+            t.insert(orig, slot);
+            if dirty {
+                t.mark_dirty(orig);
+            }
+        }
+        Ok(t)
+    }
+}
+
+use abr_disk::image::fletcher64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_disk::{models, DiskLabel};
+
+    fn layout() -> ReservedLayout {
+        let g = models::toshiba_mk156f().geometry;
+        let label = DiskLabel::rearranged(g, 48);
+        ReservedLayout::for_label(&label, 8192, 1020).unwrap()
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut t = BlockTable::new();
+        t.insert(1000, 5);
+        assert_eq!(
+            t.lookup(1000),
+            Some(Entry {
+                slot: 5,
+                dirty: false
+            })
+        );
+        assert_eq!(t.occupant(5), Some(1000));
+        assert_eq!(t.len(), 1);
+        let e = t.remove(1000).unwrap();
+        assert_eq!(e.slot, 5);
+        assert!(t.is_empty());
+        assert_eq!(t.occupant(5), None);
+    }
+
+    #[test]
+    fn dirty_bit_lifecycle() {
+        let mut t = BlockTable::new();
+        t.insert(64, 0);
+        assert!(!t.lookup(64).unwrap().dirty);
+        t.mark_dirty(64);
+        assert!(t.lookup(64).unwrap().dirty);
+        // Marking an absent block is a no-op.
+        t.mark_dirty(9999);
+    }
+
+    #[test]
+    fn mark_all_dirty_for_recovery() {
+        let mut t = BlockTable::new();
+        t.insert(16, 0);
+        t.insert(32, 1);
+        t.mark_all_dirty();
+        assert!(t.iter().all(|(_, e)| e.dirty));
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn slot_conflict_panics() {
+        let mut t = BlockTable::new();
+        t.insert(16, 3);
+        t.insert(32, 3);
+    }
+
+    #[test]
+    fn reinsert_same_block_moves_slot() {
+        let mut t = BlockTable::new();
+        t.insert(16, 3);
+        t.insert(16, 7);
+        assert_eq!(t.lookup(16).unwrap().slot, 7);
+        assert_eq!(t.occupant(3), None);
+        assert_eq!(t.occupant(7), Some(16));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let l = layout();
+        let mut t = BlockTable::new();
+        for i in 0..500u64 {
+            t.insert(i * 16, i as u32);
+            if i % 3 == 0 {
+                t.mark_dirty(i * 16);
+            }
+        }
+        let bytes = t.encode(&l).unwrap();
+        assert_eq!(bytes.len(), l.table_sectors as usize * 512);
+        let back = BlockTable::decode(&bytes).unwrap();
+        assert_eq!(back.len(), 500);
+        for i in 0..500u64 {
+            let e = back.lookup(i * 16).unwrap();
+            assert_eq!(e.slot, i as u32);
+            assert_eq!(e.dirty, i % 3 == 0);
+        }
+    }
+
+    #[test]
+    fn decode_empty_region_is_bad_magic() {
+        let zeros = vec![0u8; 4096];
+        assert_eq!(
+            BlockTable::decode(&zeros).unwrap_err(),
+            TableError::BadMagic
+        );
+    }
+
+    #[test]
+    fn decode_detects_corruption() {
+        let l = layout();
+        let mut t = BlockTable::new();
+        t.insert(16, 0);
+        let mut bytes = t.encode(&l).unwrap();
+        bytes[20] ^= 1;
+        assert_eq!(
+            BlockTable::decode(&bytes).unwrap_err(),
+            TableError::BadChecksum
+        );
+    }
+
+    #[test]
+    fn encode_rejects_overflow() {
+        let g = models::toshiba_mk156f().geometry;
+        let label = DiskLabel::rearranged(g, 48);
+        // Deliberately tiny table region (max_entries = 1 -> 1 block).
+        let l = ReservedLayout::for_label(&label, 8192, 1).unwrap();
+        let mut t = BlockTable::new();
+        for i in 0..1000u64 {
+            t.insert(i * 16, i as u32);
+        }
+        assert_eq!(t.encode(&l).unwrap_err(), TableError::TooLarge);
+    }
+
+    #[test]
+    fn entries_by_slot_sorted() {
+        let mut t = BlockTable::new();
+        t.insert(160, 9);
+        t.insert(320, 2);
+        t.insert(480, 5);
+        let slots: Vec<u32> = t.entries_by_slot().iter().map(|(_, e)| e.slot).collect();
+        assert_eq!(slots, vec![2, 5, 9]);
+    }
+}

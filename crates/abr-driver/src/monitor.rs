@@ -1,0 +1,371 @@
+//! Request and performance monitoring (§4.1.4, §4.1.5).
+//!
+//! The request monitor is the adaptive mechanism's only input: "the driver
+//! records information about each I/O request in a small internal table.
+//! The information recorded includes the block number and the request
+//! size. An ioctl call enables user processes to read the contents of the
+//! table and to clear it. In the event that the table fills completely
+//! before being cleared, request recording is temporarily suspended."
+//!
+//! The performance monitor exists "for the purpose of evaluation only":
+//! per-direction seek-distance distributions in arrival order and in
+//! scheduled order, service-time and queueing-time distributions at 1 ms
+//! resolution with exact cumulative sums.
+
+use abr_disk::disk::IoDir;
+use abr_sim::{DistTable, SimDuration, TimeStats};
+use serde::{Deserialize, Serialize};
+
+/// One record in the request monitor's table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestRecord {
+    /// The *virtual* (pre-remapping) block number: stable identity for
+    /// reference counting across rearrangements.
+    pub block: u64,
+    /// Request size in sectors.
+    pub n_sectors: u32,
+    /// Read or write.
+    pub dir: IoDir,
+}
+
+/// The bounded in-driver request table.
+#[derive(Debug, Clone)]
+pub struct RequestMonitor {
+    records: Vec<RequestRecord>,
+    capacity: usize,
+    /// Requests dropped while the table was full.
+    suspended: u64,
+    /// Lifetime count of suspension episodes (for reporting).
+    suspension_episodes: u64,
+    full: bool,
+}
+
+impl RequestMonitor {
+    /// A monitor holding at most `capacity` records between reads.
+    ///
+    /// # Panics
+    /// Panics if capacity is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        RequestMonitor {
+            records: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            suspended: 0,
+            suspension_episodes: 0,
+            full: false,
+        }
+    }
+
+    /// Record one request; silently drops (and counts) it if the table is
+    /// full — "request recording is temporarily suspended".
+    pub fn record(&mut self, rec: RequestRecord) {
+        if self.records.len() >= self.capacity {
+            if !self.full {
+                self.full = true;
+                self.suspension_episodes += 1;
+            }
+            self.suspended += 1;
+        } else {
+            self.records.push(rec);
+        }
+    }
+
+    /// The read-and-clear ioctl: returns all records and the number of
+    /// requests that went unrecorded since the last read, resuming
+    /// recording.
+    pub fn read_and_clear(&mut self) -> (Vec<RequestRecord>, u64) {
+        let dropped = self.suspended;
+        self.suspended = 0;
+        self.full = false;
+        (std::mem::take(&mut self.records), dropped)
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the table holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total suspension episodes over the monitor's lifetime.
+    pub fn suspension_episodes(&self) -> u64 {
+        self.suspension_episodes
+    }
+}
+
+/// Statistics for one direction (reads or writes).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DirStats {
+    /// Seek distances in *arrival order* with *no rearrangement*: the
+    /// distance between the pre-remap cylinder of consecutive arriving
+    /// requests. This is the paper's "FCFS, no block rearrangement"
+    /// baseline (Table 3).
+    pub arrival_seek: DistTable,
+    /// Seek distances in *scheduled order*: the arm movements actually
+    /// performed.
+    pub sched_seek: DistTable,
+    /// Service time: dispatch → completion.
+    pub service: TimeStats,
+    /// Queueing time: strategy receipt → dispatch.
+    pub queueing: TimeStats,
+    /// Rotational latency component of service (for Table 10).
+    pub rotation: TimeStats,
+    /// Transfer + overhead component of service (for Table 10).
+    pub transfer: TimeStats,
+    /// Dispatches whose target sector lay inside the reserved area
+    /// (diagnostic: what fraction of this direction's traffic was
+    /// actually redirected).
+    pub reserved_dispatches: u64,
+}
+
+impl DirStats {
+    fn new(range_ms: usize) -> Self {
+        DirStats {
+            arrival_seek: DistTable::new(),
+            sched_seek: DistTable::new(),
+            service: TimeStats::new(range_ms),
+            queueing: TimeStats::new(range_ms),
+            rotation: TimeStats::new(range_ms),
+            transfer: TimeStats::new(range_ms),
+            reserved_dispatches: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.arrival_seek.clear();
+        self.sched_seek.clear();
+        self.service.clear();
+        self.queueing.clear();
+        self.rotation.clear();
+        self.transfer.clear();
+        self.reserved_dispatches = 0;
+    }
+
+    fn merge(&mut self, other: &DirStats) {
+        self.arrival_seek.merge(&other.arrival_seek);
+        self.sched_seek.merge(&other.sched_seek);
+        self.service.merge(&other.service);
+        self.queueing.merge(&other.queueing);
+        self.rotation.merge(&other.rotation);
+        self.transfer.merge(&other.transfer);
+        self.reserved_dispatches += other.reserved_dispatches;
+    }
+}
+
+/// A point-in-time copy of the monitor contents, as returned by the
+/// read-stats ioctl.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfSnapshot {
+    /// Read-request statistics.
+    pub reads: DirStats,
+    /// Write-request statistics.
+    pub writes: DirStats,
+}
+
+impl PerfSnapshot {
+    /// Combined (reads + writes) statistics.
+    pub fn all(&self) -> DirStats {
+        let mut all = self.reads.clone();
+        all.merge(&self.writes);
+        all
+    }
+
+    /// Requests measured in total.
+    pub fn count(&self) -> u64 {
+        self.reads.service.count() + self.writes.service.count()
+    }
+}
+
+/// The in-driver performance monitor.
+#[derive(Debug, Clone)]
+pub struct PerfMonitor {
+    reads: DirStats,
+    writes: DirStats,
+}
+
+/// Histogram range: times at or beyond this many ms land in the overflow
+/// bucket (they still count exactly toward means).
+const RANGE_MS: usize = 4000;
+
+impl Default for PerfMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PerfMonitor {
+    /// A fresh, empty monitor.
+    pub fn new() -> Self {
+        PerfMonitor {
+            reads: DirStats::new(RANGE_MS),
+            writes: DirStats::new(RANGE_MS),
+        }
+    }
+
+    fn dir_mut(&mut self, dir: IoDir) -> &mut DirStats {
+        match dir {
+            IoDir::Read => &mut self.reads,
+            IoDir::Write => &mut self.writes,
+        }
+    }
+
+    /// Record the arrival-order (FCFS, no-rearrangement) seek distance of
+    /// an arriving request.
+    pub fn record_arrival_seek(&mut self, dir: IoDir, distance: u64) {
+        self.dir_mut(dir).arrival_seek.record(distance);
+    }
+
+    /// Record the dispatch of a request: the scheduled-order seek distance
+    /// and the queueing time it accumulated. `in_reserved` marks targets
+    /// inside the reserved area.
+    pub fn record_dispatch(
+        &mut self,
+        dir: IoDir,
+        distance: u64,
+        queueing: SimDuration,
+        in_reserved: bool,
+    ) {
+        let d = self.dir_mut(dir);
+        d.sched_seek.record(distance);
+        d.queueing.record(queueing);
+        if in_reserved {
+            d.reserved_dispatches += 1;
+        }
+    }
+
+    /// Record a completion: total service time plus its rotational and
+    /// transfer(+overhead) components.
+    pub fn record_completion(
+        &mut self,
+        dir: IoDir,
+        service: SimDuration,
+        rotation: SimDuration,
+        transfer_and_overhead: SimDuration,
+    ) {
+        let d = self.dir_mut(dir);
+        d.service.record(service);
+        d.rotation.record(rotation);
+        d.transfer.record(transfer_and_overhead);
+    }
+
+    /// Snapshot without clearing.
+    pub fn snapshot(&self) -> PerfSnapshot {
+        PerfSnapshot {
+            reads: self.reads.clone(),
+            writes: self.writes.clone(),
+        }
+    }
+
+    /// The read-and-clear ioctl.
+    pub fn read_and_clear(&mut self) -> PerfSnapshot {
+        let snap = self.snapshot();
+        self.reads.clear();
+        self.writes.clear();
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(block: u64) -> RequestRecord {
+        RequestRecord {
+            block,
+            n_sectors: 16,
+            dir: IoDir::Read,
+        }
+    }
+
+    #[test]
+    fn request_monitor_records_until_full() {
+        let mut m = RequestMonitor::new(3);
+        for b in 0..5 {
+            m.record(rec(b));
+        }
+        assert_eq!(m.len(), 3);
+        let (recs, dropped) = m.read_and_clear();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(dropped, 2);
+        assert_eq!(m.suspension_episodes(), 1);
+        // Recording resumes after the read.
+        m.record(rec(9));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn request_monitor_no_suspension_when_drained() {
+        let mut m = RequestMonitor::new(100);
+        for round in 0..10 {
+            for b in 0..50 {
+                m.record(rec(round * 50 + b));
+            }
+            let (recs, dropped) = m.read_and_clear();
+            assert_eq!(recs.len(), 50);
+            assert_eq!(dropped, 0);
+        }
+        assert_eq!(m.suspension_episodes(), 0);
+    }
+
+    #[test]
+    fn perf_monitor_separates_directions() {
+        let mut p = PerfMonitor::new();
+        p.record_completion(
+            IoDir::Read,
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(4),
+            SimDuration::from_millis(6),
+        );
+        p.record_completion(
+            IoDir::Write,
+            SimDuration::from_millis(30),
+            SimDuration::from_millis(8),
+            SimDuration::from_millis(22),
+        );
+        let s = p.snapshot();
+        assert_eq!(s.reads.service.mean_ms(), 10.0);
+        assert_eq!(s.writes.service.mean_ms(), 30.0);
+        assert_eq!(s.all().service.mean_ms(), 20.0);
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn perf_monitor_seek_tables() {
+        let mut p = PerfMonitor::new();
+        p.record_arrival_seek(IoDir::Read, 200);
+        p.record_arrival_seek(IoDir::Read, 0);
+        p.record_dispatch(IoDir::Read, 0, SimDuration::from_millis(1), false);
+        p.record_dispatch(IoDir::Read, 10, SimDuration::from_millis(2), true);
+        let s = p.snapshot();
+        assert_eq!(s.reads.arrival_seek.mean(), 100.0);
+        assert_eq!(s.reads.sched_seek.mean(), 5.0);
+        assert_eq!(s.reads.sched_seek.fraction_of(0), 0.5);
+        assert_eq!(s.reads.queueing.mean_ms(), 1.5);
+    }
+
+    #[test]
+    fn read_and_clear_resets() {
+        let mut p = PerfMonitor::new();
+        p.record_arrival_seek(IoDir::Write, 5);
+        let first = p.read_and_clear();
+        assert_eq!(first.writes.arrival_seek.count(), 1);
+        let second = p.snapshot();
+        assert_eq!(second.writes.arrival_seek.count(), 0);
+    }
+
+    #[test]
+    fn merged_all_keeps_component_counts() {
+        let mut p = PerfMonitor::new();
+        for _ in 0..3 {
+            p.record_dispatch(IoDir::Read, 7, SimDuration::ZERO, false);
+        }
+        for _ in 0..2 {
+            p.record_dispatch(IoDir::Write, 9, SimDuration::ZERO, false);
+        }
+        let all = p.snapshot().all();
+        assert_eq!(all.sched_seek.count(), 5);
+    }
+}

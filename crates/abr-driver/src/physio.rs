@@ -1,0 +1,76 @@
+//! The raw-interface request splitter (§4.1.2).
+//!
+//! "Through the raw interface, it is possible that requests larger than
+//! the block size will be forwarded to the driver. This raises the
+//! possibility that part of the requested data may have been rearranged
+//! and part may not. To accommodate such requests, the driver's physio
+//! routine was modified to break large requests into block-sized
+//! subrequests."
+
+/// Split a `(sector, n_sectors)` transfer into pieces that never cross a
+/// boundary of the `sectors_per_block`-sector block grid. Returns
+/// `(start_sector, n_sectors)` pieces in ascending order.
+///
+/// # Panics
+/// Panics if `n_sectors` is zero or `sectors_per_block` is zero.
+pub fn split(sector: u64, n_sectors: u32, sectors_per_block: u32) -> Vec<(u64, u32)> {
+    assert!(n_sectors > 0, "empty transfer");
+    assert!(sectors_per_block > 0, "zero block size");
+    let spb = u64::from(sectors_per_block);
+    let end = sector + u64::from(n_sectors);
+    let mut pieces = Vec::new();
+    let mut cur = sector;
+    while cur < end {
+        let block_end = (cur / spb + 1) * spb;
+        let piece_end = block_end.min(end);
+        pieces.push((cur, (piece_end - cur) as u32));
+        cur = piece_end;
+    }
+    pieces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_single_block_is_one_piece() {
+        assert_eq!(split(16, 16, 16), vec![(16, 16)]);
+    }
+
+    #[test]
+    fn sub_block_request_untouched() {
+        assert_eq!(split(3, 4, 16), vec![(3, 4)]);
+    }
+
+    #[test]
+    fn unaligned_large_request_splits_at_boundaries() {
+        // Blocks of 8: [5..8) [8..16) [16..24) [24..25).
+        assert_eq!(
+            split(5, 20, 8),
+            vec![(5, 3), (8, 8), (16, 8), (24, 1)]
+        );
+    }
+
+    #[test]
+    fn pieces_cover_exactly_the_range() {
+        for (start, n, spb) in [(0u64, 100u32, 16u32), (7, 33, 8), (15, 2, 16), (1, 1, 4)] {
+            let pieces = split(start, n, spb);
+            let mut cur = start;
+            for (s, len) in &pieces {
+                assert_eq!(*s, cur, "gap or overlap");
+                assert!(*len > 0);
+                // No piece crosses a block boundary.
+                assert!(s % u64::from(spb) + u64::from(*len) <= u64::from(spb));
+                cur += u64::from(*len);
+            }
+            assert_eq!(cur, start + u64::from(n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty transfer")]
+    fn empty_transfer_panics() {
+        split(0, 0, 16);
+    }
+}

@@ -1,0 +1,131 @@
+//! I/O request types and block addressing.
+//!
+//! The file system calls the driver's strategy routine with a logical
+//! device (partition) number and a logical block address within it
+//! (§3.2). The driver translates that to a *virtual* disk sector, then to
+//! a *physical* sector (skipping the hidden reserved cylinders), then —
+//! if the block has been rearranged — to its reserved-area copy.
+
+pub use abr_disk::disk::IoDir;
+use abr_sim::SimTime;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Opaque identifier of a submitted request, unique within one driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+/// A block-device request as the file system hands it to `strategy`.
+#[derive(Debug, Clone)]
+pub struct IoRequest {
+    /// Read or write.
+    pub dir: IoDir,
+    /// Partition (logical device) index in the disk label.
+    pub partition: usize,
+    /// Starting sector *within the partition* (the FS addresses the
+    /// partition as a flat array; fragments make sub-block offsets legal).
+    pub sector_in_partition: u64,
+    /// Transfer length in sectors. Must not cross a file-system block
+    /// boundary (the FS never asks for more than one block per request;
+    /// larger raw requests are split by [`crate::physio`]).
+    pub n_sectors: u32,
+    /// Payload for writes (`n_sectors * SECTOR_SIZE` bytes); empty for
+    /// reads.
+    pub data: Bytes,
+}
+
+impl IoRequest {
+    /// A read request.
+    pub fn read(partition: usize, sector_in_partition: u64, n_sectors: u32) -> Self {
+        IoRequest {
+            dir: IoDir::Read,
+            partition,
+            sector_in_partition,
+            n_sectors,
+            data: Bytes::new(),
+        }
+    }
+
+    /// A write request carrying data.
+    ///
+    /// # Panics
+    /// Panics if the payload length does not match `n_sectors`.
+    pub fn write(
+        partition: usize,
+        sector_in_partition: u64,
+        n_sectors: u32,
+        data: Bytes,
+    ) -> Self {
+        assert_eq!(
+            data.len(),
+            n_sectors as usize * abr_disk::SECTOR_SIZE,
+            "write payload does not match transfer length"
+        );
+        IoRequest {
+            dir: IoDir::Write,
+            partition,
+            sector_in_partition,
+            n_sectors,
+            data,
+        }
+    }
+
+    /// A write of zero-filled sectors (for tests and formatting).
+    pub fn write_zeroes(partition: usize, sector_in_partition: u64, n_sectors: u32) -> Self {
+        IoRequest::write(
+            partition,
+            sector_in_partition,
+            n_sectors,
+            Bytes::from(vec![0u8; n_sectors as usize * abr_disk::SECTOR_SIZE]),
+        )
+    }
+}
+
+/// A request sitting in the driver's queue, carrying resolved addresses.
+///
+/// A request usually resolves to one contiguous physical segment; under a
+/// cylinder map, a block straddling a cylinder boundary resolves to two.
+#[derive(Debug, Clone)]
+pub(crate) struct Queued {
+    pub id: RequestId,
+    pub req: IoRequest,
+    /// Physical `(sector, n_sectors)` segments, in request order.
+    pub segments: Vec<(u64, u32)>,
+    /// Cylinder of the first segment (for scheduling).
+    pub target_cylinder: u32,
+    /// When `strategy` received it.
+    pub arrived: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_has_no_payload() {
+        let r = IoRequest::read(0, 100, 16);
+        assert!(r.data.is_empty());
+        assert!(r.dir.is_read());
+    }
+
+    #[test]
+    fn write_payload_length_checked() {
+        let data = Bytes::from(vec![0xAB; 2 * abr_disk::SECTOR_SIZE]);
+        let w = IoRequest::write(1, 50, 2, data);
+        assert_eq!(w.n_sectors, 2);
+        assert_eq!(w.data.len(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload does not match")]
+    fn write_payload_mismatch_panics() {
+        let _ = IoRequest::write(0, 0, 3, Bytes::from(vec![0u8; 512]));
+    }
+
+    #[test]
+    fn write_zeroes_helper() {
+        let w = IoRequest::write_zeroes(0, 0, 4);
+        assert_eq!(w.data.len(), 4 * 512);
+        assert!(w.data.iter().all(|&b| b == 0));
+    }
+}

@@ -1,0 +1,241 @@
+//! Disk queueing (head scheduling) policies.
+//!
+//! The SunOS driver the paper modifies "maintains a queue of outstanding
+//! requests for each physical device, managed using a disk queueing
+//! policy" (§3.2) — SCAN in the measured system (§5.2: "request
+//! reordering performed by the driver, which implements a SCAN policy").
+//! FCFS is needed to compute the paper's "FCFS Mean Seek" baselines;
+//! SSTF and C-SCAN are provided for ablation studies.
+//!
+//! A scheduler picks which queued request to dispatch next given the
+//! current head position. Queues on a lightly-loaded file server are
+//! short, so the O(n) scans here are never the bottleneck.
+
+use crate::request::Queued;
+use serde::{Deserialize, Serialize};
+
+/// Selectable queueing policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// First-come, first-served (arrival order).
+    Fcfs,
+    /// Elevator: service requests in the current sweep direction, reverse
+    /// at the last request. The stock SunOS policy.
+    Scan,
+    /// Circular SCAN: sweep upward only; jump back to the lowest request.
+    CScan,
+    /// Shortest seek time first (greedy).
+    Sstf,
+}
+
+impl SchedulerKind {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Fcfs => "FCFS",
+            SchedulerKind::Scan => "SCAN",
+            SchedulerKind::CScan => "C-SCAN",
+            SchedulerKind::Sstf => "SSTF",
+        }
+    }
+
+    pub(crate) fn make(self) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::Fcfs => Box::new(Fcfs),
+            SchedulerKind::Scan => Box::new(Scan { upward: true }),
+            SchedulerKind::CScan => Box::new(CScan),
+            SchedulerKind::Sstf => Box::new(Sstf),
+        }
+    }
+}
+
+/// A queue discipline: choose the index of the next request to dispatch.
+pub(crate) trait Scheduler: Send {
+    /// Pick the index (into `queue`) of the request to dispatch next.
+    /// `queue` is non-empty and ordered by arrival.
+    fn pick(&mut self, queue: &[Queued], head_cylinder: u32) -> usize;
+}
+
+struct Fcfs;
+
+impl Scheduler for Fcfs {
+    fn pick(&mut self, _queue: &[Queued], _head: u32) -> usize {
+        0
+    }
+}
+
+struct Scan {
+    upward: bool,
+}
+
+impl Scheduler for Scan {
+    fn pick(&mut self, queue: &[Queued], head: u32) -> usize {
+        // Closest request at-or-beyond the head in the sweep direction;
+        // if none, reverse direction.
+        let best_in_dir = |up: bool| -> Option<usize> {
+            queue
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| {
+                    if up {
+                        q.target_cylinder >= head
+                    } else {
+                        q.target_cylinder <= head
+                    }
+                })
+                .min_by_key(|(i, q)| (q.target_cylinder.abs_diff(head), *i))
+                .map(|(i, _)| i)
+        };
+        if let Some(i) = best_in_dir(self.upward) {
+            return i;
+        }
+        self.upward = !self.upward;
+        best_in_dir(self.upward).expect("non-empty queue")
+    }
+}
+
+struct CScan;
+
+impl Scheduler for CScan {
+    fn pick(&mut self, queue: &[Queued], head: u32) -> usize {
+        // Closest at-or-above the head; else wrap to the lowest cylinder.
+        queue
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.target_cylinder >= head)
+            .min_by_key(|(i, q)| (q.target_cylinder - head, *i))
+            .map(|(i, _)| i)
+            .unwrap_or_else(|| {
+                queue
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(i, q)| (q.target_cylinder, *i))
+                    .map(|(i, _)| i)
+                    .expect("non-empty queue")
+            })
+    }
+}
+
+struct Sstf;
+
+impl Scheduler for Sstf {
+    fn pick(&mut self, queue: &[Queued], head: u32) -> usize {
+        queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, q)| (q.target_cylinder.abs_diff(head), *i))
+            .map(|(i, _)| i)
+            .expect("non-empty queue")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{IoRequest, RequestId};
+    use abr_sim::SimTime;
+
+    fn q(id: u64, cyl: u32) -> Queued {
+        Queued {
+            id: RequestId(id),
+            req: IoRequest::read(0, 0, 1),
+            segments: vec![(u64::from(cyl) * 340, 1)],
+            target_cylinder: cyl,
+            arrived: SimTime::from_micros(id),
+        }
+    }
+
+    fn drain(kind: SchedulerKind, mut queue: Vec<Queued>, head: u32) -> Vec<u32> {
+        let mut s = kind.make();
+        let mut head = head;
+        let mut order = Vec::new();
+        while !queue.is_empty() {
+            let i = s.pick(&queue, head);
+            let picked = queue.remove(i);
+            head = picked.target_cylinder;
+            order.push(picked.target_cylinder);
+        }
+        order
+    }
+
+    #[test]
+    fn fcfs_is_arrival_order() {
+        let order = drain(
+            SchedulerKind::Fcfs,
+            vec![q(0, 50), q(1, 10), q(2, 90)],
+            0,
+        );
+        assert_eq!(order, vec![50, 10, 90]);
+    }
+
+    #[test]
+    fn scan_sweeps_then_reverses() {
+        // Head at 40 moving up: picks 50, 90, then reverses to 30, 10.
+        let order = drain(
+            SchedulerKind::Scan,
+            vec![q(0, 50), q(1, 10), q(2, 90), q(3, 30)],
+            40,
+        );
+        assert_eq!(order, vec![50, 90, 30, 10]);
+    }
+
+    #[test]
+    fn scan_services_same_cylinder_first() {
+        // A request on the current cylinder is a zero-length seek and is
+        // picked before anything else in the sweep — the synergy with
+        // block rearrangement the paper describes (§5.2).
+        let order = drain(
+            SchedulerKind::Scan,
+            vec![q(0, 77), q(1, 40), q(2, 41)],
+            40,
+        );
+        assert_eq!(order[0], 40);
+        assert_eq!(order[1], 41);
+    }
+
+    #[test]
+    fn cscan_wraps_to_lowest() {
+        let order = drain(
+            SchedulerKind::CScan,
+            vec![q(0, 50), q(1, 10), q(2, 90), q(3, 30)],
+            40,
+        );
+        assert_eq!(order, vec![50, 90, 10, 30]);
+    }
+
+    #[test]
+    fn sstf_greedy_nearest() {
+        let order = drain(
+            SchedulerKind::Sstf,
+            vec![q(0, 100), q(1, 35), q(2, 45), q(3, 90)],
+            40,
+        );
+        assert_eq!(order, vec![35, 45, 90, 100]);
+    }
+
+    #[test]
+    fn sstf_tie_breaks_by_arrival() {
+        let order = drain(SchedulerKind::Sstf, vec![q(0, 45), q(1, 35)], 40);
+        assert_eq!(order, vec![45, 35]);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(SchedulerKind::Scan.name(), "SCAN");
+        assert_eq!(SchedulerKind::Fcfs.name(), "FCFS");
+        assert_eq!(SchedulerKind::CScan.name(), "C-SCAN");
+        assert_eq!(SchedulerKind::Sstf.name(), "SSTF");
+    }
+
+    #[test]
+    fn scan_downward_sweep() {
+        // Head at 95: everything is below, so SCAN flips downward and
+        // services in descending order.
+        let order = drain(
+            SchedulerKind::Scan,
+            vec![q(0, 50), q(1, 10), q(2, 90)],
+            95,
+        );
+        assert_eq!(order, vec![90, 50, 10]);
+    }
+}

@@ -1,0 +1,298 @@
+//! The buffer cache (§3.1).
+//!
+//! "All file I/O goes through the buffer cache. ... A read request is
+//! forwarded to the disk only in case the block is not found in the
+//! cache. ... the system does not immediately write modified blocks back
+//! to the disk. Instead, the updated blocks simply remain in the buffer
+//! cache. Periodically, all dirty blocks are copied back to the disk."
+//!
+//! The cache tracks block *presence* and *dirtiness*; actual bytes are
+//! synthesized at flush time from the [`crate::payload::PayloadTag`]
+//! recorded with each dirty entry. Eviction is LRU; evicting a dirty
+//! block emits an immediate writeback.
+
+use crate::payload::PayloadTag;
+use std::collections::{BTreeMap, HashMap};
+
+/// A block due to be written to disk: which block, what it holds, and how
+/// many sectors of it are valid (fragment-tail writes are sub-block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Writeback {
+    /// File-system block number.
+    pub block: u64,
+    /// Payload synthesis tag.
+    pub tag: PayloadTag,
+    /// Sectors to transfer.
+    pub n_sectors: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    tick: u64,
+    dirty: Option<(PayloadTag, u32)>,
+}
+
+/// An LRU buffer cache over file-system blocks.
+#[derive(Debug)]
+pub struct BufferCache {
+    capacity: usize,
+    map: HashMap<u64, Entry>,
+    lru: BTreeMap<u64, u64>, // tick -> block
+    next_tick: u64,
+    hits: u64,
+    misses: u64,
+    /// Blocks in the order they first became dirty since the last flush
+    /// (the "buffer table walk" order of the update daemon). May contain
+    /// blocks that were since cleaned (evicted/invalidated); flush skips
+    /// them.
+    dirty_seq: Vec<u64>,
+}
+
+impl BufferCache {
+    /// A cache holding at most `capacity` blocks.
+    ///
+    /// # Panics
+    /// Panics if capacity is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "zero-capacity cache");
+        BufferCache {
+            capacity,
+            map: HashMap::new(),
+            lru: BTreeMap::new(),
+            next_tick: 0,
+            hits: 0,
+            misses: 0,
+            dirty_seq: Vec::new(),
+        }
+    }
+
+    /// Blocks currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lifetime (hit, miss) counts.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Whether a block is resident (does not affect LRU order).
+    pub fn contains(&self, block: u64) -> bool {
+        self.map.contains_key(&block)
+    }
+
+    fn bump(&mut self, block: u64) {
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        if let Some(e) = self.map.get_mut(&block) {
+            self.lru.remove(&e.tick);
+            e.tick = tick;
+            self.lru.insert(tick, block);
+        }
+    }
+
+    /// Reference a block for reading. Returns `(hit, evicted_writeback)`:
+    /// on a miss the block becomes resident (clean) and the LRU block may
+    /// be evicted — if it was dirty, its writeback is returned and must be
+    /// issued immediately.
+    pub fn reference(&mut self, block: u64) -> (bool, Option<Writeback>) {
+        if self.map.contains_key(&block) {
+            self.hits += 1;
+            self.bump(block);
+            (true, None)
+        } else {
+            self.misses += 1;
+            let evicted = self.insert(block, None);
+            (false, evicted)
+        }
+    }
+
+    /// Mark a block dirty (insert if absent), recording what to write at
+    /// flush time. Returns an eviction writeback if inserting displaced a
+    /// dirty block.
+    pub fn mark_dirty(&mut self, block: u64, tag: PayloadTag, n_sectors: u32) -> Option<Writeback> {
+        if self.map.contains_key(&block) {
+            self.bump(block);
+            let e = self.map.get_mut(&block).expect("present");
+            if e.dirty.is_none() {
+                self.dirty_seq.push(block);
+            }
+            e.dirty = Some((tag, n_sectors));
+            None
+        } else {
+            let evicted = self.insert(block, Some((tag, n_sectors)));
+            self.dirty_seq.push(block);
+            evicted
+        }
+    }
+
+    fn insert(&mut self, block: u64, dirty: Option<(PayloadTag, u32)>) -> Option<Writeback> {
+        let mut evicted = None;
+        if self.map.len() >= self.capacity {
+            // Evict the least-recently-used block.
+            let (&tick, &victim) = self.lru.iter().next().expect("cache non-empty");
+            self.lru.remove(&tick);
+            let e = self.map.remove(&victim).expect("present");
+            if let Some((tag, n_sectors)) = e.dirty {
+                evicted = Some(Writeback {
+                    block: victim,
+                    tag,
+                    n_sectors,
+                });
+            }
+        }
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.map.insert(block, Entry { tick, dirty });
+        self.lru.insert(tick, block);
+        evicted
+    }
+
+    /// Drop a block from the cache without writeback (file deletion).
+    pub fn invalidate(&mut self, block: u64) {
+        if let Some(e) = self.map.remove(&block) {
+            self.lru.remove(&e.tick);
+        }
+    }
+
+    /// The periodic update daemon: collect all dirty blocks, in the order
+    /// they first became dirty, and mark them clean. The real `update`
+    /// daemon walks the kernel buffer table, whose order has nothing to
+    /// do with disk position — so a flush burst hops all over the disk,
+    /// which is exactly why the paper's write arrivals have long
+    /// arrival-order seek distances.
+    pub fn flush_all(&mut self) -> Vec<Writeback> {
+        let order = std::mem::take(&mut self.dirty_seq);
+        order
+            .into_iter()
+            .filter_map(|block| {
+                let e = self.map.get_mut(&block)?;
+                e.dirty.take().map(|(tag, n_sectors)| Writeback {
+                    block,
+                    tag,
+                    n_sectors,
+                })
+            })
+            .collect()
+    }
+
+    /// Number of dirty blocks awaiting flush.
+    pub fn dirty_count(&self) -> usize {
+        self.map.values().filter(|e| e.dirty.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag(i: u64) -> PayloadTag {
+        PayloadTag::FileData {
+            ino: 1,
+            index: i,
+            generation: 0,
+        }
+    }
+
+    #[test]
+    fn read_miss_then_hit() {
+        let mut c = BufferCache::new(4);
+        let (hit, ev) = c.reference(10);
+        assert!(!hit);
+        assert!(ev.is_none());
+        let (hit, _) = c.reference(10);
+        assert!(hit);
+        assert_eq!(c.hit_miss(), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = BufferCache::new(2);
+        c.reference(1);
+        c.reference(2);
+        c.reference(1); // 2 is now LRU
+        c.reference(3); // evicts 2
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert!(c.contains(3));
+    }
+
+    #[test]
+    fn dirty_eviction_emits_writeback() {
+        let mut c = BufferCache::new(2);
+        c.mark_dirty(1, tag(1), 16);
+        c.reference(2);
+        let (_, ev) = c.reference(3); // evicts dirty block 1
+        let w = ev.expect("writeback");
+        assert_eq!(w.block, 1);
+        assert_eq!(w.n_sectors, 16);
+    }
+
+    #[test]
+    fn clean_eviction_is_silent() {
+        let mut c = BufferCache::new(1);
+        c.reference(1);
+        let (_, ev) = c.reference(2);
+        assert!(ev.is_none());
+    }
+
+    #[test]
+    fn flush_all_returns_dirtying_order_and_cleans() {
+        let mut c = BufferCache::new(8);
+        c.mark_dirty(5, tag(5), 16);
+        c.mark_dirty(2, tag(2), 16);
+        c.mark_dirty(9, tag(9), 2);
+        assert_eq!(c.dirty_count(), 3);
+        let flushed = c.flush_all();
+        assert_eq!(
+            flushed.iter().map(|w| w.block).collect::<Vec<_>>(),
+            vec![5, 2, 9]
+        );
+        assert_eq!(c.dirty_count(), 0);
+        // Blocks stay resident after flush.
+        assert!(c.contains(5));
+        assert!(c.flush_all().is_empty());
+    }
+
+    #[test]
+    fn mark_dirty_overwrites_tag() {
+        let mut c = BufferCache::new(4);
+        c.mark_dirty(1, tag(1), 16);
+        c.mark_dirty(1, tag(2), 16);
+        let flushed = c.flush_all();
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].tag, tag(2));
+    }
+
+    #[test]
+    fn invalidate_drops_without_writeback() {
+        let mut c = BufferCache::new(4);
+        c.mark_dirty(1, tag(1), 16);
+        c.invalidate(1);
+        assert!(!c.contains(1));
+        assert!(c.flush_all().is_empty());
+    }
+
+    #[test]
+    fn dirty_read_hit_stays_dirty() {
+        let mut c = BufferCache::new(4);
+        c.mark_dirty(1, tag(1), 16);
+        let (hit, _) = c.reference(1);
+        assert!(hit);
+        assert_eq!(c.dirty_count(), 1);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = BufferCache::new(3);
+        for b in 0..100 {
+            c.reference(b);
+            assert!(c.len() <= 3);
+        }
+    }
+}

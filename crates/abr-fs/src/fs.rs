@@ -1,0 +1,1106 @@
+//! The file system proper: files, directories, and the translation of
+//! file-level operations into block-level driver requests.
+//!
+//! Operations do not perform I/O themselves; they return the
+//! [`IoRequest`]s the server would issue at that moment (cache misses and
+//! dirty-eviction writebacks). The caller — the workload harness —
+//! submits them to the driver. The periodic update daemon is modelled by
+//! [`FileSystem::sync`], which the harness calls on the update period
+//! (classically every 30 s), producing the paper's bursty write pattern.
+
+use crate::alloc::Allocator;
+use crate::cache::{BufferCache, Writeback};
+use crate::layout::FsLayout;
+use crate::payload::PayloadTag;
+use abr_driver::request::IoRequest;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Number of direct block pointers in an i-node (classic UFS: 12).
+pub const DIRECT_POINTERS: usize = 12;
+
+/// Mount mode (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum MountMode {
+    /// Users may not create, delete or modify files; the OS still updates
+    /// i-node bookkeeping (access times), so writes trickle out anyway.
+    ReadOnly,
+    /// Full access.
+    ReadWrite,
+}
+
+/// File-system configuration.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct FsConfig {
+    /// Partition index on the driver.
+    pub partition: usize,
+    /// Block size in bytes (paper: 8192).
+    pub block_size: u32,
+    /// Fragment size in bytes (paper: 1024).
+    pub fragment_size: u32,
+    /// Cylinders per cylinder group (classic FFS: 16).
+    pub cylinders_per_group: u32,
+    /// Rotational interleave gap in blocks.
+    pub interleave: u64,
+    /// Buffer cache capacity in blocks.
+    pub cache_blocks: usize,
+    /// Mount mode.
+    pub mode: MountMode,
+    /// Write *data* blocks through to disk at operation time instead of
+    /// delaying them for the update daemon. NFS2 data writes are
+    /// synchronous at the server, so a file server's user-data writes
+    /// arrive paced with the RPC stream; only metadata bookkeeping
+    /// (i-node timestamps, directory blocks) rides the periodic sync.
+    pub write_through: bool,
+}
+
+impl Default for FsConfig {
+    fn default() -> Self {
+        FsConfig {
+            partition: 0,
+            block_size: 8192,
+            fragment_size: 1024,
+            cylinders_per_group: 16,
+            interleave: 1,
+            cache_blocks: 2048,
+            mode: MountMode::ReadWrite,
+            write_through: false,
+        }
+    }
+}
+
+/// File-system errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsError {
+    /// Write-type operation on a read-only mount.
+    ReadOnly,
+    /// Out of data blocks.
+    NoSpace,
+    /// Out of i-nodes.
+    NoInodes,
+    /// Unknown file handle.
+    NoSuchFile,
+    /// Unknown directory.
+    NoSuchDir,
+    /// Read or write beyond end of file.
+    BeyondEof,
+    /// File too large for direct + single-indirect addressing.
+    TooLarge,
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FsError::ReadOnly => "read-only file system",
+            FsError::NoSpace => "no space left on device",
+            FsError::NoInodes => "no free i-nodes",
+            FsError::NoSuchFile => "no such file",
+            FsError::NoSuchDir => "no such directory",
+            FsError::BeyondEof => "beyond end of file",
+            FsError::TooLarge => "file too large",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// Handle to an open file (its i-node number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct FileHandle(pub u64);
+
+/// Handle to a directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct DirHandle(pub u64);
+
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct Inode {
+    size: u64,
+    /// Absolute FS block numbers of the file's data blocks, in file order.
+    blocks: Vec<u64>,
+    /// Indirect-pointer block, allocated once the file outgrows the
+    /// direct pointers.
+    indirect: Option<u64>,
+    /// Per-file-block write generation (for payload synthesis).
+    generations: Vec<u32>,
+    /// Group the i-node lives in (allocation affinity).
+    group: u64,
+}
+
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct Dir {
+    /// The directory's single directory-contents block.
+    block: u64,
+    /// Cylinder group the directory claims.
+    group: u64,
+    /// Update generation of the directory block.
+    generation: u32,
+}
+
+/// The file system.
+pub struct FileSystem {
+    cfg: FsConfig,
+    layout: FsLayout,
+    alloc: Allocator,
+    cache: BufferCache,
+    inodes: HashMap<u64, Inode>,
+    dirs: HashMap<u64, Dir>,
+    next_dir_id: u64,
+    /// Update generation per i-node region block.
+    inode_block_gen: HashMap<u64, u32>,
+}
+
+impl fmt::Debug for FileSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FileSystem")
+            .field("files", &self.inodes.len())
+            .field("dirs", &self.dirs.len())
+            .field("free_blocks", &self.alloc.total_free())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FileSystem {
+    /// Create ("newfs") a file system on a partition of `n_sectors`
+    /// sectors, on a disk with the given sectors-per-cylinder.
+    pub fn newfs(cfg: FsConfig, n_sectors: u64, sectors_per_cylinder: u64) -> Self {
+        let layout = FsLayout::new(
+            n_sectors,
+            sectors_per_cylinder,
+            cfg.block_size,
+            cfg.fragment_size,
+            cfg.cylinders_per_group,
+            cfg.interleave,
+        );
+        FileSystem {
+            alloc: Allocator::new(layout),
+            cache: BufferCache::new(cfg.cache_blocks),
+            inodes: HashMap::new(),
+            dirs: HashMap::new(),
+            next_dir_id: 0,
+            inode_block_gen: HashMap::new(),
+            layout,
+            cfg,
+        }
+    }
+
+    /// The static layout.
+    pub fn layout(&self) -> &FsLayout {
+        &self.layout
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FsConfig {
+        &self.cfg
+    }
+
+    /// Buffer cache statistics `(hits, misses)`.
+    pub fn cache_hit_miss(&self) -> (u64, u64) {
+        self.cache.hit_miss()
+    }
+
+    /// Free data blocks remaining.
+    pub fn free_blocks(&self) -> u64 {
+        self.alloc.total_free()
+    }
+
+    /// Total data blocks in the file system.
+    pub fn total_data_blocks(&self) -> u64 {
+        self.layout.n_groups() * self.layout.data_blocks_per_group()
+    }
+
+    /// Change the mount mode (e.g. build read-write, then serve
+    /// read-only, as the paper's *system* file system was used).
+    pub fn remount(&mut self, mode: MountMode) {
+        self.cfg.mode = mode;
+    }
+
+    // ----- helpers ---------------------------------------------------
+
+    fn spb(&self) -> u32 {
+        self.layout.sectors_per_block()
+    }
+
+    fn read_req(&self, block: u64, n_sectors: u32) -> IoRequest {
+        IoRequest::read(
+            self.cfg.partition,
+            block * u64::from(self.spb()),
+            n_sectors,
+        )
+    }
+
+    fn write_req(&self, w: &Writeback) -> IoRequest {
+        IoRequest::write(
+            self.cfg.partition,
+            w.block * u64::from(self.spb()),
+            w.n_sectors,
+            w.tag.bytes(w.n_sectors as usize * abr_disk::SECTOR_SIZE),
+        )
+    }
+
+    /// Reference a block for reading: emits a read on a miss and a
+    /// writeback if a dirty block was evicted.
+    fn cache_read(&mut self, block: u64, n_sectors: u32, out: &mut Vec<IoRequest>) {
+        let (hit, evicted) = self.cache.reference(block);
+        if let Some(w) = evicted {
+            out.push(self.write_req(&w));
+        }
+        if !hit {
+            out.push(self.read_req(block, n_sectors));
+        }
+    }
+
+    /// Dirty a block in the cache; emits a writeback if a dirty block was
+    /// evicted to make room.
+    fn cache_dirty(
+        &mut self,
+        block: u64,
+        tag: PayloadTag,
+        n_sectors: u32,
+        out: &mut Vec<IoRequest>,
+    ) {
+        if let Some(w) = self.cache.mark_dirty(block, tag, n_sectors) {
+            out.push(self.write_req(&w));
+        }
+    }
+
+    /// Write a *data* block: through the cache when delayed writes are
+    /// configured, straight to disk (leaving the block clean-resident)
+    /// when `write_through` is set.
+    fn data_write(
+        &mut self,
+        block: u64,
+        tag: PayloadTag,
+        n_sectors: u32,
+        out: &mut Vec<IoRequest>,
+    ) {
+        if self.cfg.write_through {
+            let (_, evicted) = self.cache.reference(block);
+            if let Some(w) = evicted {
+                out.push(self.write_req(&w));
+            }
+            out.push(self.write_req(&Writeback {
+                block,
+                tag,
+                n_sectors,
+            }));
+        } else {
+            self.cache_dirty(block, tag, n_sectors, out);
+        }
+    }
+
+    /// Touch an i-node's block as dirty (timestamp update). Allowed on
+    /// read-only mounts — "the operating system itself may generate write
+    /// requests to the logical device that holds a read-only file system"
+    /// (§3.1).
+    fn touch_inode(&mut self, ino: u64, out: &mut Vec<IoRequest>) {
+        let block = self.layout.inode_block(ino);
+        let generation = {
+            let g = self.inode_block_gen.entry(block).or_insert(0);
+            *g += 1;
+            *g
+        };
+        self.cache_dirty(
+            block,
+            PayloadTag::InodeBlock { block, generation },
+            self.spb(),
+            out,
+        );
+    }
+
+    /// Read an i-node's block (metadata fetch before using a cold file).
+    fn fetch_inode(&mut self, ino: u64, out: &mut Vec<IoRequest>) {
+        let block = self.layout.inode_block(ino);
+        self.cache_read(block, self.spb(), out);
+    }
+
+    /// Sectors occupied by file block `idx` of a file of `size` bytes:
+    /// full blocks transfer whole, the tail transfers only its fragments.
+    fn block_sectors(&self, size: u64, idx: usize, n_blocks: usize) -> u32 {
+        let bs = u64::from(self.cfg.block_size);
+        if idx + 1 < n_blocks || size.is_multiple_of(bs) {
+            self.spb()
+        } else {
+            let tail = size % bs;
+            let frag = u64::from(self.cfg.fragment_size);
+            (tail.div_ceil(frag) * frag / abr_disk::SECTOR_SIZE as u64) as u32
+        }
+    }
+
+    // ----- directory operations --------------------------------------
+
+    /// Create a directory. FFS policy: new directories go to the group
+    /// with the most free space, spreading unrelated files apart.
+    pub fn mkdir(&mut self) -> Result<(DirHandle, Vec<IoRequest>), FsError> {
+        if self.cfg.mode == MountMode::ReadOnly {
+            return Err(FsError::ReadOnly);
+        }
+        let group = self.alloc.alloc_dir_group();
+        let block = self
+            .alloc
+            .alloc_block(group, None)
+            .ok_or(FsError::NoSpace)?;
+        let id = self.next_dir_id;
+        self.next_dir_id += 1;
+        self.dirs.insert(
+            id,
+            Dir {
+                block,
+                group,
+                generation: 0,
+            },
+        );
+        let mut out = Vec::new();
+        self.cache_dirty(
+            block,
+            PayloadTag::DirBlock {
+                dir: id,
+                generation: 0,
+            },
+            self.spb(),
+            &mut out,
+        );
+        Ok((DirHandle(id), out))
+    }
+
+    /// Number of directories.
+    pub fn n_dirs(&self) -> usize {
+        self.dirs.len()
+    }
+
+    fn dirty_dir(&mut self, dir: u64, out: &mut Vec<IoRequest>) -> Result<(), FsError> {
+        let d = self.dirs.get_mut(&dir).ok_or(FsError::NoSuchDir)?;
+        d.generation += 1;
+        let (block, generation) = (d.block, d.generation);
+        self.cache_dirty(
+            block,
+            PayloadTag::DirBlock {
+                dir,
+                generation,
+            },
+            self.spb(),
+            out,
+        );
+        Ok(())
+    }
+
+    // ----- file operations --------------------------------------------
+
+    /// Create a file of `size` bytes in `dir`. Allocates the i-node in
+    /// the directory's group and data blocks with rotational
+    /// interleaving; all writes are delayed in the cache.
+    pub fn create(
+        &mut self,
+        dir: DirHandle,
+        size: u64,
+    ) -> Result<(FileHandle, Vec<IoRequest>), FsError> {
+        if self.cfg.mode == MountMode::ReadOnly {
+            return Err(FsError::ReadOnly);
+        }
+        let group = self.dirs.get(&dir.0).ok_or(FsError::NoSuchDir)?.group;
+        let ino = self.alloc.alloc_inode(group).ok_or(FsError::NoInodes)?;
+        let bs = u64::from(self.cfg.block_size);
+        let n_blocks = size.div_ceil(bs) as usize;
+        if n_blocks > DIRECT_POINTERS + (self.cfg.block_size as usize / 8) {
+            return Err(FsError::TooLarge);
+        }
+        let mut out = Vec::new();
+        let mut blocks = Vec::with_capacity(n_blocks);
+        let mut prev = None;
+        // Roll back everything allocated so far if space runs out
+        // mid-file; a failed create must not leak blocks.
+        let alloc_or_rollback = |alloc: &mut crate::alloc::Allocator,
+                                     blocks: &mut Vec<u64>,
+                                     prev: Option<u64>|
+         -> Result<u64, FsError> {
+            match alloc.alloc_block(group, prev) {
+                Some(b) => Ok(b),
+                None => {
+                    for &b in blocks.iter() {
+                        alloc.free_block(b);
+                    }
+                    blocks.clear();
+                    Err(FsError::NoSpace)
+                }
+            }
+        };
+        for _ in 0..n_blocks {
+            let b = alloc_or_rollback(&mut self.alloc, &mut blocks, prev)?;
+            blocks.push(b);
+            prev = Some(b);
+        }
+        // Indirect block if the file outgrows the direct pointers.
+        let indirect = if n_blocks > DIRECT_POINTERS {
+            let b = alloc_or_rollback(&mut self.alloc, &mut blocks, prev)?;
+            self.cache_dirty(b, PayloadTag::Indirect { ino }, self.spb(), &mut out);
+            Some(b)
+        } else {
+            None
+        };
+        // Data block writes.
+        for (idx, &b) in blocks.iter().enumerate() {
+            let n_sectors = self.block_sectors(size, idx, n_blocks);
+            self.data_write(
+                b,
+                PayloadTag::FileData {
+                    ino,
+                    index: idx as u64,
+                    generation: 0,
+                },
+                n_sectors,
+                &mut out,
+            );
+        }
+        let generations = vec![0; n_blocks];
+        self.inodes.insert(
+            ino,
+            Inode {
+                size,
+                blocks,
+                indirect,
+                generations,
+                group,
+            },
+        );
+        self.touch_inode(ino, &mut out);
+        self.dirty_dir(dir.0, &mut out)?;
+        Ok((FileHandle(ino), out))
+    }
+
+    /// Read `n_blocks` file blocks starting at block `start` of the file.
+    /// Returns the disk requests this triggers (metadata misses, data
+    /// misses, dirty evictions). Updates the access time (a delayed
+    /// i-node write) even on read-only mounts.
+    pub fn read(
+        &mut self,
+        file: FileHandle,
+        start: usize,
+        n_blocks: usize,
+    ) -> Result<Vec<IoRequest>, FsError> {
+        let (blocks, size, indirect, total) = {
+            let inode = self.inodes.get(&file.0).ok_or(FsError::NoSuchFile)?;
+            if start + n_blocks > inode.blocks.len() {
+                return Err(FsError::BeyondEof);
+            }
+            (
+                inode.blocks[start..start + n_blocks].to_vec(),
+                inode.size,
+                inode.indirect,
+                inode.blocks.len(),
+            )
+        };
+        let mut out = Vec::new();
+        self.fetch_inode(file.0, &mut out);
+        // Touching blocks beyond the direct pointers needs the indirect
+        // block resident.
+        if start + n_blocks > DIRECT_POINTERS {
+            if let Some(ib) = indirect {
+                self.cache_read(ib, self.spb(), &mut out);
+            }
+        }
+        for (i, b) in blocks.into_iter().enumerate() {
+            let idx = start + i;
+            let n_sectors = self.block_sectors(size, idx, total);
+            self.cache_read(b, n_sectors, &mut out);
+        }
+        self.touch_inode(file.0, &mut out);
+        Ok(out)
+    }
+
+    /// Read the whole file.
+    pub fn read_file(&mut self, file: FileHandle) -> Result<Vec<IoRequest>, FsError> {
+        let n = self.n_file_blocks(file)?;
+        if n == 0 {
+            let mut out = Vec::new();
+            self.fetch_inode(file.0, &mut out);
+            self.touch_inode(file.0, &mut out);
+            return Ok(out);
+        }
+        self.read(file, 0, n)
+    }
+
+    /// Overwrite `n_blocks` file blocks starting at `start` (delayed
+    /// writes; the data generation is bumped so payloads change).
+    pub fn write(
+        &mut self,
+        file: FileHandle,
+        start: usize,
+        n_blocks: usize,
+    ) -> Result<Vec<IoRequest>, FsError> {
+        if self.cfg.mode == MountMode::ReadOnly {
+            return Err(FsError::ReadOnly);
+        }
+        let (blocks, size, total, gens) = {
+            let inode = self.inodes.get_mut(&file.0).ok_or(FsError::NoSuchFile)?;
+            if start + n_blocks > inode.blocks.len() {
+                return Err(FsError::BeyondEof);
+            }
+            let mut gens = Vec::with_capacity(n_blocks);
+            for idx in start..start + n_blocks {
+                inode.generations[idx] += 1;
+                gens.push(inode.generations[idx]);
+            }
+            (
+                inode.blocks[start..start + n_blocks].to_vec(),
+                inode.size,
+                inode.blocks.len(),
+                gens,
+            )
+        };
+        let mut out = Vec::new();
+        self.fetch_inode(file.0, &mut out);
+        for (i, (b, generation)) in blocks.into_iter().zip(gens).enumerate() {
+            let idx = start + i;
+            let n_sectors = self.block_sectors(size, idx, total);
+            self.data_write(
+                b,
+                PayloadTag::FileData {
+                    ino: file.0,
+                    index: idx as u64,
+                    generation,
+                },
+                n_sectors,
+                &mut out,
+            );
+        }
+        self.touch_inode(file.0, &mut out);
+        Ok(out)
+    }
+
+    /// Append `bytes` to a file, allocating new blocks as needed.
+    pub fn append(&mut self, file: FileHandle, bytes: u64) -> Result<Vec<IoRequest>, FsError> {
+        if self.cfg.mode == MountMode::ReadOnly {
+            return Err(FsError::ReadOnly);
+        }
+        let bs = u64::from(self.cfg.block_size);
+        let (old_size, group, mut prev, old_n) = {
+            let inode = self.inodes.get(&file.0).ok_or(FsError::NoSuchFile)?;
+            (
+                inode.size,
+                inode.group,
+                inode.blocks.last().copied(),
+                inode.blocks.len(),
+            )
+        };
+        let new_size = old_size + bytes;
+        let new_n = new_size.div_ceil(bs) as usize;
+        if new_n > DIRECT_POINTERS + (self.cfg.block_size as usize / 8) {
+            return Err(FsError::TooLarge);
+        }
+        let mut out = Vec::new();
+        let mut new_blocks = Vec::new();
+        // Allocate everything (including any new indirect block) before
+        // mutating the i-node, rolling back on exhaustion so a failed
+        // append leaks nothing and leaves the file unchanged.
+        let rollback = |alloc: &mut crate::alloc::Allocator, blocks: &[u64]| {
+            for &b in blocks {
+                alloc.free_block(b);
+            }
+        };
+        for _ in old_n..new_n {
+            match self.alloc.alloc_block(group, prev) {
+                Some(b) => {
+                    new_blocks.push(b);
+                    prev = Some(b);
+                }
+                None => {
+                    rollback(&mut self.alloc, &new_blocks);
+                    return Err(FsError::NoSpace);
+                }
+            }
+        }
+        let needs_indirect = new_n > DIRECT_POINTERS;
+        let new_indirect = if needs_indirect && self.inodes[&file.0].indirect.is_none() {
+            match self.alloc.alloc_block(group, prev) {
+                Some(b) => Some(b),
+                None => {
+                    rollback(&mut self.alloc, &new_blocks);
+                    return Err(FsError::NoSpace);
+                }
+            }
+        } else {
+            None
+        };
+        {
+            let inode = self.inodes.get_mut(&file.0).expect("checked");
+            inode.blocks.extend(&new_blocks);
+            inode.generations.extend(new_blocks.iter().map(|_| 0));
+            inode.size = new_size;
+            if let Some(b) = new_indirect {
+                inode.indirect = Some(b);
+            }
+        }
+        if needs_indirect {
+            let ib = self.inodes[&file.0].indirect.expect("just set");
+            self.cache_dirty(ib, PayloadTag::Indirect { ino: file.0 }, self.spb(), &mut out);
+        }
+        // Rewrite the old tail block (it grew), then write the new blocks.
+        let total = new_n;
+        let size = new_size;
+        let start = old_n.saturating_sub(1);
+        let blocks = self.inodes[&file.0].blocks[start..].to_vec();
+        for (i, b) in blocks.into_iter().enumerate() {
+            let idx = start + i;
+            let generation = self.inodes[&file.0].generations[idx];
+            let n_sectors = self.block_sectors(size, idx, total);
+            self.data_write(
+                b,
+                PayloadTag::FileData {
+                    ino: file.0,
+                    index: idx as u64,
+                    generation,
+                },
+                n_sectors,
+                &mut out,
+            );
+        }
+        self.touch_inode(file.0, &mut out);
+        Ok(out)
+    }
+
+    /// Delete a file, freeing its blocks.
+    pub fn delete(&mut self, dir: DirHandle, file: FileHandle) -> Result<Vec<IoRequest>, FsError> {
+        if self.cfg.mode == MountMode::ReadOnly {
+            return Err(FsError::ReadOnly);
+        }
+        // Validate everything before any destructive step, so an error
+        // leaves the file system unchanged.
+        if !self.dirs.contains_key(&dir.0) {
+            return Err(FsError::NoSuchDir);
+        }
+        let inode = self.inodes.remove(&file.0).ok_or(FsError::NoSuchFile)?;
+        let mut out = Vec::new();
+        for b in &inode.blocks {
+            self.cache.invalidate(*b);
+            self.alloc.free_block(*b);
+        }
+        if let Some(ib) = inode.indirect {
+            self.cache.invalidate(ib);
+            self.alloc.free_block(ib);
+        }
+        self.touch_inode(file.0, &mut out);
+        self.dirty_dir(dir.0, &mut out)?;
+        Ok(out)
+    }
+
+    // ----- introspection ----------------------------------------------
+
+    /// Number of data blocks in a file.
+    pub fn n_file_blocks(&self, file: FileHandle) -> Result<usize, FsError> {
+        Ok(self
+            .inodes
+            .get(&file.0)
+            .ok_or(FsError::NoSuchFile)?
+            .blocks
+            .len())
+    }
+
+    /// File size in bytes.
+    pub fn file_size(&self, file: FileHandle) -> Result<u64, FsError> {
+        Ok(self.inodes.get(&file.0).ok_or(FsError::NoSuchFile)?.size)
+    }
+
+    /// Absolute FS block numbers of a file, in file order.
+    pub fn file_blocks(&self, file: FileHandle) -> Result<&[u64], FsError> {
+        Ok(&self.inodes.get(&file.0).ok_or(FsError::NoSuchFile)?.blocks)
+    }
+
+    /// Expected payload of file block `idx`, for end-to-end verification.
+    pub fn expected_payload(&self, file: FileHandle, idx: usize) -> Result<bytes::Bytes, FsError> {
+        let inode = self.inodes.get(&file.0).ok_or(FsError::NoSuchFile)?;
+        if idx >= inode.blocks.len() {
+            return Err(FsError::BeyondEof);
+        }
+        let n_sectors = self.block_sectors(inode.size, idx, inode.blocks.len());
+        Ok(PayloadTag::FileData {
+            ino: file.0,
+            index: idx as u64,
+            generation: inode.generations[idx],
+        }
+        .bytes(n_sectors as usize * abr_disk::SECTOR_SIZE))
+    }
+
+    // ----- the update daemon -------------------------------------------
+
+    /// Snapshot all persistent file-system state (metadata, allocation,
+    /// generations — everything except the volatile buffer cache) for
+    /// storage alongside a disk image, so control tools can resume a
+    /// file system across process lifetimes.
+    ///
+    /// # Panics
+    /// Panics if dirty buffers remain — `sync` (and flush the returned
+    /// requests to the disk) before snapshotting, exactly like a clean
+    /// unmount.
+    pub fn save_state(&self) -> serde_json::Value {
+        assert_eq!(
+            self.cache.dirty_count(),
+            0,
+            "sync before saving file-system state (clean unmount)"
+        );
+        serde_json::json!({
+            "cfg": self.cfg,
+            "layout": self.layout,
+            "alloc": self.alloc,
+            "inodes": self.inodes,
+            "dirs": self.dirs,
+            "next_dir_id": self.next_dir_id,
+            "inode_block_gen": self.inode_block_gen,
+        })
+    }
+
+    /// Restore a file system from [`FileSystem::save_state`] output. The
+    /// buffer cache starts cold.
+    pub fn load_state(state: &serde_json::Value) -> Result<Self, serde_json::Error> {
+        let cfg: FsConfig = serde_json::from_value(state["cfg"].clone())?;
+        Ok(FileSystem {
+            cfg,
+            layout: serde_json::from_value(state["layout"].clone())?,
+            alloc: serde_json::from_value(state["alloc"].clone())?,
+            inodes: serde_json::from_value(state["inodes"].clone())?,
+            dirs: serde_json::from_value(state["dirs"].clone())?,
+            next_dir_id: serde_json::from_value(state["next_dir_id"].clone())?,
+            inode_block_gen: serde_json::from_value(state["inode_block_gen"].clone())?,
+            cache: BufferCache::new(cfg.cache_blocks),
+        })
+    }
+
+    /// Flush all dirty buffers — the periodic `update` policy of §3.1.
+    /// Returns the burst of write requests.
+    pub fn sync(&mut self) -> Vec<IoRequest> {
+        self.cache
+            .flush_all()
+            .iter()
+            .map(|w| self.write_req(w))
+            .collect()
+    }
+
+    /// Dirty blocks currently awaiting the next sync.
+    pub fn dirty_blocks(&self) -> usize {
+        self.cache.dirty_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_disk::disk::IoDir;
+
+    fn small_fs(mode: MountMode) -> FileSystem {
+        let cfg = FsConfig {
+            cache_blocks: 64,
+            mode,
+            ..FsConfig::default()
+        };
+        // ~60 MB partition on Toshiba-like geometry.
+        FileSystem::newfs(cfg, 120_000, 340)
+    }
+
+    fn rw() -> FileSystem {
+        small_fs(MountMode::ReadWrite)
+    }
+
+    #[test]
+    fn create_defers_writes_to_sync() {
+        let mut fs = rw();
+        let (dir, reqs) = fs.mkdir().unwrap();
+        assert!(reqs.is_empty(), "mkdir writes are delayed");
+        let (_f, reqs) = fs.create(dir, 64 * 1024).unwrap();
+        assert!(reqs.is_empty(), "file writes are delayed");
+        assert!(fs.dirty_blocks() > 0);
+        let burst = fs.sync();
+        // 8 data blocks + inode block + dir block.
+        assert_eq!(burst.len(), 10);
+        assert!(burst.iter().all(|r| !r.dir.is_read()));
+        assert_eq!(fs.dirty_blocks(), 0);
+    }
+
+    #[test]
+    fn read_misses_then_hits() {
+        let mut fs = rw();
+        let (dir, _) = fs.mkdir().unwrap();
+        let (f, _) = fs.create(dir, 32 * 1024).unwrap();
+        fs.sync();
+        // Blocks are still cache-resident after creation, so first read is
+        // all hits except nothing: actually creation left them resident.
+        let reqs = fs.read_file(f).unwrap();
+        assert!(reqs.iter().all(|r| !r.dir.is_read()) || reqs.is_empty());
+
+        // Evict everything by touching many other blocks.
+        let (dir2, _) = fs.mkdir().unwrap();
+        for _ in 0..30 {
+            fs.create(dir2, 32 * 1024).unwrap();
+        }
+        fs.sync();
+        let reqs = fs.read_file(f).unwrap();
+        let reads = reqs.iter().filter(|r| r.dir.is_read()).count();
+        assert!(reads >= 4, "expected cold-cache reads, got {reads}");
+    }
+
+    #[test]
+    fn tail_fragment_transfers_partial_block() {
+        let mut fs = rw();
+        let (dir, _) = fs.mkdir().unwrap();
+        // 8K + 3000 bytes: tail rounds up to 3 fragments = 3 KB = 6 sectors.
+        let (_f, _) = fs.create(dir, 8192 + 3000).unwrap();
+        let burst = fs.sync();
+        let data_writes: Vec<u32> = burst
+            .iter()
+            .filter(|r| !r.dir.is_read())
+            .map(|r| r.n_sectors)
+            .collect();
+        assert!(data_writes.contains(&6), "tail fragment write: {data_writes:?}");
+    }
+
+    #[test]
+    fn readonly_mount_rejects_mutation_but_updates_atime() {
+        let mut fs = rw();
+        let (dir, _) = fs.mkdir().unwrap();
+        let (f, _) = fs.create(dir, 8192).unwrap();
+        fs.sync();
+        fs.remount(MountMode::ReadOnly);
+        assert_eq!(fs.create(dir, 100).unwrap_err(), FsError::ReadOnly);
+        assert_eq!(fs.write(f, 0, 1).unwrap_err(), FsError::ReadOnly);
+        assert_eq!(fs.mkdir().unwrap_err(), FsError::ReadOnly);
+        // Reads still dirty the i-node block (atime).
+        fs.read_file(f).unwrap();
+        assert!(fs.dirty_blocks() > 0, "atime update should be pending");
+        let burst = fs.sync();
+        assert!(!burst.is_empty());
+    }
+
+    #[test]
+    fn interleaved_file_blocks() {
+        let mut fs = rw();
+        let (dir, _) = fs.mkdir().unwrap();
+        let (f, _) = fs.create(dir, 4 * 8192).unwrap();
+        let blocks = fs.file_blocks(f).unwrap();
+        for w in blocks.windows(2) {
+            assert_eq!(w[1] - w[0], 2, "interleave gap of 1 block");
+        }
+    }
+
+    #[test]
+    fn large_file_gets_indirect_block() {
+        let mut fs = rw();
+        let (dir, _) = fs.mkdir().unwrap();
+        let (f, _) = fs.create(dir, 20 * 8192).unwrap();
+        assert_eq!(fs.n_file_blocks(f).unwrap(), 20);
+        let burst = fs.sync();
+        // 20 data + 1 indirect + inode + dir = 23.
+        assert_eq!(burst.len(), 23);
+    }
+
+    #[test]
+    fn append_grows_file() {
+        let mut fs = rw();
+        let (dir, _) = fs.mkdir().unwrap();
+        let (f, _) = fs.create(dir, 8192).unwrap();
+        fs.sync();
+        fs.append(f, 2 * 8192).unwrap();
+        assert_eq!(fs.n_file_blocks(f).unwrap(), 3);
+        assert_eq!(fs.file_size(f).unwrap(), 3 * 8192);
+        let burst = fs.sync();
+        assert!(burst.len() >= 3);
+    }
+
+    #[test]
+    fn delete_frees_space() {
+        let mut fs = rw();
+        let (dir, _) = fs.mkdir().unwrap();
+        let (f, _) = fs.create(dir, 10 * 8192).unwrap();
+        fs.sync();
+        let free_before = fs.alloc.total_free();
+        fs.delete(dir, f).unwrap();
+        assert_eq!(fs.alloc.total_free(), free_before + 10);
+        assert_eq!(fs.read_file(f).unwrap_err(), FsError::NoSuchFile);
+    }
+
+    #[test]
+    fn overwrite_bumps_generation() {
+        let mut fs = rw();
+        let (dir, _) = fs.mkdir().unwrap();
+        let (f, _) = fs.create(dir, 8192).unwrap();
+        let before = fs.expected_payload(f, 0).unwrap();
+        fs.write(f, 0, 1).unwrap();
+        let after = fs.expected_payload(f, 0).unwrap();
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn files_in_different_dirs_spread_over_groups() {
+        let mut fs = rw();
+        let (d1, _) = fs.mkdir().unwrap();
+        let (d2, _) = fs.mkdir().unwrap();
+        let (f1, _) = fs.create(d1, 8192).unwrap();
+        let (f2, _) = fs.create(d2, 8192).unwrap();
+        let g1 = fs.layout().group_of_block(fs.file_blocks(f1).unwrap()[0]);
+        let g2 = fs.layout().group_of_block(fs.file_blocks(f2).unwrap()[0]);
+        assert_ne!(g1, g2, "directories should spread across groups");
+    }
+
+    #[test]
+    fn eof_checks() {
+        let mut fs = rw();
+        let (dir, _) = fs.mkdir().unwrap();
+        let (f, _) = fs.create(dir, 2 * 8192).unwrap();
+        assert_eq!(fs.read(f, 1, 2).unwrap_err(), FsError::BeyondEof);
+        assert_eq!(fs.write(f, 2, 1).unwrap_err(), FsError::BeyondEof);
+        assert!(fs.read(f, 1, 1).is_ok());
+    }
+
+    #[test]
+    fn request_directions_are_correct() {
+        let mut fs = rw();
+        let (dir, _) = fs.mkdir().unwrap();
+        let (f, _) = fs.create(dir, 8192).unwrap();
+        let burst = fs.sync();
+        assert!(burst.iter().all(|r| matches!(r.dir, IoDir::Write)));
+        // Evict by filling cache, then read.
+        let (d2, _) = fs.mkdir().unwrap();
+        for _ in 0..40 {
+            fs.create(d2, 16 * 1024).unwrap();
+        }
+        fs.sync();
+        let reqs = fs.read_file(f).unwrap();
+        assert!(reqs.iter().any(|r| matches!(r.dir, IoDir::Read)));
+    }
+
+    #[test]
+    fn write_through_emits_data_writes_immediately() {
+        let cfg = FsConfig {
+            cache_blocks: 64,
+            write_through: true,
+            ..FsConfig::default()
+        };
+        let mut fs = FileSystem::newfs(cfg, 120_000, 340);
+        let (dir, _) = fs.mkdir().unwrap();
+        let (f, reqs) = fs.create(dir, 3 * 8192).unwrap();
+        // Data blocks go straight out; metadata stays delayed.
+        let writes = reqs.iter().filter(|r| !r.dir.is_read()).count();
+        assert_eq!(writes, 3, "three data blocks written through");
+        assert!(fs.dirty_blocks() > 0, "inode/dir updates still pending");
+        // Overwrites also write through.
+        let reqs = fs.write(f, 0, 2).unwrap();
+        assert_eq!(reqs.iter().filter(|r| !r.dir.is_read()).count(), 2);
+        // Sync flushes only metadata.
+        let burst = fs.sync();
+        assert!(burst.len() <= 3, "sync burst {} should be metadata only", burst.len());
+    }
+
+    #[test]
+    fn cold_indirect_block_is_fetched_before_far_reads() {
+        let mut fs = small_fs(MountMode::ReadWrite);
+        let (dir, _) = fs.mkdir().unwrap();
+        let (f, _) = fs.create(dir, 20 * 8192).unwrap(); // needs indirect
+        fs.sync();
+        // Evict everything.
+        let (d2, _) = fs.mkdir().unwrap();
+        for _ in 0..40 {
+            fs.create(d2, 16 * 1024).unwrap();
+        }
+        fs.sync();
+        // Reading block 15 (beyond the 12 direct pointers) must fetch
+        // the indirect block too: at least inode + indirect + data reads.
+        let reqs = fs.read(f, 15, 1).unwrap();
+        let reads = reqs.iter().filter(|r| r.dir.is_read()).count();
+        assert!(reads >= 3, "expected inode+indirect+data reads, got {reads}");
+    }
+
+    #[test]
+    fn exact_multiple_of_block_size_has_no_fragment() {
+        let mut fs = small_fs(MountMode::ReadWrite);
+        let (dir, _) = fs.mkdir().unwrap();
+        fs.create(dir, 2 * 8192).unwrap();
+        let burst = fs.sync();
+        // All data writes are full blocks (16 sectors).
+        let sizes: Vec<u32> = burst.iter().map(|r| r.n_sectors).collect();
+        assert!(sizes.iter().all(|&n| n == 16), "{sizes:?}");
+    }
+
+    #[test]
+    fn one_byte_file_occupies_one_fragment() {
+        let mut fs = small_fs(MountMode::ReadWrite);
+        let (dir, _) = fs.mkdir().unwrap();
+        let (f, _) = fs.create(dir, 1).unwrap();
+        assert_eq!(fs.n_file_blocks(f).unwrap(), 1);
+        let burst = fs.sync();
+        // The data write is a single fragment (2 sectors at 1 KB frags).
+        assert!(burst.iter().any(|r| r.n_sectors == 2), "{:?}", burst.iter().map(|r| r.n_sectors).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn files_in_same_dir_share_inode_blocks() {
+        let mut fs = small_fs(MountMode::ReadWrite);
+        let (dir, _) = fs.mkdir().unwrap();
+        let mut inode_writes = std::collections::HashSet::new();
+        for _ in 0..8 {
+            fs.create(dir, 1024).unwrap();
+        }
+        for r in fs.sync() {
+            inode_writes.insert(r.sector_in_partition);
+        }
+        // 8 files + dir block + inode region: far fewer distinct blocks
+        // than files, because consecutive inodes share an 8 KB block.
+        assert!(
+            inode_writes.len() <= 11,
+            "{} distinct blocks written",
+            inode_writes.len()
+        );
+    }
+
+    #[test]
+    fn free_space_accounting() {
+        let mut fs = small_fs(MountMode::ReadWrite);
+        let before = fs.free_blocks();
+        let (dir, _) = fs.mkdir().unwrap();
+        let (f, _) = fs.create(dir, 10 * 8192).unwrap();
+        assert_eq!(fs.free_blocks(), before - 11); // 10 data + 1 dir block
+        fs.delete(dir, f).unwrap();
+        assert_eq!(fs.free_blocks(), before - 1);
+        assert!(fs.total_data_blocks() >= before);
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_cleanly() {
+        let mut fs = rw();
+        let (dir, _) = fs.mkdir().unwrap();
+        let (f, _) = fs.create(dir, 3 * 8192).unwrap();
+        fs.write(f, 1, 1).unwrap();
+        fs.sync();
+        let free = fs.free_blocks();
+        let expected = fs.expected_payload(f, 1).unwrap();
+
+        let state = fs.save_state();
+        let mut back = FileSystem::load_state(&state).unwrap();
+        assert_eq!(back.free_blocks(), free);
+        assert_eq!(back.n_file_blocks(f).unwrap(), 3);
+        assert_eq!(back.expected_payload(f, 1).unwrap(), expected);
+        // The restored fs keeps allocating without clobbering old files.
+        let (g, _) = back.create(dir, 8192).unwrap();
+        assert!(!back
+            .file_blocks(g)
+            .unwrap()
+            .iter()
+            .any(|b| fs.file_blocks(f).unwrap().contains(b)));
+    }
+
+    #[test]
+    #[should_panic(expected = "sync before saving")]
+    fn save_state_rejects_dirty_cache() {
+        let mut fs = rw();
+        let (dir, _) = fs.mkdir().unwrap();
+        fs.create(dir, 8192).unwrap();
+        fs.save_state();
+    }
+
+    #[test]
+    fn zero_byte_file() {
+        let mut fs = rw();
+        let (dir, _) = fs.mkdir().unwrap();
+        let (f, _) = fs.create(dir, 0).unwrap();
+        assert_eq!(fs.n_file_blocks(f).unwrap(), 0);
+        // Reading it touches only metadata.
+        let reqs = fs.read_file(f).unwrap();
+        assert!(reqs.len() <= 2);
+    }
+}

@@ -1,0 +1,39 @@
+//! # abr-sim — discrete-event simulation substrate
+//!
+//! The measurement substrate for the adaptive block rearrangement
+//! reproduction (Akyürek & Salem, ICDE 1993). The paper instruments a real
+//! SunOS device driver with microsecond-resolution timers and
+//! 1-millisecond-resolution distribution tables; this crate provides the
+//! equivalent machinery for a simulated driver:
+//!
+//! * [`time`] — simulated time as integer microseconds (the paper's
+//!   measurement resolution), plus duration arithmetic.
+//! * [`event`] — a deterministic event queue for discrete-event simulation.
+//! * [`rng`] — a single-seed deterministic random number facility with
+//!   named substreams, so every experiment is exactly reproducible.
+//! * [`dist`] — the random distributions the workload models need
+//!   (Zipf with numeric calibration, exponential, discrete weighted tables).
+//! * [`arrival`] — arrival processes: Poisson and bursty ON/OFF trains,
+//!   plus the periodic-update write burst pattern of the UNIX `update`
+//!   daemon.
+//! * [`hist`] — histograms at 1 ms resolution (like the driver's monitor
+//!   tables), discrete distribution tables (seek distances), and cumulative
+//!   statistics at full microsecond resolution.
+//! * [`stats`] — small online summary statistics (min/avg/max across days).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod arrival;
+pub mod dist;
+pub mod event;
+pub mod hist;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::EventQueue;
+pub use hist::{DistTable, Histogram, TimeStats};
+pub use rng::SimRng;
+pub use stats::{OnlineStats, Summary};
+pub use time::{SimDuration, SimTime};

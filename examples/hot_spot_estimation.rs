@@ -1,0 +1,59 @@
+//! Space-efficient hot-spot estimation ([Salem 92, Salem 93]).
+//!
+//! The paper's reference stream analyzer kept "a list of several thousand
+//! reference counts, enough so that replacement was rarely necessary",
+//! but notes that much shorter lists still guess the hot set accurately.
+//! This example quantifies that: it compares the bounded analyzer (with
+//! the Space-Saving replacement heuristic) at several list sizes against
+//! exact counting, on a synthetic stream with the paper's skew.
+//!
+//! ```text
+//! cargo run --release --example hot_spot_estimation
+//! ```
+
+use abr::core::analyzer::{BoundedAnalyzer, FullAnalyzer, ReferenceAnalyzer};
+use abr::sim::dist::Zipf;
+use abr::sim::SimRng;
+
+fn main() {
+    // The paper's measured skew: ~2000 active blocks, top-100 absorb 90%.
+    let zipf = Zipf::fit_top_share(2000, 100, 0.90);
+    println!(
+        "stream: 200k references over 2000 blocks, Zipf exponent {:.3} (top-100 = 90%)",
+        zipf.exponent()
+    );
+
+    let mut rng = SimRng::new(42);
+    let stream: Vec<u64> = (0..200_000).map(|_| zipf.sample(&mut rng) as u64).collect();
+
+    let mut exact = FullAnalyzer::new();
+    for &b in &stream {
+        exact.observe(b, 1);
+    }
+    let truth: Vec<u64> = exact.hot_list(100).iter().map(|h| h.block).collect();
+
+    println!(
+        "\n{:>10} {:>12} {:>14} {:>12}",
+        "list size", "replacements", "top-100 found", "memory vs full"
+    );
+    for capacity in [50usize, 100, 200, 400, 1000, 2000] {
+        let mut bounded = BoundedAnalyzer::new(capacity);
+        for &b in &stream {
+            bounded.observe(b, 1);
+        }
+        let guess: Vec<u64> = bounded.hot_list(100).iter().map(|h| h.block).collect();
+        let found = truth.iter().filter(|b| guess.contains(b)).count();
+        println!(
+            "{:>10} {:>12} {:>11}/100 {:>11.0}%",
+            capacity,
+            bounded.replacements(),
+            found,
+            capacity as f64 / exact.tracked() as f64 * 100.0
+        );
+    }
+    println!(
+        "\nexact analyzer tracked {} blocks; a 200-entry list (one tenth the memory)",
+        exact.tracked()
+    );
+    println!("recovers nearly the whole hot set — the [Salem 93] result the paper leans on.");
+}

@@ -1,0 +1,178 @@
+//! Shape tests against the paper's headline results.
+//!
+//! These run scaled-down experiment days (short day length) so the suite
+//! stays fast, and assert the *qualitative* shapes the paper reports —
+//! who wins, in which direction, with loose factors. The full-scale
+//! regenerators (`cargo run -p abr-bench --bin experiments`) produce the
+//! quantitative comparison recorded in EXPERIMENTS.md.
+
+use abr::core::{Experiment, ExperimentConfig, PolicyKind};
+use abr::disk::models;
+use abr::sim::SimDuration;
+use abr::workload::WorkloadProfile;
+
+/// A shortened system-fs day on the Toshiba.
+fn short_system(seed: u64) -> ExperimentConfig {
+    let mut profile = WorkloadProfile::system_fs();
+    profile.day_length = SimDuration::from_hours(3);
+    let mut cfg = ExperimentConfig::new(models::toshiba_mk156f(), profile);
+    cfg.seed = seed;
+    cfg
+}
+
+#[test]
+fn rearrangement_cuts_seeks_dramatically_on_system_fs() {
+    let mut e = Experiment::new(short_system(1));
+    let off = e.run_day();
+    e.rearrange_for_next_day(1017);
+    let on = e.run_day();
+
+    // Seek time cut by well over half (paper: ~90%).
+    assert!(
+        on.all.seek_ms < 0.4 * off.all.seek_ms,
+        "seek {:.2} !<< {:.2}",
+        on.all.seek_ms,
+        off.all.seek_ms
+    );
+    // Service time cut substantially (paper: ~40%).
+    assert!(
+        on.all.service_ms < 0.85 * off.all.service_ms,
+        "service {:.2} !< {:.2}",
+        on.all.service_ms,
+        off.all.service_ms
+    );
+    // Waiting time falls too (paper: 87 -> 50).
+    assert!(on.all.waiting_ms < off.all.waiting_ms);
+    // Zero-length seeks jump (paper: 23% -> 88%).
+    assert!(
+        on.all.zero_seek_pct > off.all.zero_seek_pct + 20.0,
+        "zero-seeks {:.1}% !>> {:.1}%",
+        on.all.zero_seek_pct,
+        off.all.zero_seek_pct
+    );
+    // Mean seek distance collapses (paper: 173 -> 8 cylinders).
+    assert!(on.all.seek_dist < 0.15 * off.all.seek_dist);
+}
+
+#[test]
+fn system_fs_request_distribution_is_paper_skewed() {
+    let mut e = Experiment::new(short_system(2));
+    let day = e.run_day();
+    // §5.4: fewer than 2000 blocks absorb all requests; the hottest 100
+    // absorb ~90%.
+    assert!(
+        day.active_blocks() < 2000,
+        "active {} blocks",
+        day.active_blocks()
+    );
+    assert!(
+        day.top_k_share(100) > 0.75,
+        "top-100 share {:.2}",
+        day.top_k_share(100)
+    );
+}
+
+#[test]
+fn marginal_benefit_beyond_knee_is_small() {
+    // Figure 8's shape: most of the reduction is achieved by a small
+    // number of blocks; doubling past the knee adds little.
+    let mut e = Experiment::new(short_system(3));
+    e.run_day();
+    let mut at = |n: usize| {
+        e.rearrange_for_next_day(n);
+        let day = e.run_day();
+        day.all.seek_dist_reduction_pct()
+    };
+    let at100 = at(100);
+    let at1017 = at(1017);
+    assert!(at100 > 50.0, "reduction at 100 blocks only {at100:.1}%");
+    assert!(
+        at1017 - at100 < 25.0,
+        "large marginal gain past the knee: {at100:.1}% -> {at1017:.1}%"
+    );
+}
+
+#[test]
+fn organ_pipe_beats_serial() {
+    // Table 7's ordering. Interleaved ~ organ-pipe, both beat serial.
+    let reduction = |policy: PolicyKind, seed: u64| {
+        let mut cfg = short_system(seed);
+        cfg.policy = policy;
+        let mut e = Experiment::new(cfg);
+        e.run_day();
+        e.rearrange_for_next_day(1017);
+        let day = e.run_day();
+        day.all.seek_time_reduction_pct()
+    };
+    let organ = reduction(PolicyKind::OrganPipe, 4);
+    let serial = reduction(PolicyKind::Serial, 4);
+    assert!(
+        organ > serial + 10.0,
+        "organ-pipe {organ:.1}% !> serial {serial:.1}%"
+    );
+}
+
+#[test]
+fn users_fs_benefits_less_than_system_fs() {
+    // §5.3: users-fs reductions are smaller but still real.
+    let mut profile = WorkloadProfile::users_fs();
+    profile.day_length = SimDuration::from_hours(3);
+    let mut cfg = ExperimentConfig::new(models::toshiba_mk156f(), profile);
+    cfg.seed = 5;
+    let mut u = Experiment::new(cfg);
+    let u_off = u.run_day();
+    u.rearrange_for_next_day(1017);
+    let u_on = u.run_day();
+    let users_cut = 1.0 - u_on.all.seek_ms / u_off.all.seek_ms;
+    assert!(users_cut > 0.1, "users seek cut only {users_cut:.2}");
+
+    let mut s = Experiment::new(short_system(5));
+    let s_off = s.run_day();
+    s.rearrange_for_next_day(1017);
+    let s_on = s.run_day();
+    let system_cut = 1.0 - s_on.all.seek_ms / s_off.all.seek_ms;
+    assert!(
+        system_cut > users_cut,
+        "system {system_cut:.2} !> users {users_cut:.2}"
+    );
+}
+
+#[test]
+fn fujitsu_shows_same_shape_with_faster_mechanics() {
+    let mut profile = WorkloadProfile::system_fs();
+    profile.day_length = SimDuration::from_hours(3);
+    let mut cfg = ExperimentConfig::new(models::fujitsu_m2266(), profile);
+    cfg.seed = 6;
+    let mut e = Experiment::new(cfg);
+    let off = e.run_day();
+    e.rearrange_for_next_day(3500);
+    let on = e.run_day();
+    assert!(on.all.seek_ms < 0.4 * off.all.seek_ms);
+    assert!(on.all.service_ms < off.all.service_ms);
+    // Absolute times far below the Toshiba's (newer, faster drive).
+    assert!(off.all.seek_ms < 12.0);
+}
+
+#[test]
+fn bounded_analyzer_matches_full_analyzer_end_to_end() {
+    // The [Salem 93] space-efficient estimation: running the whole
+    // adaptive loop with a small bounded list gives nearly the same
+    // benefit as exact counting.
+    let mut exact_cfg = short_system(7);
+    exact_cfg.analyzer_capacity = None;
+    let mut bounded_cfg = short_system(7);
+    bounded_cfg.analyzer_capacity = Some(400);
+
+    let run = |cfg: ExperimentConfig| {
+        let mut e = Experiment::new(cfg);
+        e.run_day();
+        e.rearrange_for_next_day(300);
+        e.run_day().all.seek_ms
+    };
+    let exact = run(exact_cfg);
+    let bounded = run(bounded_cfg);
+    assert!(
+        (bounded - exact).abs() < 0.5 * exact + 1.0,
+        "bounded {bounded:.2} vs exact {exact:.2}"
+    );
+}
