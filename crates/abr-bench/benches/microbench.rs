@@ -65,10 +65,7 @@ fn bench_scheduler(c: &mut Criterion) {
                     let blk = rng.below(total_blocks);
                     now += 1000;
                     driver
-                        .submit(
-                            IoRequest::read(0, blk * 16, 16),
-                            SimTime::from_micros(now),
-                        )
+                        .submit(IoRequest::read(0, blk * 16, 16), SimTime::from_micros(now))
                         .unwrap();
                 }
                 black_box(driver.drain().len())

@@ -60,7 +60,10 @@ pub fn run_ablation(id: &str) -> Report {
 }
 
 /// One off/on pair under a config; returns (off, on) day metrics.
-fn pair(cfg: abr_core::ExperimentConfig, n_blocks: usize) -> (abr_core::DayMetrics, abr_core::DayMetrics) {
+fn pair(
+    cfg: abr_core::ExperimentConfig,
+    n_blocks: usize,
+) -> (abr_core::DayMetrics, abr_core::DayMetrics) {
     let mut e = Experiment::new(cfg);
     let off = e.run_day();
     e.rearrange_for_next_day(n_blocks);
@@ -127,7 +130,14 @@ fn analyzer() -> Report {
         "Reference-list size: exact counts vs bounded Space-Saving lists",
     );
     let mut rows = Vec::new();
-    for cap in [None, Some(2000usize), Some(500), Some(200), Some(100), Some(50)] {
+    for cap in [
+        None,
+        Some(2000usize),
+        Some(500),
+        Some(200),
+        Some(100),
+        Some(50),
+    ] {
         let mut cfg = short_system_config(0xAB2);
         cfg.analyzer_capacity = cap;
         let (off, on) = pair(cfg, 1017);
@@ -487,7 +497,11 @@ fn rotation() -> Report {
         AdaptiveDriver::format(&mut disk, &label, &cfg);
         let driver = AdaptiveDriver::attach(disk, cfg).unwrap();
         let files: Vec<Vec<u64>> = (0..n_files as u64)
-            .map(|f| (0..blocks_per_file).map(|i| 100 + f * 251 + i * 2).collect())
+            .map(|f| {
+                (0..blocks_per_file)
+                    .map(|i| 100 + f * 251 + i * 2)
+                    .collect()
+            })
             .collect();
         (driver, files)
     };

@@ -111,8 +111,8 @@ fn driver_config() -> DriverConfig {
 }
 
 fn load_driver(path: &Path) -> Result<AdaptiveDriver, Error> {
-    let file = std::fs::File::open(path)
-        .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    let file =
+        std::fs::File::open(path).map_err(|e| format!("cannot open {}: {e}", path.display()))?;
     let disk = image::load(std::io::BufReader::new(file))?;
     Ok(AdaptiveDriver::attach(disk, driver_config())?)
 }
@@ -208,9 +208,8 @@ fn info(args: &[String]) -> Result<(), Error> {
         g.sectors_per_track,
         g.capacity_bytes() as f64 / (1 << 20) as f64
     );
-    match label.reserved {
-        Some(r) => {
-            let layout = driver.layout().expect("rearranged");
+    match (label.reserved, driver.layout()) {
+        (Some(r), Some(layout)) => {
             println!(
                 "reserved  : cylinders {}..{} ({} slots of 8 KB)",
                 r.start_cylinder,
@@ -218,13 +217,32 @@ fn info(args: &[String]) -> Result<(), Error> {
                 layout.n_slots
             );
         }
-        None => println!("reserved  : none (plain disk)"),
+        (Some(r), None) => println!(
+            "reserved  : cylinders {}..{} (layout unavailable)",
+            r.start_cylinder,
+            r.start_cylinder + r.n_cylinders
+        ),
+        (None, _) => println!("reserved  : none (plain disk)"),
     }
     println!(
         "block tbl : {} entries ({} dirty)",
         driver.block_table().len(),
         driver.block_table().iter().filter(|(_, e)| e.dirty).count()
     );
+    if driver.is_degraded() {
+        println!("health    : DEGRADED — table region unreadable, serving pass-through");
+    }
+    let quarantined: Vec<u32> = driver.quarantined_slots().collect();
+    if !quarantined.is_empty() {
+        println!(
+            "health    : {} quarantined slot(s): {quarantined:?}",
+            quarantined.len()
+        );
+    }
+    let lost = driver.lost_blocks().count();
+    if lost > 0 {
+        println!("health    : {lost} block(s) LOST (reads will fail until rewritten)");
+    }
     println!(
         "written   : {} sectors ({:.1} MB)",
         driver.disk().store().written_sectors(),
@@ -284,7 +302,9 @@ fn workload(args: &[String]) -> Result<(), Error> {
         for req in setup {
             driver.submit(req, clock)?;
             while driver.queue_len() > 32 {
-                let t = driver.next_completion().expect("queued");
+                let t = driver
+                    .next_completion()
+                    .ok_or("driver reports queued requests but no next completion")?;
                 clock = t;
                 driver.complete_next(t);
             }
@@ -315,10 +335,7 @@ fn workload(args: &[String]) -> Result<(), Error> {
     loop {
         let next_completion = driver.next_completion().unwrap_or(SimTime::MAX);
         let next_pending = pending.peek_time().unwrap_or(SimTime::MAX);
-        let t = op_at
-            .min(next_sync)
-            .min(next_completion)
-            .min(next_pending);
+        let t = op_at.min(next_sync).min(next_completion).min(next_pending);
         if t > end && pending.is_empty() {
             break;
         }
@@ -326,7 +343,9 @@ fn workload(args: &[String]) -> Result<(), Error> {
         if t == next_completion {
             driver.complete_next(t);
         } else if t == next_pending {
-            let (_, r) = pending.pop().expect("non-empty");
+            let (_, r) = pending
+                .pop()
+                .ok_or("pending queue empty despite a peeked event time")?;
             trace.push(TraceEvent::of(&r, (t - start).as_micros()));
             driver.submit(r, t)?;
         } else if t == op_at {
@@ -353,7 +372,7 @@ fn workload(args: &[String]) -> Result<(), Error> {
     // optional trace, and the image itself.
     let (records, dropped) = match driver.ioctl(Ioctl::ReadRequestTable, now)? {
         IoctlReply::RequestTable { records, dropped } => (records, dropped),
-        _ => unreachable!(),
+        other => return Err(format!("unexpected reply to ReadRequestTable: {other:?}").into()),
     };
     let mut analyzer = abr_core::FullAnalyzer::new();
     for r in &records {
@@ -365,7 +384,7 @@ fn workload(args: &[String]) -> Result<(), Error> {
 
     let snapshot = match driver.ioctl(Ioctl::ReadStats, now)? {
         IoctlReply::Stats(s) => s,
-        _ => unreachable!(),
+        other => return Err(format!("unexpected reply to ReadStats: {other:?}").into()),
     };
     let metrics = DayMetrics::new(
         0,
@@ -398,10 +417,7 @@ fn workload(args: &[String]) -> Result<(), Error> {
         driver.submit(r, SimTime::from_micros(now.as_micros() + 1_000_000))?;
     }
     driver.drain();
-    std::fs::write(
-        fs_state_path(&path),
-        serde_json::to_vec(&fs.save_state())?,
-    )?;
+    std::fs::write(fs_state_path(&path), serde_json::to_vec(&fs.save_state())?)?;
     std::fs::write(
         wl_state_path(&path),
         serde_json::to_vec(&state.save_state())?,
@@ -498,7 +514,10 @@ fn stats(args: &[String]) -> Result<(), Error> {
         )
     })?;
     let m: DayMetrics = serde_json::from_slice(&bytes)?;
-    println!("last workload run ({} requests, rearranged: {}):", m.all.n, m.rearranged);
+    println!(
+        "last workload run ({} requests, rearranged: {}):",
+        m.all.n, m.rearranged
+    );
     println!(
         "  all   : fcfs_dist {:6.1} | dist {:6.1} | zero {:4.1}% | seek {:5.2} ms | svc {:5.2} ms | wait {:6.2} ms",
         m.all.fcfs_seek_dist, m.all.seek_dist, m.all.zero_seek_pct,
@@ -506,9 +525,19 @@ fn stats(args: &[String]) -> Result<(), Error> {
     );
     println!(
         "  reads : dist {:6.1} | zero {:4.1}% | seek {:5.2} ms | svc {:5.2} ms | wait {:6.2} ms",
-        m.reads.seek_dist, m.reads.zero_seek_pct, m.reads.seek_ms,
-        m.reads.service_ms, m.reads.waiting_ms
+        m.reads.seek_dist,
+        m.reads.zero_seek_pct,
+        m.reads.seek_ms,
+        m.reads.service_ms,
+        m.reads.waiting_ms
     );
+    if m.faults.any() {
+        println!(
+            "  faults: retries {} | failed reads {} | failed writes {} | quarantined {} | lost {} | table write errs {}",
+            m.faults.retries, m.faults.read_failures, m.faults.write_failures,
+            m.faults.quarantines, m.faults.lost_blocks, m.faults.table_write_failures
+        );
+    }
     Ok(())
 }
 
@@ -523,11 +552,7 @@ fn replay_cmd(args: &[String]) -> Result<(), Error> {
     let trace = TraceLog::read_jsonl(std::io::BufReader::new(f))?;
     let driver = load_driver(&path)?;
     let mut cfg = ReplayConfig::new(driver.disk().model().clone());
-    cfg.reserved_cylinders = driver
-        .label()
-        .reserved
-        .map(|r| r.n_cylinders)
-        .unwrap_or(0);
+    cfg.reserved_cylinders = driver.label().reserved.map(|r| r.n_cylinders).unwrap_or(0);
     cfg.n_blocks = opt(args, "--blocks").map_or(Ok(0), |s| s.parse::<usize>())?;
     let m = replay(&trace, &cfg);
     println!(

@@ -64,8 +64,12 @@ fn main() {
     row("ON", &on);
     println!();
     println!("paper targets (Toshiba system fs, Table 3):");
-    println!("  OFF: fcfs_dist=220 dist=173 zero=23% fcfs_seek=20.92 seek=18.21 svc=38.41 wait=87.30");
-    println!("  ON : fcfs_dist=225 dist=8   zero=88% fcfs_seek=21.46 seek=1.55  svc=22.95 wait=50.03");
+    println!(
+        "  OFF: fcfs_dist=220 dist=173 zero=23% fcfs_seek=20.92 seek=18.21 svc=38.41 wait=87.30"
+    );
+    println!(
+        "  ON : fcfs_dist=225 dist=8   zero=88% fcfs_seek=21.46 seek=1.55  svc=22.95 wait=50.03"
+    );
     println!("  skew: top100 ~ 90%, active < 2000");
     println!("paper targets (Fujitsu system fs, Table 3): OFF dist=315 seek=8.01 svc=21.15 wait=69.98 | ON dist=27 zero=76% seek=1.16 svc=14.08 wait=35.65");
 }

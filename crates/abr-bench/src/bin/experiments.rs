@@ -19,6 +19,7 @@ fn main() {
         for id in ablations::ablation_ids() {
             println!("{id}");
         }
+        println!("faults");
         return;
     }
     let ids: Vec<&str> = if args.iter().any(|a| a == "--ablations") {
@@ -34,6 +35,8 @@ fn main() {
         let t0 = std::time::Instant::now();
         let report = if id.starts_with("ablate-") {
             ablations::run_ablation(id)
+        } else if id == "faults" {
+            abr_bench::faults::run_faults()
         } else {
             campaign.run(id)
         };

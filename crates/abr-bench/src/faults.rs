@@ -1,0 +1,111 @@
+//! Fault-injection experiment (extension; `experiments faults`).
+//!
+//! The paper assumes a perfect disk. Real devices fail — transiently,
+//! permanently, and mid-write — so this run sweeps seeded error rates
+//! over the standard on/off protocol and reports how the rearrangement
+//! system degrades: requests still served, retries absorbed by the
+//! driver, hard failures surfaced, overnight passes skipped, and the
+//! seek-time win that remains. A final power-cut scenario interrupts the
+//! overnight movement itself to exercise the copy-then-commit recovery
+//! path.
+
+use crate::report::Report;
+use abr_core::{Experiment, ExperimentConfig};
+use abr_disk::fault::FaultPlan;
+use abr_disk::models;
+use abr_sim::SimDuration;
+use abr_workload::WorkloadProfile;
+use serde_json::json;
+
+/// A short, small-disk configuration: the point here is the error path,
+/// not the paper's numbers, so a 30-minute day keeps the sweep quick.
+fn faulty_config(seed: u64, plan: Option<FaultPlan>) -> ExperimentConfig {
+    let mut profile = WorkloadProfile::tiny_test();
+    profile.day_length = SimDuration::from_mins(30);
+    let mut cfg = ExperimentConfig::new(models::toshiba_mk156f(), profile);
+    cfg.seed = seed;
+    cfg.fault_plan = plan;
+    cfg
+}
+
+/// Run one on/off pair under `plan` and summarize the damage.
+fn scenario(name: &str, plan: Option<FaultPlan>, r: &mut Report) -> serde_json::Value {
+    let mut e = Experiment::new(faulty_config(0xFA17, plan));
+    let days = e.run_on_off(1, 400);
+    let (off, on) = (&days[0], &days[1]);
+    let served: u64 = days.iter().map(|d| d.all.n).sum();
+    let retries: u64 = days.iter().map(|d| d.faults.retries).sum();
+    let failures: u64 = days
+        .iter()
+        .map(|d| d.faults.read_failures + d.faults.write_failures)
+        .sum();
+    let lost: u64 = days.iter().map(|d| d.faults.lost_blocks).sum();
+    let seek_cut = (1.0 - on.all.seek_ms / off.all.seek_ms) * 100.0;
+    r.line(format!(
+        "{name:>14} | served {served:6} | retries {retries:4} | failed {failures:3} | lost {lost:2} \
+         | skipped passes {:1} | seek cut {seek_cut:5.1}%",
+        e.rearrange_failures(),
+    ));
+    json!({
+        "scenario": name,
+        "served": served,
+        "retries": retries,
+        "failed_requests": failures,
+        "lost_blocks": lost,
+        "quarantined": days.iter().map(|d| d.faults.quarantines).sum::<u64>(),
+        "skipped_passes": e.rearrange_failures(),
+        "off_seek_ms": off.all.seek_ms,
+        "on_seek_ms": on.all.seek_ms,
+        "seek_cut_pct": seek_cut,
+    })
+}
+
+/// The `faults` experiment: graceful degradation under seeded faults.
+pub fn run_faults() -> Report {
+    let mut r = Report::new(
+        "faults",
+        "Graceful degradation under seeded disk faults (extension)",
+    );
+    let mut rows = Vec::new();
+    rows.push(scenario("no faults", None, &mut r));
+    for rate in [1e-4, 1e-3, 1e-2] {
+        let name = format!("rate {rate:.0e}");
+        rows.push(scenario(
+            &name,
+            Some(FaultPlan::with_error_rate(rate)),
+            &mut r,
+        ));
+    }
+    // Cut power partway through the simulated day: the device dies
+    // mid-traffic (every later request fails), the overnight pass is
+    // skipped, and the morning power-cycle recovers a consistent disk.
+    let cut = FaultPlan {
+        power_cut_after_ops: Some(2_000),
+        ..FaultPlan::none()
+    };
+    rows.push(scenario("power cut", Some(cut), &mut r));
+    r.blank();
+    r.line("expected: retries absorb transient faults with no failed requests at low rates;");
+    r.line("hard failures stay proportional to the rate while the seek win persists; a power");
+    r.line("cut loses the rest of the day's requests but never corrupts the rearrangement");
+    r.line("state (skipped passes recover on the next night).");
+    r.json = json!({ "rows": rows });
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fault_scenario_matches_uninstrumented_run() {
+        // The pay-for-what-you-use guarantee, end to end: a `none()` plan
+        // must not shift a single completion relative to no injector.
+        let run = |plan: Option<FaultPlan>| {
+            let mut e = Experiment::new(faulty_config(7, plan));
+            let m = e.run_day();
+            (m.all.n, m.all.service_ms.to_bits(), m.all.seek_ms.to_bits())
+        };
+        assert_eq!(run(None), run(Some(FaultPlan::none())));
+    }
+}

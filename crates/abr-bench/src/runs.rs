@@ -179,7 +179,9 @@ impl Campaign {
                 "On/Off summary, system file system (daily mean min/avg/max)",
                 // paper rows: [seek min avg max, svc min avg max, wait min avg max]
                 &[
-                    [18.70, 19.46, 21.51, 38.41, 39.78, 41.71, 65.39, 82.73, 94.52],
+                    [
+                        18.70, 19.46, 21.51, 38.41, 39.78, 41.71, 65.39, 82.73, 94.52,
+                    ],
                     [0.98, 1.17, 1.55, 22.61, 22.88, 23.34, 40.39, 46.43, 51.13],
                     [7.80, 8.14, 8.67, 21.26, 21.60, 22.04, 61.35, 66.57, 72.69],
                     [0.70, 0.91, 1.16, 13.83, 14.18, 14.41, 35.65, 45.31, 52.52],
@@ -236,8 +238,7 @@ impl Campaign {
                         d.all
                     }
                 };
-                let sel: Vec<&DayMetrics> =
-                    days.iter().filter(|d| d.rearranged == on).collect();
+                let sel: Vec<&DayMetrics> = days.iter().filter(|d| d.rearranged == on).collect();
                 let seeks: Vec<f64> = sel.iter().map(|d| pick(d).seek_ms).collect();
                 let svcs: Vec<f64> = sel.iter().map(|d| pick(d).service_ms).collect();
                 let waits: Vec<f64> = sel.iter().map(|d| pick(d).waiting_ms).collect();
@@ -427,7 +428,11 @@ impl Campaign {
             }));
             // Plot-ready CSV: rank vs count, all and reads.
             let mut csv = String::from("rank,count_all,count_reads\n");
-            let n = day.block_counts.len().max(day.block_counts_reads.len()).min(2000);
+            let n = day
+                .block_counts
+                .len()
+                .max(day.block_counts_reads.len())
+                .min(2000);
             for i in 0..n {
                 csv.push_str(&format!(
                     "{},{},{}\n",
@@ -545,7 +550,9 @@ impl Campaign {
             "Rotational latency + transfer time by placement policy (reads, Toshiba)",
         );
         // Without rearrangement: the off day of the organ-pipe run.
-        let days = self.policy_onoff(DiskKind::Toshiba, PolicyKind::OrganPipe).to_vec();
+        let days = self
+            .policy_onoff(DiskKind::Toshiba, PolicyKind::OrganPipe)
+            .to_vec();
         let off = days.iter().find(|d| !d.rearranged).expect("off day");
         let base = off.reads.rotation_ms + off.reads.transfer_ms;
         r.line(format!(
@@ -621,7 +628,12 @@ fn fig8() -> Report {
         "fig8",
         "Seek reduction vs number of rearranged blocks (Toshiba, system fs)",
     );
-    let cfg = config(DiskKind::Toshiba, FsKind::System, PolicyKind::OrganPipe, 0xF16);
+    let cfg = config(
+        DiskKind::Toshiba,
+        FsKind::System,
+        PolicyKind::OrganPipe,
+        0xF16,
+    );
     let mut e = Experiment::new(cfg);
     // One day with each block count, like the paper's several-week sweep.
     let counts = [0usize, 25, 50, 100, 200, 400, 700, 1017];
@@ -687,12 +699,24 @@ fn fig3() -> Report {
     let layout = ReservedLayout::for_label(&label, 4096, 8).expect("rearranged");
     let slots = SlotMap::new(&layout, &g);
     let hot = vec![
-        HotBlock { block: 100, count: 20 },
-        HotBlock { block: 102, count: 15 }, // successor of 100 (gap 2)
-        HotBlock { block: 40, count: 12 },
-        HotBlock { block: 42, count: 5 },   // NOT close to 40 (5 < 6)
+        HotBlock {
+            block: 100,
+            count: 20,
+        },
+        HotBlock {
+            block: 102,
+            count: 15,
+        }, // successor of 100 (gap 2)
+        HotBlock {
+            block: 40,
+            count: 12,
+        },
+        HotBlock {
+            block: 42,
+            count: 5,
+        }, // NOT close to 40 (5 < 6)
         HotBlock { block: 7, count: 4 },
-        HotBlock { block: 9, count: 3 },    // successor of 7
+        HotBlock { block: 9, count: 3 }, // successor of 7
     ];
     r.line("hot list (block: count): 100:20 102:15 40:12 42:5 7:4 9:3");
     r.line("successor gap = interleave + 1 = 2; 'close' = at least 50% of predecessor's count");

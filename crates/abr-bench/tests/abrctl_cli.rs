@@ -55,7 +55,16 @@ fn full_control_workflow() {
     assert!(out.contains("0 entries"), "{out}");
 
     let out = run_ok(&[
-        "workload", &img, "--profile", "tiny", "--minutes", "8", "--seed", "5", "--trace", &trace,
+        "workload",
+        &img,
+        "--profile",
+        "tiny",
+        "--minutes",
+        "8",
+        "--seed",
+        "5",
+        "--trace",
+        &trace,
     ]);
     assert!(out.contains("requests"), "{out}");
     assert!(std::path::Path::new(&trace).exists());
@@ -122,7 +131,15 @@ fn workload_sessions_resume_across_invocations() {
     );
     // --fresh rebuilds.
     let out = abrctl()
-        .args(["workload", &img, "--profile", "tiny", "--minutes", "4", "--fresh"])
+        .args([
+            "workload",
+            &img,
+            "--profile",
+            "tiny",
+            "--minutes",
+            "4",
+            "--fresh",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());

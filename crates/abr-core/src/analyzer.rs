@@ -309,8 +309,20 @@ mod tests {
         assert_eq!(a.count_of(99), 0);
         assert_eq!(a.total_observations(), 8);
         let hot = a.hot_list(10);
-        assert_eq!(hot[0], HotBlock { block: 10, count: 5 });
-        assert_eq!(hot[1], HotBlock { block: 20, count: 3 });
+        assert_eq!(
+            hot[0],
+            HotBlock {
+                block: 10,
+                count: 5
+            }
+        );
+        assert_eq!(
+            hot[1],
+            HotBlock {
+                block: 20,
+                count: 3
+            }
+        );
     }
 
     #[test]
@@ -385,10 +397,7 @@ mod tests {
         }
         let top_exact: Vec<u64> = exact.hot_list(20).iter().map(|h| h.block).collect();
         let top_bounded: Vec<u64> = bounded.hot_list(20).iter().map(|h| h.block).collect();
-        let overlap = top_exact
-            .iter()
-            .filter(|b| top_bounded.contains(b))
-            .count();
+        let overlap = top_exact.iter().filter(|b| top_bounded.contains(b)).count();
         assert!(overlap >= 18, "only {overlap}/20 of true hot set found");
     }
 

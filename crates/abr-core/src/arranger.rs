@@ -11,6 +11,7 @@
 
 use crate::analyzer::HotBlock;
 use crate::placement::{PlacementPolicy, SlotMap};
+use abr_disk::fault::DiskFault;
 use abr_driver::{AdaptiveDriver, DriverError, Ioctl, IoctlReply};
 use abr_sim::{SimDuration, SimTime};
 
@@ -19,10 +20,26 @@ use abr_sim::{SimDuration, SimTime};
 pub struct RearrangeReport {
     /// Blocks copied into the reserved area.
     pub blocks_placed: u32,
+    /// Blocks skipped because their placement failed (bad media, a
+    /// quarantined slot, ...). The pass as a whole still succeeds; the
+    /// block simply stays at its original address for another day.
+    pub blocks_failed: u32,
     /// Disk operations issued (clean + copies + table writes).
     pub io_ops: u32,
     /// Total simulated time the movement took.
     pub busy: SimDuration,
+}
+
+/// Whether a block-movement failure is local to that block (skip it and
+/// carry on) rather than fatal to the whole pass. Power loss kills the
+/// device; everything else — bad media, quarantined or occupied slots,
+/// an exhausted retry budget — only affects the block being moved.
+fn skippable(e: &DriverError) -> bool {
+    match e {
+        DriverError::SlotQuarantined | DriverError::SlotOccupied => true,
+        DriverError::Disk { fault, .. } => *fault != DiskFault::PowerLoss,
+        _ => false,
+    }
 }
 
 /// Drives block movement against a driver.
@@ -85,13 +102,15 @@ impl BlockArranger {
         let assignment = self.policy.place(&hot[..take], &slots);
         for (block, slot) in assignment {
             let at = now + report.busy;
-            match driver.ioctl(Ioctl::BCopy { block, slot }, at)? {
-                IoctlReply::Moved { ops, busy } => {
+            match driver.ioctl(Ioctl::BCopy { block, slot }, at) {
+                Ok(IoctlReply::Moved { ops, busy }) => {
                     report.io_ops += ops;
                     report.busy += busy;
                     report.blocks_placed += 1;
                 }
-                _ => unreachable!("BCopy replies Moved"),
+                Ok(_) => unreachable!("BCopy replies Moved"),
+                Err(e) if skippable(&e) => report.blocks_failed += 1,
+                Err(e) => return Err(e),
             }
         }
         Ok(report)
@@ -138,19 +157,25 @@ impl BlockArranger {
                 continue;
             }
             let at = now + report.busy;
-            match driver.ioctl(Ioctl::BEvict { orig }, at)? {
-                IoctlReply::Moved { ops, busy } => {
+            match driver.ioctl(Ioctl::BEvict { orig }, at) {
+                Ok(IoctlReply::Moved { ops, busy }) => {
                     report.io_ops += ops;
                     report.busy += busy;
                 }
-                _ => unreachable!("BEvict replies Moved"),
+                Ok(_) => unreachable!("BEvict replies Moved"),
+                // A failed eviction leaves the entry resident and its
+                // slot unavailable; the newcomer that wanted the slot
+                // will be skipped below.
+                Err(e) if skippable(&e) => report.blocks_failed += 1,
+                Err(e) => return Err(e),
             }
         }
         // Newcomers take the freed slots in organ-pipe fill order
         // (hottest newcomer gets the most central free slot).
+        let quarantined: std::collections::HashSet<u32> = driver.quarantined_slots().collect();
         let free_slots: Vec<u32> = slots
             .fill_order()
-            .filter(|&s| driver.block_table().occupant(s).is_none())
+            .filter(|&s| driver.block_table().occupant(s).is_none() && !quarantined.contains(&s))
             .collect();
         let mut free_slots = free_slots.into_iter();
         for (block, orig) in wanted {
@@ -158,15 +183,23 @@ impl BlockArranger {
                 report.blocks_placed += 1; // already resident, untouched
                 continue;
             }
-            let slot = free_slots.next().expect("evictions freed enough slots");
+            // Failed evictions (above) or quarantined slots can leave
+            // fewer free slots than newcomers; the leftovers just stay
+            // at their original addresses.
+            let Some(slot) = free_slots.next() else {
+                report.blocks_failed += 1;
+                continue;
+            };
             let at = now + report.busy;
-            match driver.ioctl(Ioctl::BCopy { block, slot }, at)? {
-                IoctlReply::Moved { ops, busy } => {
+            match driver.ioctl(Ioctl::BCopy { block, slot }, at) {
+                Ok(IoctlReply::Moved { ops, busy }) => {
                     report.io_ops += ops;
                     report.busy += busy;
                     report.blocks_placed += 1;
                 }
-                _ => unreachable!("BCopy replies Moved"),
+                Ok(_) => unreachable!("BCopy replies Moved"),
+                Err(e) if skippable(&e) => report.blocks_failed += 1,
+                Err(e) => return Err(e),
             }
         }
         Ok(report)
@@ -235,9 +268,7 @@ mod tests {
                 count: 50,
             })
             .collect();
-        let report = a
-            .rearrange(&mut d, &new_hot, 5, t(100_000_000))
-            .unwrap();
+        let report = a.rearrange(&mut d, &new_hot, 5, t(100_000_000)).unwrap();
         assert_eq!(report.blocks_placed, 5);
         assert_eq!(d.block_table().len(), 5);
         // All old entries were cleaned out.
@@ -268,13 +299,8 @@ mod tests {
             .unwrap();
         d.drain();
         let a = BlockArranger::new(PolicyKind::OrganPipe.make(1));
-        a.rearrange(
-            &mut d,
-            &[HotBlock { block: 0, count: 9 }],
-            1,
-            t(1_000_000),
-        )
-        .unwrap();
+        a.rearrange(&mut d, &[HotBlock { block: 0, count: 9 }], 1, t(1_000_000))
+            .unwrap();
         d.submit(IoRequest::read(0, 0, 8), t(60_000_000)).unwrap();
         assert_eq!(d.drain()[0].data, payload);
         // And after moving home again.
@@ -334,9 +360,7 @@ mod tests {
     fn incremental_from_empty_equals_full_placement() {
         let mut d = driver();
         let a = BlockArranger::new(PolicyKind::OrganPipe.make(1));
-        let report = a
-            .rearrange_incremental(&mut d, &hot(8), 8, t(0))
-            .unwrap();
+        let report = a.rearrange_incremental(&mut d, &hot(8), 8, t(0)).unwrap();
         assert_eq!(report.blocks_placed, 8);
         assert_eq!(d.block_table().len(), 8);
     }
@@ -367,6 +391,32 @@ mod tests {
         d.submit(IoRequest::read(0, 3 * 8, 8), t(240_000_000))
             .unwrap();
         assert_eq!(d.drain()[0].data, v2);
+    }
+
+    #[test]
+    fn rearrange_skips_bad_slots_and_places_the_rest() {
+        use abr_disk::fault::{FaultInjector, FaultPlan};
+        let mut d = driver();
+        let layout = *d.layout().unwrap();
+        let mut inj = FaultInjector::new(FaultPlan::none(), abr_sim::SimRng::new(1));
+        inj.add_defect(layout.slot_sector(0));
+        d.disk_mut().set_injector(Some(inj));
+
+        let a = BlockArranger::new(PolicyKind::Serial.make(1));
+        let report = a.rearrange(&mut d, &hot(5), 5, t(0)).unwrap();
+        assert_eq!(report.blocks_placed + report.blocks_failed, 5);
+        assert_eq!(report.blocks_failed, 1, "exactly the bad slot's block");
+        assert_eq!(d.block_table().len(), 4);
+
+        // An incremental pass routes around the quarantined slot and
+        // places the block that failed, in a healthy slot.
+        let report = a
+            .rearrange_incremental(&mut d, &hot(5), 5, t(100_000_000))
+            .unwrap();
+        assert_eq!(report.blocks_placed, 5);
+        assert_eq!(report.blocks_failed, 0);
+        assert_eq!(d.block_table().len(), 5);
+        assert!(d.block_table().occupant(0).is_none(), "slot 0 stays empty");
     }
 
     #[test]

@@ -15,8 +15,9 @@ use crate::arranger::{BlockArranger, RearrangeReport};
 use crate::daemon::RearrangementDaemon;
 use crate::metrics::DayMetrics;
 use crate::placement::PolicyKind;
+use abr_disk::fault::{FaultInjector, FaultPlan};
 use abr_disk::{Disk, DiskLabel, DiskModel};
-use abr_driver::{AdaptiveDriver, DriverConfig, Ioctl, IoctlReply, SchedulerKind};
+use abr_driver::{AdaptiveDriver, DriverConfig, DriverError, Ioctl, IoctlReply, SchedulerKind};
 use abr_fs::{FileSystem, FsConfig, MountMode};
 use abr_sim::{SimDuration, SimRng, SimTime};
 use abr_workload::{WorkloadProfile, WorkloadState};
@@ -71,6 +72,11 @@ pub struct ExperimentConfig {
     /// a steady-state buffer cache rather than a cold one (the paper
     /// measured a long-running production server).
     pub warmup_days: u32,
+    /// Seeded fault injection (extension): install a [`FaultInjector`]
+    /// with this plan on the disk once setup and warm-up finish, so the
+    /// measured days run against a flaky device. `None` (the default)
+    /// leaves the fault layer entirely out of the I/O path.
+    pub fault_plan: Option<FaultPlan>,
     /// Master seed.
     pub seed: u64,
 }
@@ -81,7 +87,11 @@ impl ExperimentConfig {
     /// (48 cylinders on the Toshiba-sized disk, 80 on the Fujitsu-sized
     /// one), 30 s sync, 2 min monitoring.
     pub fn new(disk: DiskModel, profile: WorkloadProfile) -> Self {
-        let reserved = if disk.geometry.cylinders >= 1200 { 80 } else { 48 };
+        let reserved = if disk.geometry.cylinders >= 1200 {
+            80
+        } else {
+            48
+        };
         let cache_blocks = profile.cache_blocks;
         ExperimentConfig {
             disk,
@@ -99,6 +109,7 @@ impl ExperimentConfig {
             incremental_rearrange: false,
             online: None,
             warmup_days: 1,
+            fault_plan: None,
             seed: 0x5eed,
         }
     }
@@ -133,6 +144,11 @@ pub struct Experiment {
     trace: Option<(SimTime, abr_workload::TraceLog)>,
     /// Online-rearrangement movement cost of the last day.
     last_online_io: crate::arranger::RearrangeReport,
+    /// Overnight rearrangement passes that failed outright (the day was
+    /// skipped and the previous placement kept).
+    rearrange_failures: u64,
+    /// The error that failed the most recent overnight pass, if any.
+    last_rearrange_error: Option<DriverError>,
 }
 
 impl std::fmt::Debug for Experiment {
@@ -192,9 +208,7 @@ impl Experiment {
             WorkloadState::setup(config.profile.clone(), &mut fs, &mut rng)
                 .expect("workload population fits the file system");
         for req in setup_reqs {
-            driver
-                .submit(req, clock)
-                .expect("setup requests are valid");
+            driver.submit(req, clock).expect("setup requests are valid");
             if driver.queue_len() > 64 {
                 if let Some(t) = driver.next_completion() {
                     clock = t;
@@ -213,23 +227,18 @@ impl Experiment {
         }
 
         // The rearrangement machinery.
-        let analyzer: Box<dyn ReferenceAnalyzer> = match (config.analyzer_decay, config.analyzer_capacity) {
-            (Some(decay), _) => Box::new(crate::analyzer::DecayingAnalyzer::new(decay)),
-            (None, Some(cap)) => Box::new(BoundedAnalyzer::new(cap)),
-            (None, None) => Box::new(FullAnalyzer::new()),
-        };
-        let arranger = BlockArranger::new(
-            config
-                .policy
-                .make(fs.layout().interleave),
-        );
+        let analyzer: Box<dyn ReferenceAnalyzer> =
+            match (config.analyzer_decay, config.analyzer_capacity) {
+                (Some(decay), _) => Box::new(crate::analyzer::DecayingAnalyzer::new(decay)),
+                (None, Some(cap)) => Box::new(BoundedAnalyzer::new(cap)),
+                (None, None) => Box::new(FullAnalyzer::new()),
+            };
+        let arranger = BlockArranger::new(config.policy.make(fs.layout().interleave));
         let mut daemon = RearrangementDaemon::new(analyzer, arranger, config.monitor_period);
         daemon.set_incremental(config.incremental_rearrange);
 
         // Zero the monitors so day 1 starts clean.
-        driver
-            .ioctl(Ioctl::ReadStats, clock)
-            .expect("stats read");
+        driver.ioctl(Ioctl::ReadStats, clock).expect("stats read");
         driver
             .ioctl(Ioctl::ReadRequestTable, clock)
             .expect("table read");
@@ -245,12 +254,22 @@ impl Experiment {
             placed: 0,
             trace: None,
             last_online_io: crate::arranger::RearrangeReport::default(),
+            rearrange_failures: 0,
+            last_rearrange_error: None,
         };
         for _ in 0..e.config.warmup_days {
             e.run_day();
             e.rearrange_for_next_day(0);
         }
         e.day_index = 0;
+        // Faults start once the population is built and the cache warm:
+        // the measured days see the flaky device, the setup does not.
+        if let Some(plan) = e.config.fault_plan {
+            let rng = SimRng::new(e.config.seed).substream("faults");
+            e.driver
+                .disk_mut()
+                .set_injector(Some(FaultInjector::new(plan, rng)));
+        }
         e
     }
 
@@ -357,12 +376,15 @@ impl Experiment {
                 // Keep the freshest counts, then re-place if idle.
                 self.daemon.collect(&mut self.driver, t);
                 if self.driver.is_idle() && self.driver.layout().is_some() {
-                    let report = self
-                        .daemon
-                        .rearrange_online(&mut self.driver, online.n_blocks, t)
-                        .expect("idle driver accepts movement");
-                    online_io.io_ops += report.io_ops;
-                    online_io.busy += report.busy;
+                    // A failed step (faulty device) just skips this tick;
+                    // the placement on disk stays consistent either way.
+                    if let Ok(report) =
+                        self.daemon
+                            .rearrange_online(&mut self.driver, online.n_blocks, t)
+                    {
+                        online_io.io_ops += report.io_ops;
+                        online_io.busy += report.busy;
+                    }
                     self.placed = self.driver.block_table().len() as u32;
                 }
                 next_online = t + online.period;
@@ -412,11 +434,7 @@ impl Experiment {
 
         // Daily metrics: performance stats (read-and-clear) plus the
         // daily block request distributions.
-        let snapshot = match self
-            .driver
-            .ioctl(Ioctl::ReadStats, t)
-            .expect("stats read")
-        {
+        let snapshot = match self.driver.ioctl(Ioctl::ReadStats, t).expect("stats read") {
             IoctlReply::Stats(s) => s,
             _ => unreachable!(),
         };
@@ -464,6 +482,7 @@ impl Experiment {
         let report = match reply {
             IoctlReply::Moved { ops, busy } => RearrangeReport {
                 blocks_placed: 0,
+                blocks_failed: 0,
                 io_ops: ops,
                 busy,
             },
@@ -504,11 +523,31 @@ impl Experiment {
         hot: &[crate::analyzer::HotBlock],
         n_blocks: usize,
     ) -> RearrangeReport {
-        let report = self
+        let report = match self
             .daemon
             .end_day_with(&mut self.driver, hot, n_blocks, self.clock)
-            .expect("overnight rearrangement on idle driver");
-        self.placed = report.blocks_placed;
+        {
+            Ok(report) => report,
+            Err(e) => {
+                // The pass failed outright (power cut, degraded device,
+                // table region unwritable after retries). The driver's
+                // copy-then-commit ordering guarantees whatever placement
+                // is on disk is consistent, so skip the day, keep the
+                // placement, and carry on.
+                self.rearrange_failures += 1;
+                self.last_rearrange_error = Some(e);
+                self.daemon.end_day_keep_placement();
+                RearrangeReport::default()
+            }
+        };
+        // Overnight power-cycle: a device cut mid-movement is back for
+        // the morning (its media faults and quarantines persist).
+        if let Some(inj) = self.driver.disk_mut().injector_mut() {
+            if inj.is_dead() {
+                inj.revive();
+            }
+        }
+        self.placed = self.driver.block_table().len() as u32;
         self.workload.advance_day();
         self.day_index += 1;
         self.clock += OVERNIGHT.max(report.busy + SimDuration::from_mins(1));
@@ -518,6 +557,16 @@ impl Experiment {
             .ioctl(Ioctl::ReadStats, self.clock)
             .expect("stats clear");
         report
+    }
+
+    /// Overnight rearrangement passes that failed and were skipped.
+    pub fn rearrange_failures(&self) -> u64 {
+        self.rearrange_failures
+    }
+
+    /// The error that failed the most recent overnight pass, if any.
+    pub fn last_rearrange_error(&self) -> Option<&DriverError> {
+        self.last_rearrange_error.as_ref()
     }
 
     /// Convenience: run the paper's alternating protocol — `days` pairs
@@ -623,7 +672,11 @@ mod tests {
         let run = || {
             let mut e = tiny_experiment();
             let m = e.run_day();
-            (m.all.n, m.all.service_ms.to_bits(), m.all.seek_dist.to_bits())
+            (
+                m.all.n,
+                m.all.service_ms.to_bits(),
+                m.all.seek_dist.to_bits(),
+            )
         };
         assert_eq!(run(), run());
     }
@@ -643,7 +696,10 @@ mod tests {
         });
         let mut e = Experiment::new(cfg_on);
         let day1 = e.run_day();
-        assert!(e.last_online_io().io_ops > 0, "online mode must move blocks");
+        assert!(
+            e.last_online_io().io_ops > 0,
+            "online mode must move blocks"
+        );
         assert!(e.placed() > 0);
         assert!(
             day1.all.seek_ms < baseline.all.seek_ms,
@@ -655,6 +711,45 @@ mod tests {
         e.advance_day_keep_placement();
         assert!(e.placed() > 0);
         assert!(!e.driver().block_table().is_empty());
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical() {
+        let run = |plan: Option<FaultPlan>| {
+            let mut cfg = tiny_experiment_config();
+            cfg.fault_plan = plan;
+            let mut e = Experiment::new(cfg);
+            let m = e.run_day();
+            (
+                m.all.n,
+                m.all.service_ms.to_bits(),
+                m.all.seek_dist.to_bits(),
+            )
+        };
+        assert_eq!(run(None), run(Some(FaultPlan::none())));
+    }
+
+    #[test]
+    fn faulty_device_degrades_gracefully() {
+        let mut cfg = tiny_experiment_config();
+        cfg.fault_plan = Some(FaultPlan {
+            power_cut_after_ops: Some(4_000),
+            ..FaultPlan::with_error_rate(1e-3)
+        });
+        let mut e = Experiment::new(cfg);
+        let days = e.run_on_off(1, 40);
+        assert_eq!(days.len(), 2);
+        for d in &days {
+            assert!(d.all.n > 100, "day still serves traffic: {}", d.all.n);
+        }
+        let faults: u64 = days
+            .iter()
+            .map(|d| d.faults.retries + d.faults.read_failures + d.faults.write_failures)
+            .sum();
+        assert!(faults > 0, "the seeded plan must actually fire");
+        // The injector survives with its history; the experiment is
+        // still standing regardless of what the power cut interrupted.
+        assert!(e.driver().disk().injector().is_some());
     }
 
     #[test]

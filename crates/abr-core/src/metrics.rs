@@ -7,7 +7,7 @@
 //! distribution and the seek time functions shown in Table 1").
 
 use abr_disk::SeekCurve;
-use abr_driver::monitor::{DirStats, PerfSnapshot};
+use abr_driver::monitor::{DirStats, FaultStats, PerfSnapshot};
 use serde::{Deserialize, Serialize};
 
 /// Metrics for one request direction (or all requests combined) over one
@@ -116,6 +116,10 @@ pub struct DayMetrics {
     pub block_counts: Vec<u64>,
     /// Per-block request counts, descending, reads only.
     pub block_counts_reads: Vec<u64>,
+    /// Error-path counters for the day (all zero on a healthy device;
+    /// absent in records written before fault injection existed).
+    #[serde(default)]
+    pub faults: FaultStats,
 }
 
 impl DayMetrics {
@@ -147,6 +151,7 @@ impl DayMetrics {
                 .collect(),
             block_counts,
             block_counts_reads,
+            faults: snapshot.faults,
         }
     }
 
@@ -230,15 +235,7 @@ mod tests {
     fn day_metrics_shares() {
         let curve = models::toshiba_mk156f().seek;
         let s = snapshot();
-        let d = DayMetrics::new(
-            0,
-            true,
-            100,
-            &s,
-            &curve,
-            vec![90, 5, 3, 1, 1],
-            vec![50, 2],
-        );
+        let d = DayMetrics::new(0, true, 100, &s, &curve, vec![90, 5, 3, 1, 1], vec![50, 2]);
         assert!((d.top_k_share(1) - 0.9).abs() < 1e-12);
         assert_eq!(d.active_blocks(), 5);
         assert!(!d.service_cdf.is_empty());

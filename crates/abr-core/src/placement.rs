@@ -384,11 +384,7 @@ mod tests {
         let assign = Interleaved::new(1).place(&hot, &sm);
         assert_valid(&assign, &sm);
         let find = |b: u64| assign.iter().find(|&&(x, _)| x == b).map(|&(_, s)| s);
-        let (s100, s102, s104) = (
-            find(100).unwrap(),
-            find(102).unwrap(),
-            find(104).unwrap(),
-        );
+        let (s100, s102, s104) = (find(100).unwrap(), find(102).unwrap(), find(104).unwrap());
         // Chain members are gap slots apart in the same cylinder's
         // ascending slot order.
         assert_eq!(s102, s100 + 2);
@@ -442,10 +438,22 @@ mod tests {
         assert!(sm.cylinders().len() >= 3);
 
         let hot = vec![
-            HotBlock { block: 10, count: 20 },
-            HotBlock { block: 12, count: 15 }, // successor of 10 (gap 2)
-            HotBlock { block: 40, count: 12 },
-            HotBlock { block: 42, count: 3 }, // NOT close to 40 (3 < 6)
+            HotBlock {
+                block: 10,
+                count: 20,
+            },
+            HotBlock {
+                block: 12,
+                count: 15,
+            }, // successor of 10 (gap 2)
+            HotBlock {
+                block: 40,
+                count: 12,
+            },
+            HotBlock {
+                block: 42,
+                count: 3,
+            }, // NOT close to 40 (3 < 6)
         ];
         let op = OrganPipe.place(&hot, &sm);
         let il = Interleaved::new(1).place(&hot, &sm);
@@ -489,10 +497,12 @@ mod tests {
         assert_eq!(find(102).unwrap(), find(100).unwrap() + 2);
         // But not every pair can be (the cylinder ran out): at least one
         // successor had to start fresh.
-        let broken = (0..chain_len as u64 - 1).any(|i| {
-            find(100 + (i + 1) * 2).unwrap() != find(100 + i * 2).unwrap() + 2
-        });
-        assert!(broken, "a {chain_len}-block chain cannot fit one cylinder at gap 2");
+        let broken = (0..chain_len as u64 - 1)
+            .any(|i| find(100 + (i + 1) * 2).unwrap() != find(100 + i * 2).unwrap() + 2);
+        assert!(
+            broken,
+            "a {chain_len}-block chain cannot fit one cylinder at gap 2"
+        );
     }
 
     #[test]

@@ -39,7 +39,11 @@ impl ReplayConfig {
     /// Paper defaults for a disk: SCAN, organ-pipe, paper-sized reserved
     /// region, no blocks placed (caller sets `n_blocks`).
     pub fn new(disk: DiskModel) -> Self {
-        let reserved = if disk.geometry.cylinders >= 1200 { 80 } else { 48 };
+        let reserved = if disk.geometry.cylinders >= 1200 {
+            80
+        } else {
+            48
+        };
         ReplayConfig {
             disk,
             reserved_cylinders: reserved,
@@ -112,7 +116,9 @@ pub fn replay(trace: &TraceLog, config: &ReplayConfig) -> DayMetrics {
             }
             driver.complete_next(c);
         }
-        driver.submit(e.to_request(), at).expect("trace request valid");
+        driver
+            .submit(e.to_request(), at)
+            .expect("trace request valid");
         last = at;
     }
     while let Some(c) = driver.next_completion() {
@@ -120,10 +126,7 @@ pub fn replay(trace: &TraceLog, config: &ReplayConfig) -> DayMetrics {
         driver.complete_next(c);
     }
 
-    let snapshot = match driver
-        .ioctl(Ioctl::ReadStats, last)
-        .expect("stats read")
-    {
+    let snapshot = match driver.ioctl(Ioctl::ReadStats, last).expect("stats read") {
         IoctlReply::Stats(s) => s,
         _ => unreachable!(),
     };

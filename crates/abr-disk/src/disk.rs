@@ -9,6 +9,7 @@
 //! track buffer (the Fujitsu) may hit the read-ahead buffer and skip the
 //! mechanics entirely, exactly as footnote 4 of the paper describes.
 
+use crate::fault::{DiskError, DiskFault, FaultInjector};
 use crate::geometry::Geometry;
 use crate::models::DiskModel;
 use crate::store::SectorStore;
@@ -72,6 +73,9 @@ pub struct Disk {
     buffer: Option<BufferedRange>,
     store: SectorStore,
     requests_serviced: u64,
+    /// Fault decision engine; `None` (the default) means a perfect disk
+    /// following exactly the pre-fault code path.
+    injector: Option<FaultInjector>,
 }
 
 impl Disk {
@@ -83,6 +87,7 @@ impl Disk {
             buffer: None,
             store: SectorStore::new(),
             requests_serviced: 0,
+            injector: None,
         }
     }
 
@@ -114,6 +119,21 @@ impl Disk {
     /// Mutable access to the data store.
     pub fn store_mut(&mut self) -> &mut SectorStore {
         &mut self.store
+    }
+
+    /// Install (or remove) a fault injector.
+    pub fn set_injector(&mut self, injector: Option<FaultInjector>) {
+        self.injector = injector;
+    }
+
+    /// The installed fault injector, if any.
+    pub fn injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Mutable access to the installed fault injector, if any.
+    pub fn injector_mut(&mut self) -> Option<&mut FaultInjector> {
+        self.injector.as_mut()
     }
 
     /// Park the arm at a specific cylinder (used when restoring a
@@ -193,8 +213,7 @@ impl Disk {
         if frac < 0.0 {
             frac += 1.0;
         }
-        let rotation =
-            SimDuration::from_micros((frac * g.revolution_us() as f64).round() as u64);
+        let rotation = SimDuration::from_micros((frac * g.revolution_us() as f64).round() as u64);
 
         // 3: media transfer, with penalties at track and cylinder
         // boundaries.
@@ -224,8 +243,7 @@ impl Disk {
                     // Read-ahead: after the read, the drive keeps reading
                     // into the buffer up to its capacity or the end of the
                     // current cylinder, whichever is first.
-                    let cyl_end = g.cylinder_start(self.head_cylinder)
-                        + g.sectors_per_cylinder();
+                    let cyl_end = g.cylinder_start(self.head_cylinder) + g.sectors_per_cylinder();
                     let end = (sector + cap_sectors).min(cyl_end);
                     self.buffer = Some(BufferedRange { start: sector, end });
                 }
@@ -249,6 +267,74 @@ impl Disk {
             seek_distance: distance,
             buffer_hit: false,
         }
+    }
+
+    /// Fallible variant of [`Disk::service`], consulting the installed
+    /// [`FaultInjector`]. Without an injector this is exactly `service`
+    /// wrapped in `Ok` — same timing, same mechanical state, no
+    /// randomness consumed.
+    ///
+    /// On a fault the arm still travels (the mechanics ran before the
+    /// drive reported the error), the op's time is charged through
+    /// [`DiskError::elapsed`], and no data should be considered
+    /// transferred — except a [`DiskFault::TornWrite`], where the first
+    /// [`DiskError::persisted`] sectors of the payload did reach the
+    /// media and the caller must apply exactly that prefix to the store.
+    /// A [`DiskFault::PowerLoss`] consumes no time and moves nothing:
+    /// the device is dead.
+    ///
+    /// # Panics
+    /// Panics if the sector range runs off the disk or is empty.
+    pub fn try_service(
+        &mut self,
+        dir: IoDir,
+        sector: u64,
+        n_sectors: u32,
+        start: SimTime,
+    ) -> Result<ServiceBreakdown, DiskError> {
+        let Some(injector) = self.injector.as_mut() else {
+            return Ok(self.service(dir, sector, n_sectors, start));
+        };
+        let Some(fault) = injector.decide(dir, sector, n_sectors, start) else {
+            return Ok(self.service(dir, sector, n_sectors, start));
+        };
+        if fault == DiskFault::PowerLoss {
+            return Err(DiskError {
+                fault,
+                sector,
+                n_sectors,
+                persisted: 0,
+                elapsed: SimDuration::ZERO,
+            });
+        }
+        let persisted = if fault == DiskFault::TornWrite {
+            self.injector
+                .as_mut()
+                .expect("injector checked above")
+                .torn_persisted(n_sectors)
+        } else {
+            0
+        };
+        // The mechanics still ran before the drive reported the failure:
+        // charge the op's full time and move the arm. Invalidate any
+        // buffer overlap so a failed read can never be "fixed" by a
+        // later buffer hit serving the same sectors.
+        let breakdown = self.service(dir, sector, n_sectors, start);
+        if dir.is_read() {
+            if let Some(buf) = self.buffer {
+                let last = sector + u64::from(n_sectors) - 1;
+                if sector < buf.end && last + 1 > buf.start {
+                    self.buffer = None;
+                }
+            }
+        }
+        Err(DiskError {
+            fault,
+            sector,
+            n_sectors,
+            persisted,
+            elapsed: breakdown.total(),
+        })
     }
 }
 
@@ -307,8 +393,7 @@ mod tests {
         let small = d.service(IoDir::Read, 0, 2, at(0));
         let big = d.service(IoDir::Read, 0, 16, at(1_000_000));
         // 16 sectors take ~8x the media time of 2.
-        let ratio =
-            big.transfer.as_micros() as f64 / small.transfer.as_micros() as f64;
+        let ratio = big.transfer.as_micros() as f64 / small.transfer.as_micros() as f64;
         assert!((ratio - 8.0).abs() < 0.2, "ratio {ratio}");
     }
 
@@ -411,5 +496,96 @@ mod tests {
         d.service(IoDir::Read, 0, 1, at(0));
         d.service(IoDir::Write, 1, 1, at(1_000));
         assert_eq!(d.requests_serviced(), 2);
+    }
+
+    #[test]
+    fn try_service_without_injector_matches_service() {
+        let mut a = Disk::new(models::fujitsu_m2266());
+        let mut b = Disk::new(models::fujitsu_m2266());
+        for i in 0..200u64 {
+            let dir = if i % 4 == 0 {
+                IoDir::Write
+            } else {
+                IoDir::Read
+            };
+            let sector = i * 97 % 10_000;
+            let plain = a.service(dir, sector, 8, at(i * 30_000));
+            let fallible = b.try_service(dir, sector, 8, at(i * 30_000)).unwrap();
+            assert_eq!(plain, fallible);
+        }
+        assert_eq!(a.head_cylinder(), b.head_cylinder());
+    }
+
+    #[test]
+    fn try_service_with_zero_plan_matches_service() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let mut a = Disk::new(models::fujitsu_m2266());
+        let mut b = Disk::new(models::fujitsu_m2266());
+        b.set_injector(Some(FaultInjector::new(
+            FaultPlan::none(),
+            abr_sim::SimRng::new(1).substream("faults"),
+        )));
+        for i in 0..200u64 {
+            let dir = if i % 4 == 0 {
+                IoDir::Write
+            } else {
+                IoDir::Read
+            };
+            let sector = i * 97 % 10_000;
+            let plain = a.service(dir, sector, 8, at(i * 30_000));
+            let fallible = b.try_service(dir, sector, 8, at(i * 30_000)).unwrap();
+            assert_eq!(plain, fallible);
+        }
+    }
+
+    #[test]
+    fn defective_sector_fails_and_charges_time() {
+        use crate::fault::{DiskFault, FaultInjector, FaultPlan};
+        let mut d = Disk::new(models::toshiba_mk156f());
+        let mut inj = FaultInjector::new(FaultPlan::none(), abr_sim::SimRng::new(2));
+        inj.add_defect(500);
+        d.set_injector(Some(inj));
+        let err = d.try_service(IoDir::Read, 496, 16, at(0)).unwrap_err();
+        assert_eq!(err.fault, DiskFault::Media);
+        assert!(
+            err.elapsed > SimDuration::ZERO,
+            "failed op still takes time"
+        );
+        // Outside the defect: fine.
+        assert!(d.try_service(IoDir::Read, 5_000, 16, at(1_000_000)).is_ok());
+    }
+
+    #[test]
+    fn failed_read_does_not_leave_a_covering_buffer() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let mut d = Disk::new(models::fujitsu_m2266());
+        // Warm the buffer over 1000..1256ish.
+        d.service(IoDir::Read, 1000, 16, at(0));
+        let mut inj = FaultInjector::new(FaultPlan::none(), abr_sim::SimRng::new(3));
+        inj.add_defect(1020);
+        d.set_injector(Some(inj));
+        // A failed read overlapping the buffer drops it...
+        assert!(d.try_service(IoDir::Read, 1016, 16, at(1_000_000)).is_err());
+        // ...and keeps failing rather than ever "hitting" stale data.
+        assert!(d.try_service(IoDir::Read, 1016, 16, at(2_000_000)).is_err());
+    }
+
+    #[test]
+    fn power_loss_consumes_no_time_and_freezes_arm() {
+        use crate::fault::{DiskFault, FaultInjector, FaultPlan};
+        let mut d = Disk::new(models::toshiba_mk156f());
+        d.service(IoDir::Read, 5_000, 16, at(0));
+        let head = d.head_cylinder();
+        let plan = FaultPlan {
+            power_cut_after_ops: Some(0),
+            ..FaultPlan::default()
+        };
+        d.set_injector(Some(FaultInjector::new(plan, abr_sim::SimRng::new(4))));
+        let err = d
+            .try_service(IoDir::Write, 0, 16, at(1_000_000))
+            .unwrap_err();
+        assert_eq!(err.fault, DiskFault::PowerLoss);
+        assert_eq!(err.elapsed, SimDuration::ZERO);
+        assert_eq!(d.head_cylinder(), head);
     }
 }

@@ -1,0 +1,467 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultInjector`] sits between the driver and the disk mechanism and
+//! decides, for each request, whether it fails and how. All decisions are
+//! drawn from a seeded [`abr_sim::SimRng`] substream, so a given
+//! `(seed, FaultPlan)` pair always produces the same fault schedule — the
+//! same reproducibility contract the rest of the simulation keeps.
+//!
+//! The fault model covers the failure classes a block driver must survive:
+//!
+//! * **Transient errors** — the op fails once (bus glitch, ECC retry
+//!   exhaustion inside the drive) but an identical retry can succeed.
+//! * **Hard media errors** — a sector joins a growing *defect list* and
+//!   every later access overlapping it fails permanently.
+//! * **Torn writes** — a multi-sector write persists only a prefix of its
+//!   sectors before failing, leaving the range half-old half-new.
+//! * **Power cuts** — at a scheduled op count or simulated time, the
+//!   device dies: the in-flight op persists nothing and every subsequent
+//!   op fails until the injector is [revived](FaultInjector::revive)
+//!   (i.e. the machine reboots).
+//!
+//! The injector is strictly pay-for-what-you-use: a disk without one (the
+//! default) follows exactly the pre-fault code path and consumes no
+//! randomness.
+
+use crate::disk::IoDir;
+use abr_sim::{SimDuration, SimRng, SimTime};
+use std::collections::BTreeSet;
+
+/// The kind of failure injected into one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// A read failed but may succeed if retried.
+    TransientRead,
+    /// A write failed (nothing persisted) but may succeed if retried.
+    TransientWrite,
+    /// A sector on the defect list was touched; permanent until remapped.
+    Media,
+    /// A multi-sector write persisted only a prefix before failing.
+    TornWrite,
+    /// The device lost power; every op fails until revived.
+    PowerLoss,
+}
+
+impl DiskFault {
+    /// True for faults where an identical retry can succeed (the torn
+    /// range is made whole by rewriting it in full).
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            DiskFault::TransientRead | DiskFault::TransientWrite | DiskFault::TornWrite
+        )
+    }
+}
+
+/// A failed disk request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskError {
+    /// What went wrong.
+    pub fault: DiskFault,
+    /// First sector of the failed transfer.
+    pub sector: u64,
+    /// Length of the failed transfer.
+    pub n_sectors: u32,
+    /// Sectors (from the start of the transfer) that reached the media
+    /// before the fault. Non-zero only for [`DiskFault::TornWrite`].
+    pub persisted: u32,
+    /// Simulated time the failed attempt consumed at the device.
+    pub elapsed: SimDuration,
+}
+
+impl std::fmt::Display for DiskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.fault {
+            DiskFault::TransientRead => write!(f, "transient read error at sector {}", self.sector),
+            DiskFault::TransientWrite => {
+                write!(f, "transient write error at sector {}", self.sector)
+            }
+            DiskFault::Media => write!(f, "hard media error at sector {}", self.sector),
+            DiskFault::TornWrite => write!(
+                f,
+                "torn write at sector {}: {} of {} sectors persisted",
+                self.sector, self.persisted, self.n_sectors
+            ),
+            DiskFault::PowerLoss => write!(f, "power lost"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+/// Declarative description of the faults to inject. All rates are
+/// per-request probabilities in `[0, 1]`; the default plan injects
+/// nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Probability a read fails transiently.
+    pub transient_read: f64,
+    /// Probability a write fails transiently (nothing persisted).
+    pub transient_write: f64,
+    /// Probability a request turns its first sector into a permanent
+    /// defect (and fails).
+    pub media_rate: f64,
+    /// Probability a multi-sector write tears, persisting only a prefix.
+    pub torn_write: f64,
+    /// Cut power after this many requests have been attempted (the
+    /// N+1-th and all later ops fail with [`DiskFault::PowerLoss`]).
+    pub power_cut_after_ops: Option<u64>,
+    /// Cut power at or after this simulated time.
+    pub power_cut_at: Option<SimTime>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (identical to having no injector).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan with uniform transient/media/torn rates derived from one
+    /// error rate — convenient for sweeps. Media errors are made 10x
+    /// rarer than transients, mirroring real drive failure ratios.
+    pub fn with_error_rate(rate: f64) -> Self {
+        FaultPlan {
+            transient_read: rate,
+            transient_write: rate,
+            media_rate: rate / 10.0,
+            torn_write: rate,
+            ..Self::default()
+        }
+    }
+
+    /// True if no fault can ever fire under this plan.
+    pub fn is_zero(&self) -> bool {
+        self.transient_read == 0.0
+            && self.transient_write == 0.0
+            && self.media_rate == 0.0
+            && self.torn_write == 0.0
+            && self.power_cut_after_ops.is_none()
+            && self.power_cut_at.is_none()
+    }
+}
+
+/// Running totals of faults injected, for reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Transient read/write errors injected.
+    pub transient: u64,
+    /// Hard media errors injected (accesses that hit the defect list).
+    pub media: u64,
+    /// Torn writes injected.
+    pub torn: u64,
+    /// Power-cut events fired (0 or 1 per boot).
+    pub power_cuts: u64,
+}
+
+/// The stateful fault decision engine attached to a [`crate::Disk`].
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SimRng,
+    /// Sectors with permanent media errors.
+    defects: BTreeSet<u64>,
+    /// Requests attempted so far (successful or not).
+    ops: u64,
+    /// Set once power is cut; cleared by [`FaultInjector::revive`].
+    dead: bool,
+    counters: FaultCounters,
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("plan", &self.plan)
+            .field("defects", &self.defects)
+            .field("ops", &self.ops)
+            .field("dead", &self.dead)
+            .field("counters", &self.counters)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FaultInjector {
+    /// An injector following `plan`, drawing from `rng`. Callers should
+    /// pass a dedicated substream (e.g. `master.substream("faults")`) so
+    /// fault decisions never perturb other consumers of randomness.
+    pub fn new(plan: FaultPlan, rng: SimRng) -> Self {
+        FaultInjector {
+            plan,
+            rng,
+            defects: BTreeSet::new(),
+            ops: 0,
+            dead: false,
+            counters: FaultCounters::default(),
+        }
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Counters of injected faults.
+    pub fn counters(&self) -> FaultCounters {
+        self.counters
+    }
+
+    /// The current defect list.
+    pub fn defects(&self) -> impl Iterator<Item = u64> + '_ {
+        self.defects.iter().copied()
+    }
+
+    /// Add a sector to the permanent defect list (e.g. to model a disk
+    /// that shipped with bad sectors).
+    pub fn add_defect(&mut self, sector: u64) {
+        self.defects.insert(sector);
+    }
+
+    /// True if any sector of `[sector, sector + n_sectors)` is defective.
+    pub fn overlaps_defect(&self, sector: u64, n_sectors: u32) -> bool {
+        self.defects
+            .range(sector..sector + u64::from(n_sectors))
+            .next()
+            .is_some()
+    }
+
+    /// True once power has been cut and the device has not been revived.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Requests attempted so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Reboot after a power cut: the device serves requests again and the
+    /// already-fired scheduled cut is disarmed. The defect list survives
+    /// — media damage is permanent.
+    pub fn revive(&mut self) {
+        self.dead = false;
+        self.plan.power_cut_after_ops = None;
+        self.plan.power_cut_at = None;
+    }
+
+    /// Decide the fate of one request. Returns the fault to inject, or
+    /// `None` if the request succeeds. `Media` faults permanently grow
+    /// the defect list.
+    pub fn decide(
+        &mut self,
+        dir: IoDir,
+        sector: u64,
+        n_sectors: u32,
+        start: SimTime,
+    ) -> Option<DiskFault> {
+        self.ops += 1;
+        // Power cuts dominate everything else.
+        if self.dead
+            || self.plan.power_cut_after_ops.is_some_and(|n| self.ops > n)
+            || self.plan.power_cut_at.is_some_and(|t| start >= t)
+        {
+            if !self.dead {
+                self.counters.power_cuts += 1;
+            }
+            self.dead = true;
+            return Some(DiskFault::PowerLoss);
+        }
+        // Existing media defects fail deterministically, no draw needed.
+        if self.overlaps_defect(sector, n_sectors) {
+            self.counters.media += 1;
+            return Some(DiskFault::Media);
+        }
+        // Random faults. Draw in a fixed order so the stream stays
+        // aligned regardless of which rates are zero.
+        let transient = match dir {
+            IoDir::Read => {
+                self.plan.transient_read > 0.0 && self.rng.chance(self.plan.transient_read)
+            }
+            IoDir::Write => {
+                self.plan.transient_write > 0.0 && self.rng.chance(self.plan.transient_write)
+            }
+        };
+        let media = self.plan.media_rate > 0.0 && self.rng.chance(self.plan.media_rate);
+        let torn = !dir.is_read()
+            && n_sectors > 1
+            && self.plan.torn_write > 0.0
+            && self.rng.chance(self.plan.torn_write);
+        if media {
+            self.defects.insert(sector);
+            self.counters.media += 1;
+            return Some(DiskFault::Media);
+        }
+        if torn {
+            self.counters.torn += 1;
+            return Some(DiskFault::TornWrite);
+        }
+        if transient {
+            self.counters.transient += 1;
+            return Some(match dir {
+                IoDir::Read => DiskFault::TransientRead,
+                IoDir::Write => DiskFault::TransientWrite,
+            });
+        }
+        None
+    }
+
+    /// How many sectors of a torn `n_sectors`-write persist (a uniform
+    /// draw over `0..n_sectors`, strictly less than the full transfer).
+    pub fn torn_persisted(&mut self, n_sectors: u32) -> u32 {
+        debug_assert!(n_sectors > 1);
+        self.rng.below(u64::from(n_sectors)) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(0x5eed).substream("faults")
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn zero_plan_never_faults() {
+        let mut inj = FaultInjector::new(FaultPlan::none(), rng());
+        for i in 0..10_000u64 {
+            assert_eq!(inj.decide(IoDir::Read, i, 16, t(i)), None);
+            assert_eq!(inj.decide(IoDir::Write, i, 16, t(i)), None);
+        }
+        assert_eq!(inj.counters(), FaultCounters::default());
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let plan = FaultPlan::with_error_rate(0.05);
+        let mut a = FaultInjector::new(plan, rng());
+        let mut b = FaultInjector::new(plan, rng());
+        for i in 0..5_000u64 {
+            let dir = if i % 3 == 0 {
+                IoDir::Write
+            } else {
+                IoDir::Read
+            };
+            assert_eq!(
+                a.decide(dir, i * 7, 16, t(i)),
+                b.decide(dir, i * 7, 16, t(i))
+            );
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let plan = FaultPlan {
+            transient_read: 0.1,
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan, rng());
+        let n = 20_000;
+        let faults = (0..n)
+            .filter(|&i| inj.decide(IoDir::Read, i, 1, t(i)).is_some())
+            .count();
+        let rate = faults as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn media_errors_grow_defect_list_and_repeat() {
+        let plan = FaultPlan {
+            media_rate: 0.02,
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan, rng());
+        // Find the first media error.
+        let mut bad = None;
+        for i in 0..10_000u64 {
+            if inj.decide(IoDir::Read, i * 8, 8, t(i)) == Some(DiskFault::Media) {
+                bad = Some(i * 8);
+                break;
+            }
+        }
+        let bad = bad.expect("a media error within 10k ops at 2%");
+        assert!(inj.overlaps_defect(bad, 1));
+        // Every later access overlapping the defect fails, deterministically.
+        for _ in 0..10 {
+            assert_eq!(
+                inj.decide(IoDir::Write, bad, 4, t(0)),
+                Some(DiskFault::Media)
+            );
+        }
+    }
+
+    #[test]
+    fn power_cut_after_ops_is_exact_and_sticky() {
+        let plan = FaultPlan {
+            power_cut_after_ops: Some(3),
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan, rng());
+        assert_eq!(inj.decide(IoDir::Read, 0, 1, t(0)), None);
+        assert_eq!(inj.decide(IoDir::Read, 1, 1, t(1)), None);
+        assert_eq!(inj.decide(IoDir::Read, 2, 1, t(2)), None);
+        assert_eq!(
+            inj.decide(IoDir::Read, 3, 1, t(3)),
+            Some(DiskFault::PowerLoss)
+        );
+        assert_eq!(
+            inj.decide(IoDir::Write, 4, 1, t(4)),
+            Some(DiskFault::PowerLoss)
+        );
+        assert!(inj.is_dead());
+        assert_eq!(inj.counters().power_cuts, 1);
+        // Reboot: serves again, cut disarmed.
+        inj.revive();
+        assert_eq!(inj.decide(IoDir::Read, 5, 1, t(5)), None);
+    }
+
+    #[test]
+    fn power_cut_at_time_fires() {
+        let plan = FaultPlan {
+            power_cut_at: Some(t(1_000)),
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan, rng());
+        assert_eq!(inj.decide(IoDir::Read, 0, 1, t(999)), None);
+        assert_eq!(
+            inj.decide(IoDir::Read, 0, 1, t(1_000)),
+            Some(DiskFault::PowerLoss)
+        );
+    }
+
+    #[test]
+    fn torn_persisted_is_a_strict_prefix() {
+        let plan = FaultPlan {
+            torn_write: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan, rng());
+        for _ in 0..1_000 {
+            assert_eq!(
+                inj.decide(IoDir::Write, 0, 16, t(0)),
+                Some(DiskFault::TornWrite)
+            );
+            let p = inj.torn_persisted(16);
+            assert!(p < 16);
+        }
+        // Single-sector writes cannot tear.
+        assert_eq!(inj.decide(IoDir::Write, 0, 1, t(0)), None);
+    }
+
+    #[test]
+    fn revive_keeps_defects() {
+        let plan = FaultPlan {
+            power_cut_after_ops: Some(0),
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan, rng());
+        inj.add_defect(42);
+        assert_eq!(
+            inj.decide(IoDir::Read, 42, 1, t(0)),
+            Some(DiskFault::PowerLoss)
+        );
+        inj.revive();
+        assert_eq!(inj.decide(IoDir::Read, 42, 1, t(0)), Some(DiskFault::Media));
+    }
+}

@@ -390,9 +390,7 @@ impl DiskLabel {
             return Err(LabelError::Inconsistent("zero geometry field"));
         }
         if let Some(r) = self.reserved {
-            if r.n_cylinders == 0
-                || r.start_cylinder + r.n_cylinders > self.physical.cylinders
-            {
+            if r.n_cylinders == 0 || r.start_cylinder + r.n_cylinders > self.physical.cylinders {
                 return Err(LabelError::Inconsistent("reserved area off disk"));
             }
         }
@@ -505,16 +503,16 @@ mod tests {
         // Below the reserved region: identity.
         assert_eq!(l.virtual_to_physical(boundary - 1), boundary - 1);
         // At the boundary: skips over the reserved cylinders.
-        assert_eq!(
-            l.virtual_to_physical(boundary),
-            boundary + 48 * spc
-        );
+        assert_eq!(l.virtual_to_physical(boundary), boundary + 48 * spc);
         // No virtual sector ever maps into the reserved region.
         let vtotal = l.virtual_geometry().total_sectors();
         for v in [0, boundary - 1, boundary, boundary + 1, vtotal - 1] {
             let p = l.virtual_to_physical(v);
             let cyl = g.cylinder_of(p);
-            assert!(!r.contains_cylinder(cyl), "virtual {v} mapped into reserved");
+            assert!(
+                !r.contains_cylinder(cyl),
+                "virtual {v} mapped into reserved"
+            );
         }
     }
 

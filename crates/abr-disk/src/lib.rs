@@ -19,11 +19,14 @@
 //! * [`label`] — the UNIX-style disk label: partitions, virtual geometry,
 //!   and the "rearranged disk" marker with the reserved-area extent
 //!   (§4.1.1).
+//! * [`fault`] — deterministic fault injection: transient errors, hard
+//!   media errors (a growing defect list), torn writes, power cuts.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod disk;
+pub mod fault;
 pub mod geometry;
 pub mod image;
 pub mod label;
@@ -32,6 +35,7 @@ pub mod seek;
 pub mod store;
 
 pub use disk::{Disk, ServiceBreakdown};
+pub use fault::{DiskError, DiskFault, FaultCounters, FaultInjector, FaultPlan};
 pub use geometry::{Geometry, SectorAddr};
 pub use label::{DiskLabel, Partition, ReservedArea};
 pub use models::DiskModel;

@@ -91,10 +91,7 @@ pub fn fujitsu_m2266() -> DiskModel {
                 c: -0.734,
                 e: 0.659,
             },
-            long: LongSeek {
-                f: 7.44,
-                g: 0.0114,
-            },
+            long: LongSeek { f: 7.44, g: 0.0114 },
         },
         overhead: SimDuration::from_micros(1_800),
         track_switch: SimDuration::from_micros(600),

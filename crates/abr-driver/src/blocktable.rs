@@ -143,17 +143,10 @@ impl BlockTable {
         v
     }
 
-    /// Serialize to the on-disk form. The result is padded to fill
-    /// `layout.table_sectors` sectors exactly.
-    ///
-    /// Returns [`TableError::TooLarge`] if the entries do not fit.
-    pub fn encode(&self, layout: &ReservedLayout) -> Result<Vec<u8>, TableError> {
-        let capacity = layout.table_sectors as usize * abr_disk::SECTOR_SIZE;
-        let need = 16 + self.map.len() * 17 + 8;
-        if need > capacity {
-            return Err(TableError::TooLarge);
-        }
-        let mut buf = Vec::with_capacity(capacity);
+    /// The raw on-disk record: magic, count, entries, checksum — no
+    /// padding.
+    fn encode_record(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16 + self.map.len() * 17 + 8);
         buf.extend_from_slice(&TABLE_MAGIC.to_le_bytes());
         buf.extend_from_slice(&(self.map.len() as u64).to_le_bytes());
         for (orig, e) in self.entries_by_slot() {
@@ -164,11 +157,75 @@ impl BlockTable {
         }
         let sum = fletcher64(&buf);
         buf.extend_from_slice(&sum.to_le_bytes());
+        buf
+    }
+
+    /// Serialize to the on-disk form. The result is padded to fill
+    /// `layout.table_sectors` sectors exactly.
+    ///
+    /// Returns [`TableError::TooLarge`] if the entries do not fit.
+    pub fn encode(&self, layout: &ReservedLayout) -> Result<Vec<u8>, TableError> {
+        let capacity = layout.table_sectors as usize * abr_disk::SECTOR_SIZE;
+        let need = 16 + self.map.len() * 17 + 8;
+        if need > capacity {
+            return Err(TableError::TooLarge);
+        }
+        let mut buf = self.encode_record();
         buf.resize(capacity, 0);
         Ok(buf)
     }
 
-    /// Decode the on-disk form. Validates magic and checksum.
+    /// Serialize for the table region with **two redundant copies** when
+    /// the region is big enough: the record is duplicated into the two
+    /// sector-aligned halves of the region, so a torn write or a media
+    /// error that destroys one copy still leaves the other decodable (see
+    /// [`BlockTable::decode_region`]). Falls back to the single-copy
+    /// [`BlockTable::encode`] layout when the record does not fit in half
+    /// the region, so capacity semantics are unchanged.
+    ///
+    /// The output is always exactly `layout.table_sectors` sectors — the
+    /// caller issues one region-sized write either way, keeping service
+    /// timing identical to the single-copy format.
+    pub fn encode_region(&self, layout: &ReservedLayout) -> Result<Vec<u8>, TableError> {
+        let capacity = layout.table_sectors as usize * abr_disk::SECTOR_SIZE;
+        let half = (layout.table_sectors as usize / 2) * abr_disk::SECTOR_SIZE;
+        let record = self.encode_record();
+        if record.len() > capacity {
+            return Err(TableError::TooLarge);
+        }
+        if layout.table_sectors < 2 || record.len() > half {
+            let mut buf = record;
+            buf.resize(capacity, 0);
+            return Ok(buf);
+        }
+        let mut buf = record;
+        buf.resize(half, 0);
+        let copy_a = buf.clone();
+        buf.extend_from_slice(&copy_a);
+        buf.resize(capacity, 0);
+        Ok(buf)
+    }
+
+    /// Decode a full table region, trying the redundant copies written by
+    /// [`BlockTable::encode_region`]: copy A (first half), then copy B
+    /// (second half), then the whole region as a legacy single-copy
+    /// record. Returns the first copy that passes magic + checksum; if
+    /// none does, returns the legacy decode's error.
+    pub fn decode_region(bytes: &[u8]) -> Result<BlockTable, TableError> {
+        let half = (bytes.len() / abr_disk::SECTOR_SIZE / 2) * abr_disk::SECTOR_SIZE;
+        if half >= 24 {
+            if let Ok(t) = BlockTable::decode(&bytes[..half]) {
+                return Ok(t);
+            }
+            if let Ok(t) = BlockTable::decode(&bytes[half..]) {
+                return Ok(t);
+            }
+        }
+        BlockTable::decode(bytes)
+    }
+
+    /// Decode the on-disk form. Validates magic and checksum. Trailing
+    /// bytes beyond the checksum are ignored (the region is zero-padded).
     pub fn decode(bytes: &[u8]) -> Result<BlockTable, TableError> {
         if bytes.len() < 24 {
             return Err(TableError::BadMagic);
@@ -177,9 +234,16 @@ impl BlockTable {
         if magic != TABLE_MAGIC {
             return Err(TableError::BadMagic);
         }
-        let n = u64::from_le_bytes(bytes[8..16].try_into().expect("8")) as usize;
-        let body_end = 16 + n * 17;
-        if body_end + 8 > bytes.len() {
+        // The entry count is untrusted on-disk data: reject regions whose
+        // claimed body would overflow or overrun the buffer *before* any
+        // slicing, so corruption surfaces as `TableError`, never a panic.
+        let n = u64::from_le_bytes(bytes[8..16].try_into().expect("8"));
+        let n = usize::try_from(n).map_err(|_| TableError::TooLarge)?;
+        let body_end = n
+            .checked_mul(17)
+            .and_then(|b| b.checked_add(16))
+            .ok_or(TableError::TooLarge)?;
+        if body_end.checked_add(8).ok_or(TableError::TooLarge)? > bytes.len() {
             return Err(TableError::TooLarge);
         }
         let stored = u64::from_le_bytes(bytes[body_end..body_end + 8].try_into().expect("8"));
@@ -330,6 +394,152 @@ mod tests {
             t.insert(i * 16, i as u32);
         }
         assert_eq!(t.encode(&l).unwrap_err(), TableError::TooLarge);
+    }
+
+    fn tables_equal(a: &BlockTable, b: &BlockTable) -> bool {
+        a.entries_by_slot() == b.entries_by_slot()
+    }
+
+    #[test]
+    fn decode_rejects_truncated_entry_region() {
+        let l = layout();
+        let mut t = BlockTable::new();
+        for i in 0..64u64 {
+            t.insert(i * 16, i as u32);
+        }
+        let bytes = t.encode(&l).unwrap();
+        // Cut the buffer inside the entry body: must be a TableError, not
+        // a slice panic.
+        for cut in [17usize, 24, 100, 16 + 64 * 17 + 7] {
+            assert_eq!(
+                BlockTable::decode(&bytes[..cut]).unwrap_err(),
+                if cut < 24 {
+                    TableError::BadMagic
+                } else {
+                    TableError::TooLarge
+                },
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_absurd_entry_count() {
+        // A header claiming u64::MAX entries must not overflow the length
+        // arithmetic.
+        let mut bytes = vec![0u8; 4096];
+        bytes[0..8].copy_from_slice(&TABLE_MAGIC.to_le_bytes());
+        bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            BlockTable::decode(&bytes).unwrap_err(),
+            TableError::TooLarge
+        );
+    }
+
+    #[test]
+    fn bit_flip_fuzz_never_misdecodes() {
+        let l = layout();
+        let mut t = BlockTable::new();
+        for i in 0..5u64 {
+            t.insert(i * 16, i as u32);
+            if i % 2 == 0 {
+                t.mark_dirty(i * 16);
+            }
+        }
+        let bytes = t.encode(&l).unwrap();
+        let record_len = 16 + 5 * 17 + 8;
+        // Flip every bit of the live record: decode must error or yield
+        // the identical table (a flip can never silently change content).
+        for byte in 0..record_len {
+            for bit in 0..8 {
+                let mut m = bytes.clone();
+                m[byte] ^= 1 << bit;
+                match BlockTable::decode(&m) {
+                    Err(_) => {}
+                    Ok(back) => assert!(
+                        tables_equal(&t, &back),
+                        "bit flip at {byte}:{bit} mis-decoded"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn region_roundtrip_with_dual_copies() {
+        let l = layout();
+        let mut t = BlockTable::new();
+        for i in 0..200u64 {
+            t.insert(i * 16, i as u32);
+        }
+        let bytes = t.encode_region(&l).unwrap();
+        assert_eq!(bytes.len(), l.table_sectors as usize * 512);
+        let half = (l.table_sectors as usize / 2) * 512;
+        assert_eq!(&bytes[..half], &bytes[half..2 * half], "copies differ");
+        let back = BlockTable::decode_region(&bytes).unwrap();
+        assert!(tables_equal(&t, &back));
+    }
+
+    #[test]
+    fn region_survives_one_destroyed_copy() {
+        let l = layout();
+        let mut t = BlockTable::new();
+        for i in 0..100u64 {
+            t.insert(i * 16, i as u32);
+        }
+        let bytes = t.encode_region(&l).unwrap();
+        let half = (l.table_sectors as usize / 2) * 512;
+
+        let mut torn_a = bytes.clone();
+        for b in &mut torn_a[..half] {
+            *b = 0xAA;
+        }
+        let back = BlockTable::decode_region(&torn_a).unwrap();
+        assert!(tables_equal(&t, &back), "copy B should rescue");
+
+        let mut torn_b = bytes.clone();
+        for b in &mut torn_b[half..] {
+            *b = 0xAA;
+        }
+        let back = BlockTable::decode_region(&torn_b).unwrap();
+        assert!(tables_equal(&t, &back), "copy A should rescue");
+
+        let mut both = bytes;
+        both.fill(0xAA);
+        assert!(BlockTable::decode_region(&both).is_err());
+    }
+
+    #[test]
+    fn legacy_single_copy_region_still_decodes() {
+        let l = layout();
+        let mut t = BlockTable::new();
+        for i in 0..50u64 {
+            t.insert(i * 16, i as u32);
+        }
+        let legacy = t.encode(&l).unwrap();
+        let back = BlockTable::decode_region(&legacy).unwrap();
+        assert!(tables_equal(&t, &back));
+    }
+
+    #[test]
+    fn region_falls_back_to_single_copy_when_half_too_small() {
+        let g = models::toshiba_mk156f().geometry;
+        let label = DiskLabel::rearranged(g, 48);
+        // max_entries = 1 -> a 1-block (16-sector) table region, so one
+        // copy can use at most 8 sectors. 300 entries need ~5.1 KB: they
+        // fit the full region but not half of it.
+        let l = ReservedLayout::for_label(&label, 8192, 1).unwrap();
+        let mut t = BlockTable::new();
+        for i in 0..300u64 {
+            t.insert(i * 16, i as u32);
+        }
+        let region = t.encode_region(&l).unwrap();
+        let single = t.encode(&l).unwrap();
+        assert_eq!(region, single, "must fall back to the legacy layout");
+        assert!(tables_equal(
+            &t,
+            &BlockTable::decode_region(&region).unwrap()
+        ));
     }
 
     #[test]

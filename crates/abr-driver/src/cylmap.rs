@@ -155,7 +155,7 @@ mod tests {
         counts[4] = 25;
         let m = CylinderMap::organ_pipe(&counts);
         assert_eq!(m.physical(7), 5); // middle of 11
-        // Next two flank the middle.
+                                      // Next two flank the middle.
         let p2 = m.physical(2);
         let p4 = m.physical(4);
         assert!(p2 == 4 || p2 == 6);

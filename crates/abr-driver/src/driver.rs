@@ -24,10 +24,12 @@ use crate::monitor::{PerfMonitor, PerfSnapshot, RequestMonitor, RequestRecord};
 use crate::request::{IoDir, IoRequest, Queued, RequestId};
 use crate::sched::{Scheduler, SchedulerKind};
 use abr_disk::disk::ServiceBreakdown;
+use abr_disk::fault::{DiskError, DiskFault};
 use abr_disk::label::LabelError;
 use abr_disk::{Disk, DiskLabel, SECTOR_SIZE};
 use abr_sim::{SimDuration, SimTime};
 use bytes::Bytes;
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Driver configuration.
@@ -90,6 +92,21 @@ pub enum DriverError {
     BadCylinderMap,
     /// A request with zero sectors.
     EmptyTransfer,
+    /// A disk operation failed (after the driver's bounded retries).
+    Disk {
+        /// The fault class the disk reported.
+        fault: DiskFault,
+        /// First sector of the failed operation.
+        sector: u64,
+    },
+    /// Block movement into a quarantined (blacklisted) reserved slot.
+    SlotQuarantined,
+    /// The most recent data for this block was lost to a hard error (its
+    /// dirty reserved copy became unreadable before it was copied home).
+    DataLoss,
+    /// The driver is in degraded pass-through mode (the on-disk block
+    /// table was unreadable); block movement is disabled.
+    Degraded,
 }
 
 impl fmt::Display for DriverError {
@@ -112,15 +129,42 @@ impl fmt::Display for DriverError {
             }
             DriverError::NotResident => write!(f, "block not in the reserved area"),
             DriverError::IncompatibleMode => {
-                write!(f, "cylinder shuffling and a reserved area are mutually exclusive")
+                write!(
+                    f,
+                    "cylinder shuffling and a reserved area are mutually exclusive"
+                )
             }
             DriverError::BadCylinderMap => write!(f, "cylinder map does not match the disk"),
             DriverError::EmptyTransfer => write!(f, "zero-length transfer"),
+            DriverError::Disk { fault, sector } => {
+                write!(f, "disk error ({fault:?}) at sector {sector}")
+            }
+            DriverError::SlotQuarantined => {
+                write!(f, "reserved slot quarantined after a media error")
+            }
+            DriverError::DataLoss => {
+                write!(f, "block data lost to a hard error (no valid copy remains)")
+            }
+            DriverError::Degraded => {
+                write!(
+                    f,
+                    "driver degraded to pass-through mode; remapping disabled"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for DriverError {}
+
+impl From<DiskError> for DriverError {
+    fn from(e: DiskError) -> Self {
+        DriverError::Disk {
+            fault: e.fault,
+            sector: e.sector,
+        }
+    }
+}
 
 impl From<LabelError> for DriverError {
     fn from(e: LabelError) -> Self {
@@ -151,9 +195,17 @@ pub struct Completion {
     pub completed: SimTime,
     /// Mechanical timing decomposition.
     pub breakdown: ServiceBreakdown,
+    /// Why the request failed, if it did. `None` for a successful
+    /// transfer; on failure, reads carry no data and writes may have
+    /// partially persisted (torn).
+    pub error: Option<DriverError>,
 }
 
 impl Completion {
+    /// Whether the request succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
     /// Queueing time (strategy receipt → dispatch).
     pub fn queueing(&self) -> SimDuration {
         self.dispatched - self.arrived
@@ -234,6 +286,7 @@ struct Active {
     dispatched: SimTime,
     breakdown: ServiceBreakdown,
     completes: SimTime,
+    error: Option<DriverError>,
 }
 
 /// The adaptive disk device driver.
@@ -282,6 +335,16 @@ pub struct AdaptiveDriver {
     /// the driver cannot see track-buffer hits).
     last_dispatch_cyl: Option<u32>,
     next_id: u64,
+    /// Pass-through mode: set at attach when the on-disk block table is
+    /// unreadable. Remapping is disabled and every request is served at
+    /// its original address (no silent corruption from a guessed table).
+    degraded: bool,
+    /// Reserved slots blacklisted after hard media errors.
+    quarantined: BTreeSet<u32>,
+    /// Original sectors of blocks whose latest data was lost (dirty
+    /// reserved copy destroyed). Reads fail with [`DriverError::DataLoss`]
+    /// until a full-block write refreshes the block.
+    lost: BTreeSet<u64>,
 }
 
 impl fmt::Debug for AdaptiveDriver {
@@ -306,7 +369,7 @@ impl AdaptiveDriver {
             ReservedLayout::for_label(label, config.block_size, config.table_max_entries)
         {
             let table = BlockTable::new();
-            let bytes = table.encode(&layout).expect("empty table fits");
+            let bytes = table.encode_region(&layout).expect("empty table fits");
             disk.store_mut().write(layout.start_sector, &bytes);
         }
     }
@@ -323,8 +386,7 @@ impl AdaptiveDriver {
         );
         let label_sector = disk.store().read_sector(0);
         let label = DiskLabel::decode(&label_sector)?;
-        let layout =
-            ReservedLayout::for_label(&label, config.block_size, config.table_max_entries);
+        let layout = ReservedLayout::for_label(&label, config.block_size, config.table_max_entries);
         let spb = u64::from(config.block_size / SECTOR_SIZE as u32);
         if let Some(l) = &layout {
             // The mapping discontinuity at the front of the reserved area
@@ -339,11 +401,23 @@ impl AdaptiveDriver {
             }
         }
         let mut table = BlockTable::new();
+        let mut degraded = false;
         if let Some(l) = &layout {
             let mut buf = vec![0u8; l.table_sectors as usize * SECTOR_SIZE];
             disk.store().read(l.start_sector, &mut buf);
-            table = BlockTable::decode(&buf)?;
-            table.mark_all_dirty();
+            // Both redundant copies (and the legacy layout) are tried; if
+            // none decodes, fall into pass-through mode rather than
+            // refusing to attach or guessing a mapping: every request is
+            // served at its original address, which is always correct for
+            // clean blocks and never silently wrong for dirty ones (their
+            // reserved copies are unreachable either way).
+            match BlockTable::decode_region(&buf) {
+                Ok(t) => {
+                    table = t;
+                    table.mark_all_dirty();
+                }
+                Err(_) => degraded = true,
+            }
         }
         Ok(AdaptiveDriver {
             disk,
@@ -359,8 +433,33 @@ impl AdaptiveDriver {
             last_arrival_cyl: None,
             last_dispatch_cyl: None,
             next_id: 0,
+            degraded,
+            quarantined: BTreeSet::new(),
+            lost: BTreeSet::new(),
             config,
         })
+    }
+
+    /// Whether the driver attached in degraded pass-through mode (the
+    /// on-disk block table was unreadable; remapping is disabled).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Reserved slots blacklisted after hard media errors.
+    pub fn quarantined_slots(&self) -> impl Iterator<Item = u32> + '_ {
+        self.quarantined.iter().copied()
+    }
+
+    /// Blocks (by original physical sector) whose latest data was lost.
+    pub fn lost_blocks(&self) -> impl Iterator<Item = u64> + '_ {
+        self.lost.iter().copied()
+    }
+
+    /// Mutable access to the underlying disk (to install a fault
+    /// injector or revive a powered-off disk).
+    pub fn disk_mut(&mut self) -> &mut Disk {
+        &mut self.disk
     }
 
     /// The disk label read at attach time.
@@ -584,35 +683,90 @@ impl AdaptiveDriver {
             .record_dispatch(q.req.dir, addr_dist, now - q.arrived, in_reserved);
         self.last_dispatch_cyl = Some(q.target_cylinder);
 
-        // Writes hit the media in dispatch order (segment by segment).
-        if !q.req.dir.is_read() {
-            let mut off = 0usize;
-            for &(sector, n) in &q.segments {
-                let bytes = n as usize * SECTOR_SIZE;
-                self.disk
-                    .store_mut()
-                    .write(sector, &q.req.data[off..off + bytes]);
-                off += bytes;
-            }
+        // Reads of a lost block (dirty reserved copy destroyed by a hard
+        // error) must fail loudly, never fall back to the stale home copy.
+        let spb = u64::from(self.sectors_per_block());
+        let vsector =
+            self.label.partitions[q.req.partition].start_sector + q.req.sector_in_partition;
+        let home_phys = self.label.virtual_to_physical(vsector - (vsector % spb));
+        if q.req.dir.is_read() && self.lost.contains(&home_phys) {
+            self.perf.record_failure(q.req.dir);
+            self.active = Some(Active {
+                queued: q,
+                dispatched: now,
+                breakdown: zero_breakdown(),
+                completes: now,
+                error: Some(DriverError::DataLoss),
+            });
+            return;
         }
 
-        // Service each segment back to back; the combined breakdown keeps
-        // a single overhead charge.
-        let mut acc = self.disk.service(q.req.dir, q.segments[0].0, q.segments[0].1, now);
-        for &(sector, n) in &q.segments[1..] {
-            let b = self.disk.service(q.req.dir, sector, n, now + acc.total());
-            acc.seek += b.seek;
-            acc.rotation += b.rotation;
-            acc.transfer += b.transfer;
-            acc.seek_distance += b.seek_distance;
+        // Service each segment back to back, applying each write to the
+        // store only once its transfer succeeds; the combined breakdown
+        // keeps a single overhead charge. `wasted` accumulates time lost
+        // to failed attempts and retry backoffs, so on a fault-free run
+        // every segment starts at `now + acc.total()` exactly as before.
+        // A segment failure (after the bounded retries inside `serviced`)
+        // fails the whole request but still charges the time it took.
+        let mut wasted = SimDuration::ZERO;
+        let mut acc: Option<ServiceBreakdown> = None;
+        let mut error = None;
+        let mut off = 0usize;
+        for &(sector, n) in &q.segments {
+            let bytes = n as usize * SECTOR_SIZE;
+            let done = acc.map_or(SimDuration::ZERO, |a: ServiceBreakdown| a.total());
+            let (elapsed, res) = self.serviced(q.req.dir, sector, n, now + wasted + done);
+            match res {
+                Ok(b) => {
+                    wasted += elapsed - b.total();
+                    if !q.req.dir.is_read() {
+                        self.disk
+                            .store_mut()
+                            .write(sector, &q.req.data[off..off + bytes]);
+                    }
+                    acc = Some(match acc {
+                        None => b,
+                        Some(mut a) => {
+                            a.seek += b.seek;
+                            a.rotation += b.rotation;
+                            a.transfer += b.transfer;
+                            a.seek_distance += b.seek_distance;
+                            a
+                        }
+                    });
+                }
+                Err(e) => {
+                    wasted += elapsed;
+                    // A torn write persisted a prefix of this segment.
+                    if e.fault == DiskFault::TornWrite && e.persisted > 0 {
+                        let torn = e.persisted as usize * SECTOR_SIZE;
+                        self.disk
+                            .store_mut()
+                            .write(sector, &q.req.data[off..off + torn]);
+                    }
+                    self.perf.record_failure(q.req.dir);
+                    error = Some(DriverError::from(e));
+                    break;
+                }
+            }
+            off += bytes;
         }
-        let breakdown = acc;
-        let completes = now + breakdown.total();
+        // A successful full-block write refreshes a lost block.
+        if error.is_none()
+            && !q.req.dir.is_read()
+            && vsector.is_multiple_of(spb)
+            && u64::from(q.req.n_sectors) == spb
+        {
+            self.lost.remove(&home_phys);
+        }
+        let breakdown = acc.unwrap_or_else(zero_breakdown);
+        let completes = now + wasted + breakdown.total();
         self.active = Some(Active {
             queued: q,
             dispatched: now,
             breakdown,
             completes,
+            error,
         });
     }
 
@@ -623,7 +777,12 @@ impl AdaptiveDriver {
     /// completes it.
     pub fn next_completion(&mut self) -> Option<SimTime> {
         if self.active.is_none() && !self.queue.is_empty() {
-            let at = self.queue.iter().map(|q| q.arrived).min().expect("non-empty");
+            let at = self
+                .queue
+                .iter()
+                .map(|q| q.arrived)
+                .min()
+                .expect("non-empty");
             self.dispatch_next(at);
         }
         self.active.as_ref().map(|a| a.completes)
@@ -639,7 +798,7 @@ impl AdaptiveDriver {
     pub fn complete_next(&mut self, now: SimTime) -> Completion {
         let a = self.active.take().expect("no active request");
         assert_eq!(a.completes, now, "completion at the wrong time");
-        let data = if a.queued.req.dir.is_read() {
+        let data = if a.queued.req.dir.is_read() && a.error.is_none() {
             let mut buf = vec![0u8; a.queued.req.n_sectors as usize * SECTOR_SIZE];
             let mut off = 0usize;
             for &(sector, n) in &a.queued.segments {
@@ -651,12 +810,17 @@ impl AdaptiveDriver {
         } else {
             Bytes::new()
         };
-        self.perf.record_completion(
-            a.queued.req.dir,
-            now - a.dispatched,
-            a.breakdown.rotation,
-            a.breakdown.transfer + a.breakdown.overhead,
-        );
+        if a.error.is_none() {
+            // Failed requests are counted by the fault counters instead;
+            // keeping them out of the service-time statistics means the
+            // paper's timing figures still describe successful transfers.
+            self.perf.record_completion(
+                a.queued.req.dir,
+                now - a.dispatched,
+                a.breakdown.rotation,
+                a.breakdown.transfer + a.breakdown.overhead,
+            );
+        }
         let completion = Completion {
             id: a.queued.id,
             dir: a.queued.req.dir,
@@ -665,6 +829,7 @@ impl AdaptiveDriver {
             dispatched: a.dispatched,
             completed: now,
             breakdown: a.breakdown,
+            error: a.error,
         };
         self.dispatch_next(now);
         completion
@@ -705,9 +870,15 @@ impl AdaptiveDriver {
         if !self.is_idle() {
             return Err(DriverError::Busy);
         }
+        if self.degraded {
+            return Err(DriverError::Degraded);
+        }
         let layout = *self.layout.as_ref().ok_or(DriverError::NotRearranged)?;
         if slot >= layout.n_slots {
             return Err(DriverError::BadSlot);
+        }
+        if self.quarantined.contains(&slot) {
+            return Err(DriverError::SlotQuarantined);
         }
         let spb = u64::from(self.sectors_per_block());
         let vsector = block * spb;
@@ -736,19 +907,32 @@ impl AdaptiveDriver {
 
         let mut busy = SimDuration::ZERO;
         // 1: read the block from its original position.
-        busy += self
-            .disk
-            .service(IoDir::Read, orig_phys, n, now + busy)
-            .total();
-        // 2: write it into the reserved slot.
+        let (elapsed, res) = self.serviced(IoDir::Read, orig_phys, n, now + busy);
+        busy += elapsed;
+        res?;
+        // 2: write it into the reserved slot. A hard media error here
+        // blacklists the slot; the home copy is untouched either way.
+        let (elapsed, res) = self.serviced(IoDir::Write, dst, n, now + busy);
+        busy += elapsed;
+        if let Err(e) = res {
+            if e.fault == DiskFault::Media {
+                self.quarantined.insert(slot);
+                self.perf.record_quarantine();
+            }
+            return Err(e.into());
+        }
         self.disk.store_mut().copy(orig_phys, dst, n);
-        busy += self
-            .disk
-            .service(IoDir::Write, dst, n, now + busy)
-            .total();
-        // Table entry, then 3: force the table to disk.
+        // Table entry, then 3: force the table to disk. Data before
+        // metadata: the entry goes in only after the copy is durable, and
+        // comes back out if the table itself cannot be persisted.
         self.table.insert(orig_phys, slot);
-        busy += self.write_table(&layout, now + busy);
+        match self.write_table(&layout, now + busy) {
+            Ok(d) => busy += d,
+            Err(e) => {
+                self.table.remove(orig_phys);
+                return Err(e);
+            }
+        }
         Ok(IoctlReply::Moved { ops: 3, busy })
     }
 
@@ -760,59 +944,145 @@ impl AdaptiveDriver {
         if !self.is_idle() {
             return Err(DriverError::Busy);
         }
+        if self.degraded {
+            return Err(DriverError::Degraded);
+        }
         let layout = *self.layout.as_ref().ok_or(DriverError::NotRearranged)?;
         let n = self.sectors_per_block();
         let mut busy = SimDuration::ZERO;
         let mut ops = 0u32;
         for (orig_phys, entry) in self.table.entries_by_slot() {
-            if entry.dirty {
-                let src = layout.slot_sector(entry.slot);
-                busy += self
-                    .disk
-                    .service(IoDir::Read, src, n, now + busy)
-                    .total();
-                self.disk.store_mut().copy(src, orig_phys, n);
-                busy += self
-                    .disk
-                    .service(IoDir::Write, orig_phys, n, now + busy)
-                    .total();
-                ops += 2;
+            match self.clean_one(&layout, orig_phys, entry, n, now + busy) {
+                Ok((d, o)) => {
+                    busy += d;
+                    ops += o;
+                }
+                // A power cut (or a failed table persist) aborts the
+                // whole pass: per-block commit order keeps everything
+                // already moved consistent. Skippable per-block failures
+                // were already absorbed by `clean_one`.
+                Err((d, e)) => {
+                    busy += d;
+                    return Err(e);
+                }
             }
-            self.table.remove(orig_phys);
-            busy += self.write_table(&layout, now + busy);
-            ops += 1;
         }
         Ok(IoctlReply::Moved { ops, busy })
+    }
+
+    /// Move one block out of the reserved area for [`Self::clean`] /
+    /// [`Self::bevict`]: copy dirty data home, then commit the entry's
+    /// removal (memory + on-disk table). The reserved copy is never
+    /// destroyed, so every intermediate state recovers cleanly.
+    ///
+    /// Per-block failure policy:
+    /// * dirty slot unreadable (hard) → quarantine the slot, mark the
+    ///   block lost, and commit the removal — continuing costs nothing
+    ///   further and the loss is surfaced via [`DriverError::DataLoss`]
+    ///   on subsequent reads;
+    /// * home write fails → keep the entry (the slot copy remains the
+    ///   canonical data) and skip the block;
+    /// * table persist fails → roll the entry back in memory and abort.
+    ///
+    /// Returns `(busy, ops)` on a handled outcome, or the accumulated
+    /// busy time plus the error when the caller must abort.
+    fn clean_one(
+        &mut self,
+        layout: &ReservedLayout,
+        orig_phys: u64,
+        entry: crate::blocktable::Entry,
+        n: u32,
+        now: SimTime,
+    ) -> Result<(SimDuration, u32), (SimDuration, DriverError)> {
+        let mut busy = SimDuration::ZERO;
+        let mut ops = 0u32;
+        let mut lost = false;
+        if entry.dirty {
+            let src = layout.slot_sector(entry.slot);
+            let (elapsed, res) = self.serviced(IoDir::Read, src, n, now + busy);
+            busy += elapsed;
+            match res {
+                Ok(_) => {
+                    let (elapsed, res) = self.serviced(IoDir::Write, orig_phys, n, now + busy);
+                    busy += elapsed;
+                    match res {
+                        Ok(_) => {
+                            self.disk.store_mut().copy(src, orig_phys, n);
+                            ops += 2;
+                        }
+                        Err(e) if e.fault == DiskFault::PowerLoss => {
+                            return Err((busy, e.into()));
+                        }
+                        Err(e) => {
+                            // Torn home writes persisted a prefix of the
+                            // slot data; harmless while the entry remains.
+                            if e.fault == DiskFault::TornWrite && e.persisted > 0 {
+                                self.disk.store_mut().copy(src, orig_phys, e.persisted);
+                            }
+                            // Keep the entry: the slot copy stays canonical.
+                            return Ok((busy, ops));
+                        }
+                    }
+                }
+                Err(e) if e.fault == DiskFault::PowerLoss => {
+                    return Err((busy, e.into()));
+                }
+                Err(e) => {
+                    // The dirty reserved copy is gone for good: quarantine
+                    // the slot and surface the loss on future reads rather
+                    // than silently reviving the stale home copy.
+                    let _ = e;
+                    self.quarantined.insert(entry.slot);
+                    self.perf.record_quarantine();
+                    lost = true;
+                }
+            }
+        }
+        self.table.remove(orig_phys);
+        match self.write_table(layout, now + busy) {
+            Ok(d) => {
+                busy += d;
+                ops += 1;
+            }
+            Err(e) => {
+                // Roll back to match the on-disk table.
+                self.table.insert(orig_phys, entry.slot);
+                if entry.dirty {
+                    self.table.mark_dirty(orig_phys);
+                }
+                return Err((busy, e));
+            }
+        }
+        if lost {
+            self.lost.insert(orig_phys);
+            self.perf.record_lost_block();
+        }
+        Ok((busy, ops))
     }
 
     /// `DKIOCBEVICT` (extension): move one block home. Dirty blocks cost
     /// a read plus a write; clean blocks just leave the table. The table
     /// is persisted afterwards, like `DKIOCCLEAN` does per block.
+    ///
+    /// Shares [`Self::clean_one`]'s failure policy; a skipped home write
+    /// reports `Moved { ops: 0, .. }` with the entry still resident, so
+    /// callers can retry later without having lost anything.
     fn bevict(&mut self, orig: u64, now: SimTime) -> Result<IoctlReply, DriverError> {
         if !self.is_idle() {
             return Err(DriverError::Busy);
+        }
+        if self.degraded {
+            return Err(DriverError::Degraded);
         }
         let layout = *self.layout.as_ref().ok_or(DriverError::NotRearranged)?;
         let Some(entry) = self.table.lookup(orig) else {
             return Err(DriverError::NotResident);
         };
         let n = self.sectors_per_block();
-        let mut busy = SimDuration::ZERO;
-        let mut ops = 0u32;
-        if entry.dirty {
-            let src = layout.slot_sector(entry.slot);
-            busy += self.disk.service(IoDir::Read, src, n, now + busy).total();
-            self.disk.store_mut().copy(src, orig, n);
-            busy += self
-                .disk
-                .service(IoDir::Write, orig, n, now + busy)
-                .total();
-            ops += 2;
+        match self.clean_one(&layout, orig, entry, n, now) {
+            Ok((busy, ops)) => Ok(IoctlReply::Moved { ops, busy }),
+            Err((_, e)) => Err(e),
         }
-        self.table.remove(orig);
-        busy += self.write_table(&layout, now + busy);
-        ops += 1;
-        Ok(IoctlReply::Moved { ops, busy })
     }
 
     /// Install a cylinder permutation (see [`Ioctl::ShuffleCylinders`]).
@@ -873,28 +1143,100 @@ impl AdaptiveDriver {
         Ok(IoctlReply::Moved { ops, busy })
     }
 
-    /// Persist the block table into the table region, returning the time
-    /// the write took.
-    fn write_table(&mut self, layout: &ReservedLayout, now: SimTime) -> SimDuration {
+    /// Persist the block table into the table region (dual-copy format),
+    /// returning the time the write took.
+    ///
+    /// On failure only the persisted prefix of the new image reaches the
+    /// store (torn writes), the failure is counted, and the caller must
+    /// roll back any in-memory table change it has not yet committed so
+    /// memory keeps matching the on-disk table.
+    fn write_table(
+        &mut self,
+        layout: &ReservedLayout,
+        now: SimTime,
+    ) -> Result<SimDuration, DriverError> {
         let bytes = self
             .table
-            .encode(layout)
+            .encode_region(layout)
             .expect("table sized by config.table_max_entries");
-        self.disk.store_mut().write(layout.start_sector, &bytes);
-        self.disk
-            .service(
-                IoDir::Write,
-                layout.start_sector,
-                layout.table_sectors as u32,
-                now,
-            )
-            .total()
+        let (elapsed, res) = self.serviced(
+            IoDir::Write,
+            layout.start_sector,
+            layout.table_sectors as u32,
+            now,
+        );
+        match res {
+            Ok(_) => {
+                self.disk.store_mut().write(layout.start_sector, &bytes);
+                Ok(elapsed)
+            }
+            Err(e) => {
+                if e.fault == DiskFault::TornWrite && e.persisted > 0 {
+                    let end = (e.persisted as usize * SECTOR_SIZE).min(bytes.len());
+                    self.disk
+                        .store_mut()
+                        .write(layout.start_sector, &bytes[..end]);
+                }
+                self.perf.record_table_write_failure();
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Issue one disk operation through the fault layer, retrying
+    /// transient and torn failures with a short exponential backoff in
+    /// simulated time. Returns the total elapsed time alongside the
+    /// final outcome; on success the breakdown describes the successful
+    /// attempt only, so `elapsed - breakdown.total()` is retry overhead.
+    fn serviced(
+        &mut self,
+        dir: IoDir,
+        sector: u64,
+        n_sectors: u32,
+        start: SimTime,
+    ) -> (SimDuration, Result<ServiceBreakdown, DiskError>) {
+        const MAX_ATTEMPTS: u32 = 4;
+        let mut elapsed = SimDuration::ZERO;
+        for attempt in 1..=MAX_ATTEMPTS {
+            match self
+                .disk
+                .try_service(dir, sector, n_sectors, start + elapsed)
+            {
+                Ok(b) => {
+                    elapsed += b.total();
+                    return (elapsed, Ok(b));
+                }
+                Err(e) => {
+                    elapsed += e.elapsed;
+                    if e.fault.is_retryable() && attempt < MAX_ATTEMPTS {
+                        self.perf.record_retry();
+                        elapsed += SimDuration::from_millis(1 << (attempt - 1));
+                    } else {
+                        return (elapsed, Err(e));
+                    }
+                }
+            }
+        }
+        unreachable!("loop returns on success or on the final attempt")
     }
 
     /// Detach without any cleanup, modelling a crash: returns the raw
     /// disk so a new driver can re-attach and exercise recovery.
     pub fn crash(self) -> Disk {
         self.disk
+    }
+}
+
+/// An all-zero [`ServiceBreakdown`] for requests that never reached the
+/// device (e.g. reads failed fast against the lost-block set).
+fn zero_breakdown() -> ServiceBreakdown {
+    ServiceBreakdown {
+        overhead: SimDuration::ZERO,
+        seek: SimDuration::ZERO,
+        rotation: SimDuration::ZERO,
+        transfer: SimDuration::ZERO,
+        seek_distance: 0,
+        buffer_hit: false,
     }
 }
 
@@ -1025,10 +1367,7 @@ mod tests {
         d.submit(IoRequest::read(0, 24, 8), t(2_000_000)).unwrap();
         let done = d.drain();
         assert_eq!(done[0].data, payload);
-        let slot_cyl = d
-            .label()
-            .physical
-            .cylinder_of(layout.slot_sector(0));
+        let slot_cyl = d.label().physical.cylinder_of(layout.slot_sector(0));
         // The slot lives inside the reserved region.
         assert!(d
             .label()
@@ -1191,9 +1530,7 @@ mod tests {
         let mut d = tiny_plain_driver();
         // 20 sectors starting at sector 5 with 8-sector blocks:
         // [5..8) [8..16) [16..24) [24..25) -> 4 subrequests.
-        let ids = d
-            .submit_raw(IoDir::Read, 0, 5, 20, t(0))
-            .unwrap();
+        let ids = d.submit_raw(IoDir::Read, 0, 5, 20, t(0)).unwrap();
         assert_eq!(ids.len(), 4);
         let done = d.drain();
         assert_eq!(done.len(), 4);
@@ -1223,8 +1560,14 @@ mod tests {
         // Alternate between two far-apart blocks.
         let far = (d.label().virtual_geometry().total_sectors() / 8) - 1;
         d.ioctl(Ioctl::BCopy { block: 0, slot: 0 }, t(0)).unwrap();
-        d.ioctl(Ioctl::BCopy { block: far, slot: 1 }, t(50_000_000))
-            .unwrap();
+        d.ioctl(
+            Ioctl::BCopy {
+                block: far,
+                slot: 1,
+            },
+            t(50_000_000),
+        )
+        .unwrap();
         let mut clk = 100_000_000u64;
         for _ in 0..10 {
             d.submit(IoRequest::read(0, 0, 8), t(clk)).unwrap();
@@ -1262,8 +1605,7 @@ mod tests {
         assert!(d.block_table().is_empty());
         // Evicting again errors.
         assert_eq!(
-            d.ioctl(Ioctl::BEvict { orig }, t(120_000_000))
-                .unwrap_err(),
+            d.ioctl(Ioctl::BEvict { orig }, t(120_000_000)).unwrap_err(),
             DriverError::NotResident
         );
     }
@@ -1382,9 +1724,7 @@ mod tests {
         .unwrap();
         // Raw read spanning the cylinder boundary (sectors 60..68): the
         // two halves live on opposite ends of the disk now.
-        let ids = d
-            .submit_raw(IoDir::Read, 0, 60, 8, t(100_000_000))
-            .unwrap();
+        let ids = d.submit_raw(IoDir::Read, 0, 60, 8, t(100_000_000)).unwrap();
         let done = d.drain();
         assert_eq!(ids.len(), 2); // physio split at the 8-sector block grid
         assert!(done[0].data.iter().all(|&b| b == 0x3C));
@@ -1436,7 +1776,8 @@ mod tests {
         let mut d = tiny_plain_driver();
         let g = d.label().physical;
         let payload = Bytes::from(vec![0x99; 4096]);
-        d.submit(IoRequest::write(0, 3 * 64, 8, payload), t(0)).unwrap();
+        d.submit(IoRequest::write(0, 3 * 64, 8, payload), t(0))
+            .unwrap();
         d.drain();
         // Shuffle twice with different permutations (cylinder 0 pinned);
         // data must follow.
@@ -1490,8 +1831,14 @@ mod tests {
             IoctlReply::Stats(s) => s.reads.sched_seek.mean(),
             _ => unreachable!(),
         };
-        d.ioctl(Ioctl::BCopy { block: near, slot: 0 }, t(clk))
-            .unwrap();
+        d.ioctl(
+            Ioctl::BCopy {
+                block: near,
+                slot: 0,
+            },
+            t(clk),
+        )
+        .unwrap();
         clk += 1_000_000;
         d.ioctl(
             Ioctl::BCopy {
@@ -1512,5 +1859,239 @@ mod tests {
             "seek distance {after} not <<{before}"
         );
         let _ = g;
+    }
+
+    // ---- fault-path tests -------------------------------------------
+
+    use abr_disk::fault::{FaultInjector, FaultPlan};
+    use abr_sim::SimRng;
+
+    fn injector(plan: FaultPlan, seed: u64) -> FaultInjector {
+        FaultInjector::new(plan, SimRng::new(seed))
+    }
+
+    #[test]
+    fn zero_fault_injector_is_bit_identical() {
+        let mut plain = tiny_plain_driver();
+        let mut faulty = tiny_plain_driver();
+        faulty
+            .disk_mut()
+            .set_injector(Some(injector(FaultPlan::none(), 42)));
+        let payload = Bytes::from(vec![0xAB; 4096]);
+        for d in [&mut plain, &mut faulty] {
+            d.submit(IoRequest::write(0, 8, 8, payload.clone()), t(0))
+                .unwrap();
+            for i in 0..6u64 {
+                d.submit(IoRequest::read(0, (i * 24) % 96, 8), t(i * 400))
+                    .unwrap();
+            }
+        }
+        let a = plain.drain();
+        let b = faulty.drain();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.completed, y.completed);
+            assert_eq!(x.breakdown, y.breakdown);
+            assert_eq!(x.data, y.data);
+            assert!(x.is_ok() && y.is_ok());
+        }
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_absorbed() {
+        let mut d = tiny_plain_driver();
+        let plan = FaultPlan {
+            transient_read: 0.2,
+            ..FaultPlan::none()
+        };
+        d.disk_mut().set_injector(Some(injector(plan, 7)));
+        for i in 0..30u64 {
+            d.submit(IoRequest::read(0, (i % 12) * 8, 8), t(i * 1_000))
+                .unwrap();
+        }
+        let done = d.drain();
+        assert!(done.iter().all(Completion::is_ok), "retries should absorb");
+        let snap = match d.ioctl(Ioctl::ReadStats, t(1_000_000_000)).unwrap() {
+            IoctlReply::Stats(s) => s,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(snap.faults.retries > 0, "seeded run must draw transients");
+        assert_eq!(snap.faults.read_failures, 0);
+        assert_eq!(snap.reads.service.count(), 30);
+    }
+
+    #[test]
+    fn media_error_fails_request_and_skips_service_stats() {
+        let mut d = tiny_plain_driver();
+        let bad = d.label().partitions[0].start_sector + 16;
+        let phys = d.label().virtual_to_physical(bad);
+        let mut inj = injector(FaultPlan::none(), 1);
+        inj.add_defect(phys);
+        d.disk_mut().set_injector(Some(inj));
+
+        d.submit(IoRequest::read(0, 0, 8), t(0)).unwrap();
+        d.submit(IoRequest::read(0, 16, 8), t(0)).unwrap();
+        let done = d.drain();
+        let failed: Vec<_> = done.iter().filter(|c| !c.is_ok()).collect();
+        assert_eq!(failed.len(), 1);
+        assert!(matches!(
+            failed[0].error,
+            Some(DriverError::Disk {
+                fault: DiskFault::Media,
+                ..
+            })
+        ));
+        assert!(failed[0].data.is_empty(), "failed reads carry no data");
+        let snap = match d.ioctl(Ioctl::ReadStats, t(1_000_000)).unwrap() {
+            IoctlReply::Stats(s) => s,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(snap.faults.read_failures, 1);
+        // Only the successful read contributes to service-time stats.
+        assert_eq!(snap.reads.service.count(), 1);
+    }
+
+    #[test]
+    fn media_error_on_slot_write_quarantines_slot() {
+        let mut d = tiny_rearranged_driver();
+        let layout = *d.layout().unwrap();
+        let mut inj = injector(FaultPlan::none(), 1);
+        inj.add_defect(layout.slot_sector(0));
+        d.disk_mut().set_injector(Some(inj));
+
+        let err = d
+            .ioctl(Ioctl::BCopy { block: 1, slot: 0 }, t(0))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DriverError::Disk {
+                fault: DiskFault::Media,
+                ..
+            }
+        ));
+        assert!(d.block_table().is_empty(), "failed copy leaves no entry");
+        assert!(d.quarantined_slots().any(|s| s == 0));
+        // The bad slot is refused outright from now on.
+        assert_eq!(
+            d.ioctl(Ioctl::BCopy { block: 1, slot: 0 }, t(1_000_000))
+                .unwrap_err(),
+            DriverError::SlotQuarantined
+        );
+        // Healthy slots still work.
+        d.ioctl(Ioctl::BCopy { block: 1, slot: 1 }, t(2_000_000))
+            .unwrap();
+        assert_eq!(d.block_table().len(), 1);
+    }
+
+    #[test]
+    fn degraded_attach_serves_pass_through() {
+        let mut d = tiny_rearranged_driver();
+        let layout = *d.layout().unwrap();
+        let payload = Bytes::from(vec![0x3C; 4096]);
+        d.submit(IoRequest::write(0, 24, 8, payload.clone()), t(0))
+            .unwrap();
+        d.drain();
+        // Clean copy in slot 0: home stays canonical.
+        d.ioctl(Ioctl::BCopy { block: 3, slot: 0 }, t(1_000_000))
+            .unwrap();
+
+        // Clobber the whole table region (both copies) and re-attach.
+        let mut disk = d.crash();
+        let garbage = vec![0xFF; layout.table_sectors as usize * SECTOR_SIZE];
+        disk.store_mut().write(layout.start_sector, &garbage);
+        let mut d = AdaptiveDriver::attach(disk, tiny_config()).unwrap();
+        assert!(d.is_degraded());
+        assert!(d.block_table().is_empty());
+
+        // Requests are served correctly at their original addresses.
+        d.submit(IoRequest::read(0, 24, 8), t(2_000_000)).unwrap();
+        let done = d.drain();
+        assert!(done[0].is_ok());
+        assert_eq!(done[0].data, payload);
+        // Block movement is refused until reformatted.
+        assert_eq!(
+            d.ioctl(Ioctl::BCopy { block: 1, slot: 1 }, t(3_000_000))
+                .unwrap_err(),
+            DriverError::Degraded
+        );
+        assert_eq!(
+            d.ioctl(Ioctl::Clean, t(3_000_000)).unwrap_err(),
+            DriverError::Degraded
+        );
+    }
+
+    #[test]
+    fn lost_block_reads_fail_until_rewritten() {
+        let mut d = tiny_rearranged_driver();
+        let layout = *d.layout().unwrap();
+        let old = Bytes::from(vec![0x11; 4096]);
+        let new = Bytes::from(vec![0x22; 4096]);
+        d.submit(IoRequest::write(0, 8, 8, old), t(0)).unwrap();
+        d.drain();
+        d.ioctl(Ioctl::BCopy { block: 1, slot: 0 }, t(1_000_000))
+            .unwrap();
+        // Dirty the reserved copy, then destroy it.
+        d.submit(IoRequest::write(0, 8, 8, new.clone()), t(2_000_000))
+            .unwrap();
+        d.drain();
+        let mut inj = injector(FaultPlan::none(), 1);
+        inj.add_defect(layout.slot_sector(0));
+        d.disk_mut().set_injector(Some(inj));
+
+        // Clean-out hits the defect: the dirty copy is gone for good, the
+        // slot is quarantined, and the pass still completes.
+        d.ioctl(Ioctl::Clean, t(3_000_000)).unwrap();
+        assert!(d.block_table().is_empty());
+        assert!(d.quarantined_slots().any(|s| s == 0));
+        assert_eq!(d.lost_blocks().count(), 1);
+
+        // Reads of the lost block fail loudly rather than serving the
+        // stale home copy...
+        d.submit(IoRequest::read(0, 8, 8), t(4_000_000)).unwrap();
+        let done = d.drain();
+        assert_eq!(done[0].error, Some(DriverError::DataLoss));
+        // ...until a full-block write refreshes it.
+        d.submit(IoRequest::write(0, 8, 8, new.clone()), t(5_000_000))
+            .unwrap();
+        d.drain();
+        assert_eq!(d.lost_blocks().count(), 0);
+        d.submit(IoRequest::read(0, 8, 8), t(6_000_000)).unwrap();
+        let done = d.drain();
+        assert!(done[0].is_ok());
+        assert_eq!(done[0].data, new);
+    }
+
+    #[test]
+    fn failed_table_write_rolls_back_and_recovers() {
+        let mut d = tiny_rearranged_driver();
+        d.ioctl(Ioctl::BCopy { block: 1, slot: 0 }, t(0)).unwrap();
+        // Cut power on the third device op of the next bcopy: the block
+        // read and the slot write succeed, the table persist does not.
+        let plan = FaultPlan {
+            power_cut_after_ops: Some(2),
+            ..FaultPlan::none()
+        };
+        d.disk_mut().set_injector(Some(injector(plan, 1)));
+        let err = d
+            .ioctl(Ioctl::BCopy { block: 2, slot: 1 }, t(1_000_000))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DriverError::Disk {
+                fault: DiskFault::PowerLoss,
+                ..
+            }
+        ));
+        // In-memory table rolled back to match the on-disk one.
+        assert_eq!(d.block_table().len(), 1);
+
+        // Power-cycle: recovery sees exactly the committed entry.
+        let mut disk = d.crash();
+        if let Some(inj) = disk.injector_mut() {
+            inj.revive();
+        }
+        let d = AdaptiveDriver::attach(disk, tiny_config()).unwrap();
+        assert!(!d.is_degraded());
+        assert_eq!(d.block_table().len(), 1);
     }
 }

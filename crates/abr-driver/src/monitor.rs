@@ -155,6 +155,38 @@ impl DirStats {
     }
 }
 
+/// Error-path counters: what the retry loop, quarantine logic, and
+/// degraded mode did during the measurement window. All zero on a
+/// fault-free run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Transient disk faults absorbed by the bounded retry loop.
+    pub retries: u64,
+    /// Read requests that failed after exhausting retries.
+    pub read_failures: u64,
+    /// Write requests that failed after exhausting retries.
+    pub write_failures: u64,
+    /// Reserved-area slots blacklisted after hard media errors.
+    pub quarantines: u64,
+    /// Blocks whose most recent data became unrecoverable (dirty reserved
+    /// copy lost to a hard error before it could be copied home).
+    pub lost_blocks: u64,
+    /// Block-table persists that fell back after a disk error (the
+    /// in-memory change was rolled back).
+    pub table_write_failures: u64,
+}
+
+impl FaultStats {
+    fn clear(&mut self) {
+        *self = FaultStats::default();
+    }
+
+    /// Whether any fault activity was recorded.
+    pub fn any(&self) -> bool {
+        *self != FaultStats::default()
+    }
+}
+
 /// A point-in-time copy of the monitor contents, as returned by the
 /// read-stats ioctl.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -163,6 +195,9 @@ pub struct PerfSnapshot {
     pub reads: DirStats,
     /// Write-request statistics.
     pub writes: DirStats,
+    /// Error-path counters for the window.
+    #[serde(default)]
+    pub faults: FaultStats,
 }
 
 impl PerfSnapshot {
@@ -184,6 +219,7 @@ impl PerfSnapshot {
 pub struct PerfMonitor {
     reads: DirStats,
     writes: DirStats,
+    faults: FaultStats,
 }
 
 /// Histogram range: times at or beyond this many ms land in the overflow
@@ -202,7 +238,36 @@ impl PerfMonitor {
         PerfMonitor {
             reads: DirStats::new(RANGE_MS),
             writes: DirStats::new(RANGE_MS),
+            faults: FaultStats::default(),
         }
+    }
+
+    /// Count one absorbed (retried) transient disk fault.
+    pub fn record_retry(&mut self) {
+        self.faults.retries += 1;
+    }
+
+    /// Count one request that failed after exhausting retries.
+    pub fn record_failure(&mut self, dir: IoDir) {
+        match dir {
+            IoDir::Read => self.faults.read_failures += 1,
+            IoDir::Write => self.faults.write_failures += 1,
+        }
+    }
+
+    /// Count one reserved slot quarantined after a hard media error.
+    pub fn record_quarantine(&mut self) {
+        self.faults.quarantines += 1;
+    }
+
+    /// Count one block whose latest data became unrecoverable.
+    pub fn record_lost_block(&mut self) {
+        self.faults.lost_blocks += 1;
+    }
+
+    /// Count one failed (rolled-back) block-table persist.
+    pub fn record_table_write_failure(&mut self) {
+        self.faults.table_write_failures += 1;
     }
 
     fn dir_mut(&mut self, dir: IoDir) -> &mut DirStats {
@@ -256,6 +321,7 @@ impl PerfMonitor {
         PerfSnapshot {
             reads: self.reads.clone(),
             writes: self.writes.clone(),
+            faults: self.faults,
         }
     }
 
@@ -264,6 +330,7 @@ impl PerfMonitor {
         let snap = self.snapshot();
         self.reads.clear();
         self.writes.clear();
+        self.faults.clear();
         snap
     }
 }
@@ -354,6 +421,29 @@ mod tests {
         assert_eq!(first.writes.arrival_seek.count(), 1);
         let second = p.snapshot();
         assert_eq!(second.writes.arrival_seek.count(), 0);
+    }
+
+    #[test]
+    fn fault_counters_accumulate_and_clear() {
+        let mut p = PerfMonitor::new();
+        assert!(!p.snapshot().faults.any());
+        p.record_retry();
+        p.record_retry();
+        p.record_failure(IoDir::Read);
+        p.record_failure(IoDir::Write);
+        p.record_quarantine();
+        p.record_lost_block();
+        p.record_table_write_failure();
+        let s = p.read_and_clear();
+        assert!(s.faults.any());
+        assert_eq!(s.faults.retries, 2);
+        assert_eq!(s.faults.read_failures, 1);
+        assert_eq!(s.faults.write_failures, 1);
+        assert_eq!(s.faults.quarantines, 1);
+        assert_eq!(s.faults.lost_blocks, 1);
+        assert_eq!(s.faults.table_write_failures, 1);
+        // Cleared with the rest of the stats.
+        assert!(!p.snapshot().faults.any());
     }
 
     #[test]

@@ -46,10 +46,7 @@ mod tests {
     #[test]
     fn unaligned_large_request_splits_at_boundaries() {
         // Blocks of 8: [5..8) [8..16) [16..24) [24..25).
-        assert_eq!(
-            split(5, 20, 8),
-            vec![(5, 3), (8, 8), (16, 8), (24, 1)]
-        );
+        assert_eq!(split(5, 20, 8), vec![(5, 3), (8, 8), (16, 8), (24, 1)]);
     }
 
     #[test]

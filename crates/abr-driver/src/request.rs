@@ -50,12 +50,7 @@ impl IoRequest {
     ///
     /// # Panics
     /// Panics if the payload length does not match `n_sectors`.
-    pub fn write(
-        partition: usize,
-        sector_in_partition: u64,
-        n_sectors: u32,
-        data: Bytes,
-    ) -> Self {
+    pub fn write(partition: usize, sector_in_partition: u64, n_sectors: u32, data: Bytes) -> Self {
         assert_eq!(
             data.len(),
             n_sectors as usize * abr_disk::SECTOR_SIZE,

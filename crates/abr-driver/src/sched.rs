@@ -160,11 +160,7 @@ mod tests {
 
     #[test]
     fn fcfs_is_arrival_order() {
-        let order = drain(
-            SchedulerKind::Fcfs,
-            vec![q(0, 50), q(1, 10), q(2, 90)],
-            0,
-        );
+        let order = drain(SchedulerKind::Fcfs, vec![q(0, 50), q(1, 10), q(2, 90)], 0);
         assert_eq!(order, vec![50, 10, 90]);
     }
 
@@ -184,11 +180,7 @@ mod tests {
         // A request on the current cylinder is a zero-length seek and is
         // picked before anything else in the sweep — the synergy with
         // block rearrangement the paper describes (§5.2).
-        let order = drain(
-            SchedulerKind::Scan,
-            vec![q(0, 77), q(1, 40), q(2, 41)],
-            40,
-        );
+        let order = drain(SchedulerKind::Scan, vec![q(0, 77), q(1, 40), q(2, 41)], 40);
         assert_eq!(order[0], 40);
         assert_eq!(order[1], 41);
     }
@@ -231,11 +223,7 @@ mod tests {
     fn scan_downward_sweep() {
         // Head at 95: everything is below, so SCAN flips downward and
         // services in descending order.
-        let order = drain(
-            SchedulerKind::Scan,
-            vec![q(0, 50), q(1, 10), q(2, 90)],
-            95,
-        );
+        let order = drain(SchedulerKind::Scan, vec![q(0, 50), q(1, 10), q(2, 90)], 95);
         assert_eq!(order, vec![90, 50, 10]);
     }
 }

@@ -141,10 +141,7 @@ impl Allocator {
         let n = self.layout.n_groups();
         (0..n).map(|d| (group_hint + d) % n).find_map(|g| {
             let bitmap = &self.free[g as usize];
-            bitmap
-                .iter()
-                .position(|&f| f)
-                .map(|i| self.take(g, i))
+            bitmap.iter().position(|&f| f).map(|i| self.take(g, i))
         })
     }
 
@@ -161,9 +158,7 @@ impl Allocator {
     /// Panics if the block is not an allocated data block (double free or
     /// metadata block).
     pub fn free_block(&mut self, block: u64) {
-        let (g, i) = self
-            .data_index(block)
-            .expect("freeing a non-data block");
+        let (g, i) = self.data_index(block).expect("freeing a non-data block");
         assert!(!self.free[g as usize][i], "double free of block {block}");
         self.free[g as usize][i] = true;
         self.free_count[g as usize] += 1;

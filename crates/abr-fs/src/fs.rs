@@ -106,7 +106,9 @@ impl fmt::Display for FsError {
 impl std::error::Error for FsError {}
 
 /// Handle to an open file (its i-node number).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct FileHandle(pub u64);
 
 /// Handle to a directory.
@@ -222,11 +224,7 @@ impl FileSystem {
     }
 
     fn read_req(&self, block: u64, n_sectors: u32) -> IoRequest {
-        IoRequest::read(
-            self.cfg.partition,
-            block * u64::from(self.spb()),
-            n_sectors,
-        )
+        IoRequest::read(self.cfg.partition, block * u64::from(self.spb()), n_sectors)
     }
 
     fn write_req(&self, w: &Writeback) -> IoRequest {
@@ -374,10 +372,7 @@ impl FileSystem {
         let (block, generation) = (d.block, d.generation);
         self.cache_dirty(
             block,
-            PayloadTag::DirBlock {
-                dir,
-                generation,
-            },
+            PayloadTag::DirBlock { dir, generation },
             self.spb(),
             out,
         );
@@ -410,8 +405,8 @@ impl FileSystem {
         // Roll back everything allocated so far if space runs out
         // mid-file; a failed create must not leak blocks.
         let alloc_or_rollback = |alloc: &mut crate::alloc::Allocator,
-                                     blocks: &mut Vec<u64>,
-                                     prev: Option<u64>|
+                                 blocks: &mut Vec<u64>,
+                                 prev: Option<u64>|
          -> Result<u64, FsError> {
             match alloc.alloc_block(group, prev) {
                 Some(b) => Ok(b),
@@ -632,7 +627,12 @@ impl FileSystem {
         }
         if needs_indirect {
             let ib = self.inodes[&file.0].indirect.expect("just set");
-            self.cache_dirty(ib, PayloadTag::Indirect { ino: file.0 }, self.spb(), &mut out);
+            self.cache_dirty(
+                ib,
+                PayloadTag::Indirect { ino: file.0 },
+                self.spb(),
+                &mut out,
+            );
         }
         // Rewrite the old tail block (it grew), then write the new blocks.
         let total = new_n;
@@ -848,7 +848,10 @@ mod tests {
             .filter(|r| !r.dir.is_read())
             .map(|r| r.n_sectors)
             .collect();
-        assert!(data_writes.contains(&6), "tail fragment write: {data_writes:?}");
+        assert!(
+            data_writes.contains(&6),
+            "tail fragment write: {data_writes:?}"
+        );
     }
 
     #[test]
@@ -984,7 +987,11 @@ mod tests {
         assert_eq!(reqs.iter().filter(|r| !r.dir.is_read()).count(), 2);
         // Sync flushes only metadata.
         let burst = fs.sync();
-        assert!(burst.len() <= 3, "sync burst {} should be metadata only", burst.len());
+        assert!(
+            burst.len() <= 3,
+            "sync burst {} should be metadata only",
+            burst.len()
+        );
     }
 
     #[test]
@@ -1003,7 +1010,10 @@ mod tests {
         // the indirect block too: at least inode + indirect + data reads.
         let reqs = fs.read(f, 15, 1).unwrap();
         let reads = reqs.iter().filter(|r| r.dir.is_read()).count();
-        assert!(reads >= 3, "expected inode+indirect+data reads, got {reads}");
+        assert!(
+            reads >= 3,
+            "expected inode+indirect+data reads, got {reads}"
+        );
     }
 
     #[test]
@@ -1025,7 +1035,11 @@ mod tests {
         assert_eq!(fs.n_file_blocks(f).unwrap(), 1);
         let burst = fs.sync();
         // The data write is a single fragment (2 sectors at 1 KB frags).
-        assert!(burst.iter().any(|r| r.n_sectors == 2), "{:?}", burst.iter().map(|r| r.n_sectors).collect::<Vec<_>>());
+        assert!(
+            burst.iter().any(|r| r.n_sectors == 2),
+            "{:?}",
+            burst.iter().map(|r| r.n_sectors).collect::<Vec<_>>()
+        );
     }
 
     #[test]

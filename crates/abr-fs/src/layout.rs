@@ -47,11 +47,7 @@ impl FsLayout {
         interleave: u64,
     ) -> Self {
         assert!(block_size > 0 && fragment_size > 0);
-        assert_eq!(
-            block_size % fragment_size,
-            0,
-            "fragment must divide block"
-        );
+        assert_eq!(block_size % fragment_size, 0, "fragment must divide block");
         let spb = u64::from(block_size) / abr_disk::SECTOR_SIZE as u64;
         assert!(spb > 0, "block smaller than a sector");
         let n_blocks = n_sectors / spb;

@@ -241,8 +241,7 @@ mod tests {
             now = next;
         }
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
-        let var =
-            gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
         let cv2 = var / (mean * mean);
         assert!(cv2 > 3.0, "CV^2 {cv2} not bursty");
     }

@@ -25,7 +25,12 @@ pub struct OpMix {
 impl OpMix {
     /// Sum of the weights.
     pub fn total(&self) -> f64 {
-        self.read_whole + self.read_range + self.write_range + self.create + self.append + self.delete
+        self.read_whole
+            + self.read_range
+            + self.write_range
+            + self.create
+            + self.append
+            + self.delete
     }
 }
 
@@ -236,17 +241,13 @@ mod tests {
 
     #[test]
     fn users_fs_drifts_more_than_system_fs() {
-        assert!(
-            WorkloadProfile::users_fs().daily_drift
-                > WorkloadProfile::system_fs().daily_drift
-        );
+        assert!(WorkloadProfile::users_fs().daily_drift > WorkloadProfile::system_fs().daily_drift);
     }
 
     #[test]
     fn users_fs_less_skewed() {
         assert!(
-            WorkloadProfile::users_fs().popularity_s
-                < WorkloadProfile::system_fs().popularity_s
+            WorkloadProfile::users_fs().popularity_s < WorkloadProfile::system_fs().popularity_s
         );
     }
 

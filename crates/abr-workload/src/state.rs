@@ -426,10 +426,7 @@ impl WorkloadState {
     }
 
     /// Restore a generator from [`WorkloadState::save_state`] output.
-    pub fn load_state(
-        state: &serde_json::Value,
-        seed: u64,
-    ) -> Result<Self, serde_json::Error> {
+    pub fn load_state(state: &serde_json::Value, seed: u64) -> Result<Self, serde_json::Error> {
         let profile: WorkloadProfile = serde_json::from_value(state["profile"].clone())?;
         let files: Vec<FileRec> = serde_json::from_value(state["files"].clone())?;
         let day: u64 = serde_json::from_value(state["day"].clone())?;
@@ -452,8 +449,7 @@ impl WorkloadState {
             rank_to_file: serde_json::from_value(state["rank_to_file"].clone())?,
             popularity: Zipf::new(
                 serde_json::from_value::<Vec<usize>>(state["rank_to_file"].clone())?.len(),
-                serde_json::from_value::<WorkloadProfile>(state["profile"].clone())?
-                    .popularity_s,
+                serde_json::from_value::<WorkloadProfile>(state["profile"].clone())?.popularity_s,
             ),
             sizes,
             mix,

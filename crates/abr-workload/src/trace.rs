@@ -43,9 +43,7 @@ impl TraceEvent {
     pub fn to_request(self) -> IoRequest {
         match self.dir {
             IoDir::Read => IoRequest::read(self.partition, self.sector, self.n_sectors),
-            IoDir::Write => {
-                IoRequest::write_zeroes(self.partition, self.sector, self.n_sectors)
-            }
+            IoDir::Write => IoRequest::write_zeroes(self.partition, self.sector, self.n_sectors),
         }
     }
 }

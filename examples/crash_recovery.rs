@@ -42,7 +42,15 @@ fn main() {
     driver.drain();
     let arranger = BlockArranger::new(PolicyKind::OrganPipe.make(1));
     arranger
-        .rearrange(&mut driver, &[HotBlock { block: 7, count: 99 }], 1, t(10))
+        .rearrange(
+            &mut driver,
+            &[HotBlock {
+                block: 7,
+                count: 99,
+            }],
+            1,
+            t(10),
+        )
         .expect("rearrange");
     println!("block 7 copied into the reserved area (3 disk ops incl. table write)");
 

@@ -69,7 +69,5 @@ fn main() {
         (1.0 - on.all.service_ms / off.all.service_ms) * 100.0,
         (1.0 - on.all.waiting_ms / off.all.waiting_ms) * 100.0,
     );
-    println!(
-        "(the paper measured ~90% / ~40% / ~44% for the Toshiba system file system)"
-    );
+    println!("(the paper measured ~90% / ~40% / ~44% for the Toshiba system file system)");
 }

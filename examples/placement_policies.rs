@@ -26,11 +26,26 @@ fn main() {
     // The paper's example flavour: two interleave chains plus two loose
     // blocks, frequencies annotated.
     let hot = vec![
-        HotBlock { block: 100, count: 20 },
-        HotBlock { block: 102, count: 15 }, // successor of 100 (gap 2), close
-        HotBlock { block: 104, count: 11 }, // successor of 102, close
-        HotBlock { block: 40, count: 9 },
-        HotBlock { block: 42, count: 3 }, // successor of 40 but NOT close (3 < 9/2)
+        HotBlock {
+            block: 100,
+            count: 20,
+        },
+        HotBlock {
+            block: 102,
+            count: 15,
+        }, // successor of 100 (gap 2), close
+        HotBlock {
+            block: 104,
+            count: 11,
+        }, // successor of 102, close
+        HotBlock {
+            block: 40,
+            count: 9,
+        },
+        HotBlock {
+            block: 42,
+            count: 3,
+        }, // successor of 40 but NOT close (3 < 9/2)
         HotBlock { block: 7, count: 2 },
     ];
     println!("\nhot list (block:count):");
@@ -59,10 +74,7 @@ fn main() {
         for (idx, cyl_slots) in slots.cylinders().iter().enumerate() {
             let mut sorted = cyl_slots.clone();
             sorted.sort_unstable();
-            let row: Vec<&str> = sorted
-                .iter()
-                .map(|&s| cells[s as usize].as_str())
-                .collect();
+            let row: Vec<&str> = sorted.iter().map(|&s| cells[s as usize].as_str()).collect();
             println!(
                 "  cylinder {:3} (fill order {}): [{}]",
                 abr::disk::Geometry::cylinder_of(&g, layout.slot_sector(sorted[0])),

@@ -55,7 +55,9 @@ fn main() {
     };
 
     let (before_ms, before_zero) = run_phase(&mut driver, 0);
-    println!("before rearrangement: mean seek {before_ms:5.2} ms, {before_zero:4.1}% zero-length seeks");
+    println!(
+        "before rearrangement: mean seek {before_ms:5.2} ms, {before_zero:4.1}% zero-length seeks"
+    );
 
     // Find the hot blocks by monitoring (the driver recorded every
     // request), then place the hottest 1000 with the organ-pipe policy.
@@ -84,7 +86,9 @@ fn main() {
     );
 
     let (after_ms, after_zero) = run_phase(&mut driver, u64::MAX / 2 + 100_000_000);
-    println!("after  rearrangement: mean seek {after_ms:5.2} ms, {after_zero:4.1}% zero-length seeks");
+    println!(
+        "after  rearrangement: mean seek {after_ms:5.2} ms, {after_zero:4.1}% zero-length seeks"
+    );
     println!(
         "seek time reduction: {:.0}%",
         (1.0 - after_ms / before_ms) * 100.0

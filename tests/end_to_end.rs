@@ -202,7 +202,11 @@ fn updates_to_rearranged_blocks_survive_crash() {
             .unwrap();
         let done = driver2.drain();
         clock += 50;
-        let expect = if i % 2 == 0 { b as u8 ^ 0xC3 } else { b as u8 ^ 0x5A };
+        let expect = if i % 2 == 0 {
+            b as u8 ^ 0xC3
+        } else {
+            b as u8 ^ 0x5A
+        };
         assert!(
             done[0].data.iter().all(|&x| x == expect),
             "block {b} lost its update across the crash"

@@ -115,7 +115,10 @@ fn blocks_from_both_file_systems_share_the_reserved_region() {
     let mut from_p1 = 0;
     for (orig, _) in driver.block_table().iter() {
         // orig is a physical sector; map back to virtual to classify.
-        let v = driver.label().physical_to_virtual(orig).expect("not reserved");
+        let v = driver
+            .label()
+            .physical_to_virtual(orig)
+            .expect("not reserved");
         if v < part1_start {
             from_p0 += 1;
         } else {
@@ -131,10 +134,7 @@ fn blocks_from_both_file_systems_share_the_reserved_region() {
             let blocks = fs.file_blocks(*f).unwrap();
             let expected = fs.expected_payload(*f, idx).unwrap();
             driver
-                .submit(
-                    IoRequest::read(*part, blocks[idx] * 16, 16),
-                    t(clock),
-                )
+                .submit(IoRequest::read(*part, blocks[idx] * 16, 16), t(clock))
                 .unwrap();
             clock += 100;
             let done = driver.drain();
@@ -152,7 +152,11 @@ fn blocks_from_both_file_systems_share_the_reserved_region() {
             .submit(IoRequest::read(*part, blocks[0] * 16, 16), t(clock))
             .unwrap();
         clock += 100;
-        assert_eq!(driver.drain()[0].data, expected, "partition {part} after clean");
+        assert_eq!(
+            driver.drain()[0].data,
+            expected,
+            "partition {part} after clean"
+        );
     }
 }
 
@@ -163,17 +167,23 @@ fn partition_isolation() {
     // distinct partitions.
     let mut driver = two_partition_driver();
     let n0 = driver.label().partitions[0].n_sectors;
-    assert!(driver
-        .submit(IoRequest::read(0, n0, 16), t(0))
-        .is_err());
+    assert!(driver.submit(IoRequest::read(0, n0, 16), t(0)).is_err());
 
     let a = bytes::Bytes::from(vec![0xAA; 8192]);
     let b = bytes::Bytes::from(vec![0xBB; 8192]);
-    driver.submit(IoRequest::write(0, 800, 16, a.clone()), t(1)).unwrap();
-    driver.submit(IoRequest::write(1, 800, 16, b.clone()), t(2)).unwrap();
+    driver
+        .submit(IoRequest::write(0, 800, 16, a.clone()), t(1))
+        .unwrap();
+    driver
+        .submit(IoRequest::write(1, 800, 16, b.clone()), t(2))
+        .unwrap();
     driver.drain();
-    driver.submit(IoRequest::read(0, 800, 16), t(10_000)).unwrap();
-    driver.submit(IoRequest::read(1, 800, 16), t(10_001)).unwrap();
+    driver
+        .submit(IoRequest::read(0, 800, 16), t(10_000))
+        .unwrap();
+    driver
+        .submit(IoRequest::read(1, 800, 16), t(10_001))
+        .unwrap();
     let done = driver.drain();
     assert_eq!(done[0].data, a);
     assert_eq!(done[1].data, b);

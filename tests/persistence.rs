@@ -42,13 +42,18 @@ fn rearranged_state_survives_image_roundtrip() {
 
     // Write recognizable data, rearrange, update through the remap.
     let v1 = Bytes::from(vec![0x41u8; 8192]);
-    driver.submit(IoRequest::write(0, 512 * 16, 16, v1), t(0)).unwrap();
+    driver
+        .submit(IoRequest::write(0, 512 * 16, 16, v1), t(0))
+        .unwrap();
     driver.drain();
     let arranger = BlockArranger::new(PolicyKind::OrganPipe.make(1));
     arranger
         .rearrange(
             &mut driver,
-            &[HotBlock { block: 512, count: 7 }],
+            &[HotBlock {
+                block: 512,
+                count: 7,
+            }],
             1,
             t(10),
         )
@@ -64,13 +69,17 @@ fn rearranged_state_survives_image_roundtrip() {
     assert!(driver.label().is_rearranged());
     assert_eq!(driver.block_table().len(), 1);
     // Reads still redirect to the reserved copy holding v2.
-    driver.submit(IoRequest::read(0, 512 * 16, 16), t(400)).unwrap();
+    driver
+        .submit(IoRequest::read(0, 512 * 16, 16), t(400))
+        .unwrap();
     assert_eq!(driver.drain()[0].data, v2);
 
     // And cleaning after the reboot copies the (conservatively dirty)
     // data home correctly.
     arranger.clean(&mut driver, t(500)).unwrap();
-    driver.submit(IoRequest::read(0, 512 * 16, 16), t(900)).unwrap();
+    driver
+        .submit(IoRequest::read(0, 512 * 16, 16), t(900))
+        .unwrap();
     assert_eq!(driver.drain()[0].data, v2);
 }
 

@@ -243,3 +243,78 @@ proptest! {
         }
     }
 }
+
+// Corruption robustness: decoding an encoded table with arbitrary bit
+// damage must surface as `TableError` (or decode to the *original* table
+// when the damage lands in ignored padding or a redundant copy) — never
+// as a silently different table.
+proptest! {
+    #[test]
+    fn block_table_bit_flips_never_mis_decode(
+        blocks in proptest::collection::vec(0u64..100_000, 1..60),
+        flips in proptest::collection::vec((any::<usize>(), 0u32..8), 1..10),
+    ) {
+        let g = models::toshiba_mk156f().geometry;
+        let label = DiskLabel::rearranged(g, 48);
+        let layout = ReservedLayout::for_label(&label, 8192, 1020).unwrap();
+        let t = table_of(&blocks, &layout);
+        let mut bytes = t.encode(&layout).unwrap();
+        for (pos, bit) in flips {
+            let i = pos % bytes.len();
+            bytes[i] ^= 1 << bit;
+        }
+        check_decode_is_error_or_original(BlockTable::decode(&bytes), &t);
+    }
+
+    #[test]
+    fn table_region_survives_corruption_of_one_half(
+        blocks in proptest::collection::vec(0u64..100_000, 1..60),
+        flips in proptest::collection::vec((any::<usize>(), 0u32..8), 1..32),
+        hit_second_half in any::<bool>(),
+    ) {
+        let g = models::toshiba_mk156f().geometry;
+        let label = DiskLabel::rearranged(g, 48);
+        let layout = ReservedLayout::for_label(&label, 8192, 1020).unwrap();
+        let t = table_of(&blocks, &layout);
+        let mut bytes = t.encode_region(&layout).unwrap();
+        let half = bytes.len() / 2;
+        for (pos, bit) in flips {
+            let i = pos % half + if hit_second_half { half } else { 0 };
+            bytes[i] ^= 1 << bit;
+        }
+        // Damage confined to one redundant copy: the other must carry it.
+        let back = BlockTable::decode_region(&bytes);
+        prop_assert!(back.is_ok(), "one-half corruption lost the table");
+        check_decode_is_error_or_original(back, &t);
+    }
+}
+
+fn table_of(blocks: &[u64], layout: &ReservedLayout) -> BlockTable {
+    let mut t = BlockTable::new();
+    let mut used = HashSet::new();
+    let mut slot = 0u32;
+    for &block in blocks {
+        let orig = block * 16;
+        if !used.insert(orig) || slot >= layout.n_slots {
+            continue;
+        }
+        t.insert(orig, slot);
+        if block % 2 == 0 {
+            t.mark_dirty(orig);
+        }
+        slot += 1;
+    }
+    t
+}
+
+fn check_decode_is_error_or_original(
+    back: Result<BlockTable, abr::driver::blocktable::TableError>,
+    original: &BlockTable,
+) {
+    if let Ok(back) = back {
+        assert_eq!(back.len(), original.len(), "mis-decoded table");
+        for (orig, e) in original.iter() {
+            assert_eq!(back.lookup(orig), Some(e), "mis-decoded entry");
+        }
+    }
+}

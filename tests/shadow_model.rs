@@ -100,7 +100,9 @@ impl Harness {
         }
         let t = self.now();
         if self.rng.chance(0.5) {
-            self.arranger.rearrange(&mut self.driver, &hot, n, t).unwrap();
+            self.arranger
+                .rearrange(&mut self.driver, &hot, n, t)
+                .unwrap();
         } else {
             self.arranger
                 .rearrange_incremental(&mut self.driver, &hot, n, t)

@@ -26,11 +26,7 @@ fn plain_driver(scheduler: SchedulerKind) -> AdaptiveDriver {
 
 /// Run Poisson arrivals of uniform-random 8 KB reads and return
 /// (mean service ms, mean wait ms, mean FCFS seek distance).
-fn run_poisson(
-    scheduler: SchedulerKind,
-    rate_per_sec: f64,
-    n_requests: usize,
-) -> (f64, f64, f64) {
+fn run_poisson(scheduler: SchedulerKind, rate_per_sec: f64, n_requests: usize) -> (f64, f64, f64) {
     let mut driver = plain_driver(scheduler);
     let p = Poisson::per_sec(rate_per_sec);
     let mut rng = SimRng::new(42);
