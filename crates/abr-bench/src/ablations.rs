@@ -15,12 +15,13 @@
 //!   selection (the paper's Related Work argues blocks beat cylinders,
 //!   corroborating [Ruemmler 91]).
 
+use crate::engine::UnknownId;
 use crate::report::Report;
 use crate::runs::short_system_config;
 use abr_core::analyzer::HotBlock;
 use abr_core::Experiment;
 use abr_driver::SchedulerKind;
-use serde_json::json;
+use abr_sim::jsn;
 use std::collections::HashMap;
 
 /// All ablation ids.
@@ -39,12 +40,10 @@ pub fn ablation_ids() -> &'static [&'static str] {
     ]
 }
 
-/// Run one ablation by id.
-///
-/// # Panics
-/// Panics on an unknown id.
-pub fn run_ablation(id: &str) -> Report {
-    match id {
+/// Run one ablation by id; unknown ids are a typed error listing the
+/// valid ids.
+pub fn run_ablation(id: &str) -> Result<Report, UnknownId> {
+    Ok(match id {
         "ablate-scheduler" => scheduler(),
         "ablate-analyzer" => analyzer(),
         "ablate-location" => location(),
@@ -55,8 +54,8 @@ pub fn run_ablation(id: &str) -> Report {
         "ablate-online" => online(),
         "ablate-shuffler" => shuffler(),
         "ablate-rotation" => rotation(),
-        other => panic!("unknown ablation id {other}"),
-    }
+        other => return Err(UnknownId::new(other)),
+    })
 }
 
 /// One off/on pair under a config; returns (off, on) day metrics.
@@ -111,7 +110,7 @@ fn scheduler() -> Report {
             on.all.waiting_ms,
             (1.0 - on.all.seek_ms / off.all.seek_ms) * 100.0,
         ));
-        rows.push(json!({
+        rows.push(jsn!({
             "scheduler": kind.name(),
             "off_seek_ms": off.all.seek_ms, "on_seek_ms": on.all.seek_ms,
             "off_wait_ms": off.all.waiting_ms, "on_wait_ms": on.all.waiting_ms,
@@ -120,7 +119,7 @@ fn scheduler() -> Report {
     r.blank();
     r.line("expected: rearrangement wins under every policy; FCFS waiting times are far worse;");
     r.line("SCAN+rearrangement gives the most zero-length seeks (the paper's synergy claim).");
-    r.json = json!({ "rows": rows });
+    r.json = jsn!({ "rows": rows });
     r
 }
 
@@ -149,14 +148,14 @@ fn analyzer() -> Report {
             off.all.seek_ms,
             (1.0 - on.all.seek_ms / off.all.seek_ms) * 100.0,
         ));
-        rows.push(json!({
+        rows.push(jsn!({
             "capacity": cap, "on_seek_ms": on.all.seek_ms, "off_seek_ms": off.all.seek_ms,
         }));
     }
     r.blank();
     r.line("expected: a few-hundred-entry list performs like exact counting ([Salem 93]);");
     r.line("very small lists degrade gracefully, not catastrophically.");
-    r.json = json!({ "rows": rows });
+    r.json = jsn!({ "rows": rows });
     r
 }
 
@@ -177,7 +176,7 @@ fn location() -> Report {
             off,
             (1.0 - on / off) * 100.0,
         ));
-        rows.push(json!({
+        rows.push(jsn!({
             "edge": edge, "on_seek_ms": on, "off_seek_ms": off,
         }));
     }
@@ -185,7 +184,7 @@ fn location() -> Report {
     r.line("organ-pipe theory says the middle halves the expected seek for uncovered requests;");
     r.line("finding: with ~95% of requests covered, the uncovered tail is too small for the");
     r.line("location to matter much — the middle's edge (no pun) only appears as coverage drops.");
-    r.json = json!({ "rows": rows });
+    r.json = jsn!({ "rows": rows });
     r
 }
 
@@ -206,14 +205,14 @@ fn drift() -> Report {
             off,
             (1.0 - on / off) * 100.0,
         ));
-        rows.push(json!({
+        rows.push(jsn!({
             "drift": drift, "on_seek_ms": on, "off_seek_ms": off,
         }));
     }
     r.blank();
     r.line("expected: the benefit decays with drift — the paper's §5.3 explanation for why");
     r.line("the users file system (faster-changing) gains less than the system file system.");
-    r.json = json!({ "rows": rows });
+    r.json = jsn!({ "rows": rows });
     r
 }
 
@@ -271,9 +270,9 @@ fn granularity() -> Report {
     r.line("expected: block selection wins — hot blocks within a cylinder vary in temperature,");
     r.line("so whole-cylinder selection wastes reserved slots on cold blocks (paper §1.1,");
     r.line("corroborating [Ruemmler 91]'s block-vs-cylinder shuffling comparison).");
-    r.json = json!({
-        "block": { "on_seek_ms": b_on.all.seek_ms, "off_seek_ms": b_off.all.seek_ms },
-        "cylinder": { "on_seek_ms": c_on.all.seek_ms, "off_seek_ms": c_off.all.seek_ms },
+    r.json = jsn!({
+        "block": jsn!({ "on_seek_ms": b_on.all.seek_ms, "off_seek_ms": b_off.all.seek_ms }),
+        "cylinder": jsn!({ "on_seek_ms": c_on.all.seek_ms, "off_seek_ms": c_off.all.seek_ms }),
     });
     r
 }
@@ -308,7 +307,7 @@ fn incremental() -> Report {
             busy_s / NIGHTS as f64,
             on_seek / NIGHTS as f64,
         ));
-        rows.push(json!({
+        rows.push(jsn!({
             "incremental": inc,
             "ops_per_night": ops as f64 / NIGHTS as f64,
             "busy_s_per_night": busy_s / NIGHTS as f64,
@@ -319,7 +318,7 @@ fn incremental() -> Report {
     r.line("finding: ~45% less overnight I/O for ~0.2 ms of on-day seek (residents keep");
     r.line("their slots, so the organ-pipe shape degrades slightly) — the incremental");
     r.line("extension the paper's granularity argument (1.1) enables.");
-    r.json = json!({ "rows": rows });
+    r.json = jsn!({ "rows": rows });
     r
 }
 
@@ -344,7 +343,7 @@ fn decay() -> Report {
                 off,
                 (1.0 - on / off) * 100.0,
             ));
-            rows.push(json!({
+            rows.push(jsn!({
                 "drift": drift, "decay": decay,
                 "on_seek_ms": on, "off_seek_ms": off,
             }));
@@ -354,7 +353,7 @@ fn decay() -> Report {
     r.line("finding: decayed history beats the paper's nightly reset at both drift rates");
     r.line("(~1-5 points of extra reduction) — even under fast drift the stable core of the");
     r.line("hot set is easier to see through several noisy days than through one.");
-    r.json = json!({ "rows": rows });
+    r.json = jsn!({ "rows": rows });
     r
 }
 
@@ -408,12 +407,12 @@ fn online() -> Report {
     r.line("expected: online rearrangement already cuts seeks DURING the first day (no");
     r.line("overnight wait), converging to the same steady state — the intelligent-");
     r.line("controller deployment the paper sketches in its Loge comparison.");
-    r.json = json!({
-        "overnight": { "day1_seek_ms": a1.all.seek_ms, "day2_seek_ms": a2.all.seek_ms },
-        "online": {
+    r.json = jsn!({
+        "overnight": jsn!({ "day1_seek_ms": a1.all.seek_ms, "day2_seek_ms": a2.all.seek_ms }),
+        "online": jsn!({
             "day1_seek_ms": b1.all.seek_ms, "day2_seek_ms": b2.all.seek_ms,
             "day1_ops": b1_io.io_ops, "day2_ops": b2_io.io_ops,
-        },
+        }),
     });
     r
 }
@@ -459,11 +458,11 @@ fn shuffler() -> Report {
     r.line("cylinder shuffling — hot blocks inside a cylinder drag cold neighbours along,");
     r.line("zero-length seeks cannot increase as much, and the movement cost is far higher");
     r.line("(every displaced cylinder is a full-cylinder read + write).");
-    r.json = json!({
-        "block": { "off_seek_ms": a_off.all.seek_ms, "on_seek_ms": a_on.all.seek_ms,
-                   "move_ops": a_rep.io_ops, "move_s": a_rep.busy.as_secs_f64() },
-        "cylinder": { "off_seek_ms": b_off.all.seek_ms, "on_seek_ms": b_on.all.seek_ms,
-                      "move_ops": b_rep.io_ops, "move_s": b_rep.busy.as_secs_f64() },
+    r.json = jsn!({
+        "block": jsn!({ "off_seek_ms": a_off.all.seek_ms, "on_seek_ms": a_on.all.seek_ms,
+                   "move_ops": a_rep.io_ops, "move_s": a_rep.busy.as_secs_f64() }),
+        "cylinder": jsn!({ "off_seek_ms": b_off.all.seek_ms, "on_seek_ms": b_on.all.seek_ms,
+                      "move_ops": b_rep.io_ops, "move_s": b_rep.busy.as_secs_f64() }),
     });
     r
 }
@@ -551,11 +550,11 @@ fn rotation() -> Report {
             rot,
             svc
         ));
-        rows.push(json!({ "policy": kind.name(), "rotation_ms": rot, "service_ms": svc }));
+        rows.push(jsn!({ "policy": kind.name(), "rotation_ms": rot, "service_ms": svc }));
     }
     r.blank();
     r.line("expected shape (Table 10): interleave-preserving placement has the lowest");
     r.line("rotational latency; organ-pipe and serial pay for breaking the gap spacing.");
-    r.json = json!({ "rows": rows });
+    r.json = jsn!({ "rows": rows });
     r
 }

@@ -1,17 +1,39 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments                 # run everything, write results/
-//! experiments table2 fig8     # run selected ids
-//! experiments --list          # list ids
+//! experiments                        # run everything, write results/
+//! experiments table2 fig8            # run selected ids
+//! experiments --jobs 4 table2 fig8   # run them on 4 workers
+//! experiments --jobs 1 table2        # force the serial path
+//! experiments --list                 # list ids
+//! experiments --ablations            # the ablation suite
+//! experiments bench-compare OLD NEW [--threshold-pct P]
 //! ```
+//!
+//! Every suite invocation writes `results/<id>.{txt,json}` plus a
+//! machine-readable `results/BENCH_experiments.json` with per-run wall
+//! times, sim-time throughput, and the speedup over a serial execution.
+//! Results are bit-identical for any `--jobs` value: runs are seeded
+//! independently, and shared day-vectors come from a compute-once cache.
 
 use abr_bench::ablations;
+use abr_bench::engine::{bench_compare, detected_parallelism, RunBatch};
 use abr_bench::runs::Campaign;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
 
-fn main() {
+fn usage() -> &'static str {
+    "usage: experiments [--jobs N] [--list | --ablations | <id>...]\n\
+     \x20      experiments bench-compare <old.json> <new.json> [--threshold-pct P]"
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.first().map(String::as_str) == Some("bench-compare") {
+        return compare_main(&args[1..]);
+    }
+
     if args.iter().any(|a| a == "--list") {
         for id in Campaign::all_ids() {
             println!("{id}");
@@ -20,30 +42,139 @@ fn main() {
             println!("{id}");
         }
         println!("faults");
-        return;
+        return ExitCode::SUCCESS;
     }
-    let ids: Vec<&str> = if args.iter().any(|a| a == "--ablations") {
+
+    let mut jobs: usize = 0; // 0 = autodetect
+    let mut ablations_only = false;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" | "-j" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("error: --jobs needs a positive integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                if n == 0 {
+                    eprintln!("error: --jobs must be at least 1\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+                jobs = n;
+            }
+            "--ablations" => ablations_only = true,
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown flag {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+
+    let ids: Vec<&str> = if ablations_only {
         ablations::ablation_ids().to_vec()
-    } else if args.is_empty() {
+    } else if ids.is_empty() {
         Campaign::all_ids().to_vec()
     } else {
-        args.iter().map(String::as_str).collect()
+        ids.iter().map(String::as_str).collect()
     };
+
+    let batch = match RunBatch::new(&ids, jobs) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "[{} runs on {} worker(s); host parallelism {}]",
+        batch.specs().len(),
+        batch.jobs(),
+        detected_parallelism()
+    );
+    let result = batch.execute();
+
+    // Print and save in spec order, on the main thread, so output is
+    // deterministic no matter how the workers interleaved.
     let results_dir = PathBuf::from("results");
-    let mut campaign = Campaign::new();
-    for id in ids {
-        let t0 = std::time::Instant::now();
-        let report = if id.starts_with("ablate-") {
-            ablations::run_ablation(id)
-        } else if id == "faults" {
-            abr_bench::faults::run_faults()
-        } else {
-            campaign.run(id)
-        };
-        eprintln!("[{id} took {:.1?}]", t0.elapsed());
-        println!("{}", report.text);
-        if let Err(e) = report.save(&results_dir) {
-            eprintln!("warning: could not save {id}: {e}");
+    let mut failed = false;
+    for outcome in &result.outcomes {
+        match &outcome.report {
+            Ok(report) => {
+                eprintln!(
+                    "[{} took {:.1?}; {:.0}x real time]",
+                    outcome.spec.id,
+                    outcome.wall,
+                    outcome.sim_per_real()
+                );
+                println!("{}", report.text);
+                if let Err(e) = report.save(&results_dir) {
+                    eprintln!("warning: could not save {}: {e}", outcome.spec.id);
+                }
+            }
+            Err(message) => {
+                eprintln!("error: run {} failed: {message}", outcome.spec.id);
+                failed = true;
+            }
+        }
+    }
+
+    eprintln!(
+        "[batch: {:.1?} wall, {:.1?} serial-equivalent, {:.2}x speedup]",
+        result.wall,
+        result.serial_equiv(),
+        result.speedup()
+    );
+    if let Err(e) = result.write_bench(&results_dir) {
+        eprintln!("warning: could not write BENCH_experiments.json: {e}");
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn compare_main(args: &[String]) -> ExitCode {
+    let mut threshold_pct = 25.0;
+    let mut paths: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold-pct" => {
+                let Some(p) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("error: --threshold-pct needs a number\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                threshold_pct = p;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown flag {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+            p => paths.push(p),
+        }
+    }
+    let [old, new] = paths.as_slice() else {
+        eprintln!("error: bench-compare takes exactly two files\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+    match bench_compare(Path::new(old), Path::new(new), threshold_pct) {
+        Ok(cmp) => {
+            print!("{}", cmp.text);
+            if cmp.regressions.is_empty() {
+                println!("no regressions beyond {threshold_pct:.0}%");
+                ExitCode::SUCCESS
+            } else {
+                println!("regressions: {}", cmp.regressions.join(", "));
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
         }
     }
 }

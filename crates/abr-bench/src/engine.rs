@@ -1,0 +1,539 @@
+//! Parallel run engine: `RunSpec` / `RunBatch`.
+//!
+//! A suite invocation (`experiments --jobs N table2 fig8 ...`) is a
+//! batch of *independent* runs — experiment regenerators, ablations,
+//! the fault sweep. Each run owns its RNG streams (seeded from its
+//! config, never from global state), so results are bit-identical no
+//! matter which worker executes it or in what order. The only shared
+//! mutable state is the [`DayCache`], whose per-key `OnceLock` cells
+//! guarantee each expensive day-vector is computed exactly once.
+//!
+//! The pool is plain `std::thread::scope` + an atomic work index; no
+//! external crates. `jobs = 1` degenerates to the old serial loop on
+//! the caller's thread (no pool is spawned), preserving the previous
+//! behaviour exactly.
+//!
+//! Instrumentation: every run records wall-clock time and, via
+//! [`abr_core::run_meter`], how much *simulated* time it advanced —
+//! the sim-time/real-time ratio is the throughput figure that
+//! `BENCH_experiments.json` reports per run and for the whole batch.
+
+use crate::ablations::{ablation_ids, run_ablation};
+use crate::faults::run_faults;
+use crate::report::Report;
+use crate::runs::{Campaign, DayCache};
+use abr_core::{run_meter, run_meter_reset, RunMeter};
+use abr_sim::{jsn, JsonValue};
+use std::panic::AssertUnwindSafe;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// An id that names no experiment, ablation, or extension run.
+///
+/// The error message lists every valid id so a typo at the CLI is a
+/// one-round-trip fix rather than a scavenger hunt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownId {
+    /// The offending id as given.
+    pub id: String,
+}
+
+impl UnknownId {
+    /// Wrap an unrecognized id.
+    pub fn new(id: impl Into<String>) -> Self {
+        UnknownId { id: id.into() }
+    }
+
+    /// Every id the suite accepts, in listing order.
+    pub fn valid_ids() -> Vec<&'static str> {
+        let mut ids: Vec<&'static str> = Campaign::all_ids().to_vec();
+        ids.extend_from_slice(ablation_ids());
+        ids.push("faults");
+        ids
+    }
+}
+
+impl std::fmt::Display for UnknownId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "unknown experiment id `{}`; valid ids:", self.id)?;
+        for id in Self::valid_ids() {
+            writeln!(f, "  {id}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for UnknownId {}
+
+/// What kind of run a [`RunSpec`] names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunKind {
+    /// A paper table/figure regenerator (`table2`, `fig8`, ...).
+    Experiment,
+    /// An ablation study (`ablate-*`).
+    Ablation,
+    /// The fault-injection sweep (`faults`).
+    Faults,
+}
+
+impl RunKind {
+    /// Stable lower-case name for JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            RunKind::Experiment => "experiment",
+            RunKind::Ablation => "ablation",
+            RunKind::Faults => "faults",
+        }
+    }
+}
+
+/// One independent unit of work in a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSpec {
+    /// The run id (`table2`, `ablate-drift`, `faults`, ...).
+    pub id: String,
+    /// Which family of runs the id belongs to.
+    pub kind: RunKind,
+}
+
+impl RunSpec {
+    /// Classify an id, rejecting unknown ones up front — a batch with a
+    /// typo fails before any work starts, not twenty minutes in.
+    pub fn resolve(id: &str) -> Result<RunSpec, UnknownId> {
+        let kind = if Campaign::all_ids().contains(&id) {
+            RunKind::Experiment
+        } else if ablation_ids().contains(&id) {
+            RunKind::Ablation
+        } else if id == "faults" {
+            RunKind::Faults
+        } else {
+            return Err(UnknownId::new(id));
+        };
+        Ok(RunSpec {
+            id: id.to_string(),
+            kind,
+        })
+    }
+}
+
+/// A completed run: its report plus timing instrumentation.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// What was run.
+    pub spec: RunSpec,
+    /// The run's report, or the panic message if it died.
+    pub report: Result<Report, String>,
+    /// Real time the run took on its worker.
+    pub wall: Duration,
+    /// Simulated time and days the run advanced (thread-local meter).
+    pub meter: RunMeter,
+}
+
+impl RunOutcome {
+    /// Simulated seconds per real second — the throughput figure.
+    pub fn sim_per_real(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall > 0.0 {
+            self.meter.sim.as_secs_f64() / wall
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The result of executing a [`RunBatch`].
+#[derive(Debug)]
+pub struct BatchResult {
+    /// Outcomes in *spec order*, regardless of completion order.
+    pub outcomes: Vec<RunOutcome>,
+    /// Worker count the batch ran with.
+    pub jobs: usize,
+    /// Wall-clock time for the whole batch.
+    pub wall: Duration,
+}
+
+impl BatchResult {
+    /// Sum of per-run wall times — what a serial execution of the same
+    /// batch would cost (each run did identical work either way, thanks
+    /// to the shared day cache).
+    pub fn serial_equiv(&self) -> Duration {
+        self.outcomes.iter().map(|o| o.wall).sum()
+    }
+
+    /// Observed speedup over the serial-equivalent time.
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall > 0.0 {
+            self.serial_equiv().as_secs_f64() / wall
+        } else {
+            1.0
+        }
+    }
+
+    /// Ids of runs that panicked.
+    pub fn failed_ids(&self) -> Vec<&str> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.report.is_err())
+            .map(|o| o.spec.id.as_str())
+            .collect()
+    }
+
+    /// The machine-readable benchmark record (`BENCH_experiments.json`).
+    pub fn bench_json(&self) -> JsonValue {
+        let mut runs = JsonValue::Array(Vec::new());
+        for o in &self.outcomes {
+            runs.push(jsn!({
+                "id": o.spec.id.as_str(),
+                "kind": o.spec.kind.name(),
+                "ok": o.report.is_ok(),
+                "wall_s": o.wall.as_secs_f64(),
+                "sim_s": o.meter.sim.as_secs_f64(),
+                "sim_days": o.meter.days,
+                "sim_per_real": o.sim_per_real(),
+            }));
+        }
+        let suite: Vec<&str> = self.outcomes.iter().map(|o| o.spec.id.as_str()).collect();
+        jsn!({
+            "schema": "abr-bench/1",
+            "suite": suite,
+            "jobs": self.jobs,
+            "host": jsn!({
+                "os": std::env::consts::OS,
+                "arch": std::env::consts::ARCH,
+                "cpus": detected_parallelism(),
+            }),
+            "wall_s": self.wall.as_secs_f64(),
+            "serial_equiv_s": self.serial_equiv().as_secs_f64(),
+            "speedup_vs_serial": self.speedup(),
+            "runs": runs,
+        })
+    }
+
+    /// Write `BENCH_experiments.json` under `dir`.
+    pub fn write_bench(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(
+            dir.join("BENCH_experiments.json"),
+            self.bench_json().pretty(),
+        )
+    }
+}
+
+/// The host's available parallelism (the `--jobs` default).
+pub fn detected_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// A batch of independent runs plus the worker count to execute with.
+pub struct RunBatch {
+    specs: Vec<RunSpec>,
+    jobs: usize,
+    cache: Arc<DayCache>,
+}
+
+impl RunBatch {
+    /// Build a batch from raw ids; any unknown id aborts construction.
+    /// `jobs = 0` means "use [`detected_parallelism`]".
+    pub fn new(ids: &[&str], jobs: usize) -> Result<RunBatch, UnknownId> {
+        let specs = ids
+            .iter()
+            .map(|id| RunSpec::resolve(id))
+            .collect::<Result<Vec<_>, _>>()?;
+        let jobs = if jobs == 0 {
+            detected_parallelism()
+        } else {
+            jobs
+        };
+        Ok(RunBatch {
+            specs,
+            jobs,
+            cache: Arc::new(DayCache::default()),
+        })
+    }
+
+    /// Worker count this batch will use.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The specs in execution-submission order.
+    pub fn specs(&self) -> &[RunSpec] {
+        &self.specs
+    }
+
+    /// Execute every run and return outcomes in spec order.
+    ///
+    /// With `jobs = 1` (or a single spec) the batch runs serially on
+    /// the calling thread. Otherwise a scoped pool of `jobs` workers
+    /// pulls specs off an atomic index; a panicking run is caught and
+    /// recorded as a failed outcome without taking down its worker.
+    pub fn execute(&self) -> BatchResult {
+        let t0 = Instant::now();
+        let workers = self.jobs.min(self.specs.len()).max(1);
+        let mut outcomes: Vec<Option<RunOutcome>> = Vec::new();
+        if workers <= 1 {
+            for spec in &self.specs {
+                outcomes.push(Some(self.execute_one(spec)));
+            }
+        } else {
+            let slots: Mutex<Vec<Option<RunOutcome>>> =
+                Mutex::new((0..self.specs.len()).map(|_| None).collect());
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(spec) = self.specs.get(idx) else {
+                            break;
+                        };
+                        let outcome = self.execute_one(spec);
+                        slots.lock().expect("batch slots")[idx] = Some(outcome);
+                    });
+                }
+            });
+            outcomes = slots.into_inner().expect("batch slots");
+        }
+        BatchResult {
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| o.expect("every slot filled"))
+                .collect(),
+            jobs: workers,
+            wall: t0.elapsed(),
+        }
+    }
+
+    /// Run one spec on the current thread, metering it.
+    fn execute_one(&self, spec: &RunSpec) -> RunOutcome {
+        run_meter_reset();
+        let t0 = Instant::now();
+        let campaign = Campaign::with_cache(Arc::clone(&self.cache));
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| match spec.kind {
+            RunKind::Experiment => campaign.run(&spec.id),
+            RunKind::Ablation => run_ablation(&spec.id),
+            RunKind::Faults => Ok(run_faults()),
+        }));
+        let wall = t0.elapsed();
+        let report = match result {
+            // `resolve()` vetted the id, so the inner Err is unreachable
+            // in practice; fold it into the failure path anyway.
+            Ok(inner) => inner.map_err(|e| e.to_string()),
+            Err(panic) => Err(panic_message(panic)),
+        };
+        RunOutcome {
+            spec: spec.clone(),
+            report,
+            wall,
+            meter: run_meter(),
+        }
+    }
+}
+
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked".to_string()
+    }
+}
+
+/// Compare two `BENCH_experiments.json` files run-by-run.
+///
+/// A run regresses when its wall time in `new` exceeds its wall time in
+/// `old` by more than `threshold_pct` percent. Runs present in only one
+/// file are reported but never counted as regressions (suites evolve).
+#[derive(Debug)]
+pub struct BenchComparison {
+    /// Human-readable comparison table.
+    pub text: String,
+    /// Ids whose wall time regressed beyond the threshold.
+    pub regressions: Vec<String>,
+}
+
+/// Diff two BENCH files; `Err` on unreadable/unparseable input.
+pub fn bench_compare(
+    old_path: &Path,
+    new_path: &Path,
+    threshold_pct: f64,
+) -> Result<BenchComparison, String> {
+    let load = |p: &Path| -> Result<JsonValue, String> {
+        let bytes = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+        JsonValue::parse(&bytes).map_err(|e| format!("{}: {e}", p.display()))
+    };
+    let old = load(old_path)?;
+    let new = load(new_path)?;
+    let runs = |v: &JsonValue| -> Vec<(String, f64, bool)> {
+        v["runs"]
+            .as_array()
+            .map(|rs| {
+                rs.iter()
+                    .filter_map(|r| {
+                        Some((
+                            r["id"].as_str()?.to_string(),
+                            r["wall_s"].as_f64()?,
+                            r["ok"].as_bool().unwrap_or(true),
+                        ))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let old_runs = runs(&old);
+    let new_runs = runs(&new);
+    if old_runs.is_empty() {
+        return Err(format!("{}: no runs recorded", old_path.display()));
+    }
+    if new_runs.is_empty() {
+        return Err(format!("{}: no runs recorded", new_path.display()));
+    }
+
+    let mut text = String::new();
+    let mut regressions = Vec::new();
+    text.push_str(&format!(
+        "{:<20} {:>10} {:>10} {:>8}  verdict (threshold {threshold_pct:.0}%)\n",
+        "run", "old s", "new s", "delta"
+    ));
+    for (id, new_wall, new_ok) in &new_runs {
+        match old_runs.iter().find(|(oid, _, _)| oid == id) {
+            Some((_, old_wall, _)) => {
+                let delta_pct = if *old_wall > 0.0 {
+                    (new_wall - old_wall) / old_wall * 100.0
+                } else {
+                    0.0
+                };
+                let regressed = *new_ok && delta_pct > threshold_pct;
+                text.push_str(&format!(
+                    "{id:<20} {old_wall:>10.3} {new_wall:>10.3} {delta_pct:>+7.1}%  {}\n",
+                    if !new_ok {
+                        "FAILED in new"
+                    } else if regressed {
+                        "REGRESSED"
+                    } else {
+                        "ok"
+                    }
+                ));
+                if regressed || !new_ok {
+                    regressions.push(id.clone());
+                }
+            }
+            None => {
+                text.push_str(&format!(
+                    "{id:<20} {:>10} {new_wall:>10.3} {:>8}  new run (no baseline)\n",
+                    "-", "-"
+                ));
+            }
+        }
+    }
+    for (id, _, _) in &old_runs {
+        if !new_runs.iter().any(|(nid, _, _)| nid == id) {
+            text.push_str(&format!("{id:<20} missing from new file\n"));
+        }
+    }
+    let (ow, nw) = (old["wall_s"].as_f64(), new["wall_s"].as_f64());
+    if let (Some(ow), Some(nw)) = (ow, nw) {
+        text.push_str(&format!(
+            "total wall: {ow:.3} s -> {nw:.3} s ({:+.1}%)\n",
+            if ow > 0.0 {
+                (nw - ow) / ow * 100.0
+            } else {
+                0.0
+            }
+        ));
+    }
+    Ok(BenchComparison { text, regressions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_classifies_every_family() {
+        assert_eq!(
+            RunSpec::resolve("table2").unwrap().kind,
+            RunKind::Experiment
+        );
+        assert_eq!(
+            RunSpec::resolve("ablate-drift").unwrap().kind,
+            RunKind::Ablation
+        );
+        assert_eq!(RunSpec::resolve("faults").unwrap().kind, RunKind::Faults);
+        assert_eq!(RunSpec::resolve("nope").unwrap_err().id, "nope");
+    }
+
+    #[test]
+    fn unknown_id_lists_every_valid_id() {
+        let msg = UnknownId::new("bogus").to_string();
+        for id in UnknownId::valid_ids() {
+            assert!(msg.contains(id), "message must mention {id}");
+        }
+    }
+
+    #[test]
+    fn batch_rejects_bad_ids_up_front() {
+        let err = RunBatch::new(&["table1", "tabel2"], 2)
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err.id, "tabel2");
+    }
+
+    #[test]
+    fn serial_and_parallel_outcomes_stay_in_spec_order() {
+        let ids = ["fig3", "table1"];
+        for jobs in [1, 4] {
+            let batch = RunBatch::new(&ids, jobs).unwrap();
+            let result = batch.execute();
+            let got: Vec<&str> = result.outcomes.iter().map(|o| o.spec.id.as_str()).collect();
+            assert_eq!(got, ids, "jobs={jobs}");
+            assert!(result.failed_ids().is_empty());
+        }
+    }
+
+    #[test]
+    fn bench_json_records_per_run_walls_and_host() {
+        let batch = RunBatch::new(&["table1"], 1).unwrap();
+        let result = batch.execute();
+        let j = result.bench_json();
+        assert_eq!(j["schema"], "abr-bench/1");
+        assert_eq!(j["jobs"], 1);
+        assert_eq!(j["runs"][0]["id"], "table1");
+        assert_eq!(j["runs"][0]["ok"], true);
+        assert!(j["runs"][0]["wall_s"].as_f64().unwrap() >= 0.0);
+        assert!(j["host"]["cpus"].as_u64().unwrap() >= 1);
+        // The record must round-trip through our own parser so that
+        // bench-compare can read what write_bench wrote.
+        let reparsed = JsonValue::parse(&j.pretty()).unwrap();
+        assert_eq!(reparsed["runs"][0]["id"], "table1");
+    }
+
+    #[test]
+    fn compare_flags_regressions_beyond_threshold() {
+        let dir = std::env::temp_dir().join("abr-bench-compare-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mk = |wall: f64| {
+            jsn!({
+                "schema": "abr-bench/1",
+                "wall_s": wall,
+                "runs": vec![jsn!({"id": "table1", "ok": true, "wall_s": wall})],
+            })
+        };
+        let a = dir.join("a.json");
+        let b = dir.join("b.json");
+        std::fs::write(&a, mk(1.0).pretty()).unwrap();
+        std::fs::write(&b, mk(1.5).pretty()).unwrap();
+        let cmp = bench_compare(&a, &b, 20.0).unwrap();
+        assert_eq!(cmp.regressions, vec!["table1".to_string()]);
+        let cmp = bench_compare(&a, &b, 60.0).unwrap();
+        assert!(cmp.regressions.is_empty());
+        // Reversed direction is an improvement, never a regression.
+        let cmp = bench_compare(&b, &a, 20.0).unwrap();
+        assert!(cmp.regressions.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

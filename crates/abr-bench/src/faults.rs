@@ -14,8 +14,8 @@ use abr_core::{Experiment, ExperimentConfig};
 use abr_disk::fault::FaultPlan;
 use abr_disk::models;
 use abr_sim::SimDuration;
+use abr_sim::{jsn, JsonValue};
 use abr_workload::WorkloadProfile;
-use serde_json::json;
 
 /// A short, small-disk configuration: the point here is the error path,
 /// not the paper's numbers, so a 30-minute day keeps the sweep quick.
@@ -29,7 +29,7 @@ fn faulty_config(seed: u64, plan: Option<FaultPlan>) -> ExperimentConfig {
 }
 
 /// Run one on/off pair under `plan` and summarize the damage.
-fn scenario(name: &str, plan: Option<FaultPlan>, r: &mut Report) -> serde_json::Value {
+fn scenario(name: &str, plan: Option<FaultPlan>, r: &mut Report) -> JsonValue {
     let mut e = Experiment::new(faulty_config(0xFA17, plan));
     let days = e.run_on_off(1, 400);
     let (off, on) = (&days[0], &days[1]);
@@ -46,7 +46,7 @@ fn scenario(name: &str, plan: Option<FaultPlan>, r: &mut Report) -> serde_json::
          | skipped passes {:1} | seek cut {seek_cut:5.1}%",
         e.rearrange_failures(),
     ));
-    json!({
+    jsn!({
         "scenario": name,
         "served": served,
         "retries": retries,
@@ -89,7 +89,7 @@ pub fn run_faults() -> Report {
     r.line("hard failures stay proportional to the rate while the seek win persists; a power");
     r.line("cut loses the rest of the day's requests but never corrupts the rearrangement");
     r.line("state (skipped passes recover on the next night).");
-    r.json = json!({ "rows": rows });
+    r.json = jsn!({ "rows": rows });
     r
 }
 

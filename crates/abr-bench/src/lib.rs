@@ -20,8 +20,10 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ablations;
+pub mod engine;
 pub mod faults;
 pub mod report;
 pub mod runs;
 
+pub use engine::{RunBatch, RunSpec, UnknownId};
 pub use report::Report;

@@ -1,5 +1,6 @@
 //! Experiment report collection and formatting.
 
+use abr_sim::JsonValue;
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -14,7 +15,7 @@ pub struct Report {
     /// The formatted report body.
     pub text: String,
     /// Machine-readable results.
-    pub json: serde_json::Value,
+    pub json: JsonValue,
     /// Plot-ready CSV companions: `(file name, contents)` pairs saved
     /// next to the report (for the paper's figures).
     pub csv: Vec<(String, String)>,
@@ -29,7 +30,7 @@ impl Report {
             id,
             title,
             text,
-            json: serde_json::Value::Null,
+            json: JsonValue::Null,
             csv: Vec::new(),
         }
     }
@@ -54,10 +55,7 @@ impl Report {
     pub fn save(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         std::fs::write(dir.join(format!("{}.txt", self.id)), &self.text)?;
-        std::fs::write(
-            dir.join(format!("{}.json", self.id)),
-            serde_json::to_vec_pretty(&self.json)?,
-        )?;
+        std::fs::write(dir.join(format!("{}.json", self.id)), self.json.pretty())?;
         for (name, contents) in &self.csv {
             std::fs::write(dir.join(name), contents)?;
         }
@@ -95,7 +93,7 @@ mod tests {
         let dir = std::env::temp_dir().join("abr-report-test");
         let _ = std::fs::remove_dir_all(&dir);
         let mut r = Report::new("x", "y");
-        r.json = serde_json::json!({"k": 1});
+        r.json = abr_sim::jsn!({"k": 1});
         r.attach_csv("x_points.csv", "a,b\n1,2\n".to_string());
         r.save(&dir).unwrap();
         assert!(dir.join("x.txt").exists());
@@ -103,8 +101,7 @@ mod tests {
             std::fs::read_to_string(dir.join("x_points.csv")).unwrap(),
             "a,b\n1,2\n"
         );
-        let j: serde_json::Value =
-            serde_json::from_slice(&std::fs::read(dir.join("x.json")).unwrap()).unwrap();
+        let j = JsonValue::parse(&std::fs::read_to_string(dir.join("x.json")).unwrap()).unwrap();
         assert_eq!(j["k"], 1);
         let _ = std::fs::remove_dir_all(&dir);
     }

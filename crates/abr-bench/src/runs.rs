@@ -9,12 +9,14 @@
 //! * The Figure 8 sweep varies the number of rearranged blocks day by day
 //!   on one long-running instance, just as §5.4 describes.
 
+use crate::engine::UnknownId;
 use crate::report::{triple, Report};
 use abr_core::{DayMetrics, Experiment, ExperimentConfig, PolicyKind};
 use abr_disk::{models, DiskModel};
+use abr_sim::jsn;
 use abr_workload::WorkloadProfile;
-use serde_json::json;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Which disk, by paper name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -98,18 +100,54 @@ fn config(disk: DiskKind, fs: FsKind, policy: PolicyKind, seed: u64) -> Experime
     cfg
 }
 
-/// A campaign memoizes the expensive multi-day runs so `run all` does not
-/// repeat them across tables that share data (e.g. Tables 2 and 4).
+/// The expensive multi-day runs, memoized and shareable across threads.
+///
+/// Several tables consume the same alternating on/off run (e.g. Tables
+/// 2 and 4 read the same days). A `DayCache` computes each day-vector at
+/// most once per process: concurrent requesters block on the same
+/// [`OnceLock`] instead of recomputing, so a parallel suite performs
+/// exactly the serial suite's simulation work and every consumer sees
+/// bit-identical metrics regardless of which run got there first.
+#[derive(Default)]
+pub struct DayCache {
+    onoff: Mutex<DayMap<(DiskKind, FsKind)>>,
+    policy: Mutex<DayMap<(DiskKind, PolicyKind)>>,
+}
+
+type DayMap<K> = HashMap<K, Arc<OnceLock<Arc<Vec<DayMetrics>>>>>;
+
+/// Fetch-or-compute `key`: the first caller runs `compute` while any
+/// concurrent caller for the same key blocks on the cell, so the days
+/// are simulated exactly once.
+fn memoized<K: std::hash::Hash + Eq + Clone>(
+    map: &Mutex<DayMap<K>>,
+    key: K,
+    compute: impl FnOnce() -> Vec<DayMetrics>,
+) -> Arc<Vec<DayMetrics>> {
+    let cell = {
+        let mut map = map.lock().expect("day-cache lock");
+        map.entry(key).or_default().clone()
+    };
+    cell.get_or_init(|| Arc::new(compute())).clone()
+}
+
+/// A campaign regenerates experiments against a [`DayCache`] — its own
+/// by default, or a shared one so concurrent runs deduplicate work.
 #[derive(Default)]
 pub struct Campaign {
-    onoff: HashMap<(DiskKind, FsKind), Vec<DayMetrics>>,
-    policy_days: HashMap<(DiskKind, PolicyKind), Vec<DayMetrics>>,
+    cache: Arc<DayCache>,
 }
 
 impl Campaign {
-    /// A fresh campaign.
+    /// A fresh campaign with a private cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A campaign backed by a shared cache (the parallel engine hands
+    /// every worker the same one).
+    pub fn with_cache(cache: Arc<DayCache>) -> Self {
+        Campaign { cache }
     }
 
     /// All experiment ids in paper order.
@@ -120,12 +158,11 @@ impl Campaign {
         ]
     }
 
-    /// Run one experiment by id.
-    ///
-    /// # Panics
-    /// Panics on an unknown id.
-    pub fn run(&mut self, id: &str) -> Report {
-        match id {
+    /// Run one experiment by id. Unknown ids are a typed error listing
+    /// the valid ids, so a suite can reject bad input up front instead
+    /// of aborting mid-run.
+    pub fn run(&self, id: &str) -> Result<Report, UnknownId> {
+        Ok(match id {
             "table1" => table1(),
             "table2" => self.table2_or_4_or_5_or_6("table2"),
             "table3" => self.table3(),
@@ -142,13 +179,13 @@ impl Campaign {
             "table9" => self.table8_or_9(DiskKind::Fujitsu),
             "table10" => self.table10(),
             "fig3" => fig3(),
-            other => panic!("unknown experiment id {other}"),
-        }
+            other => return Err(UnknownId::new(other)),
+        })
     }
 
     /// The standard alternating on/off run for a (disk, fs), memoized.
-    fn onoff_days(&mut self, disk: DiskKind, fs: FsKind) -> &[DayMetrics] {
-        self.onoff.entry((disk, fs)).or_insert_with(|| {
+    fn onoff_days(&self, disk: DiskKind, fs: FsKind) -> Arc<Vec<DayMetrics>> {
+        memoized(&self.cache.onoff, (disk, fs), || {
             eprintln!("  running {} / {} on/off days...", disk.name(), fs.name());
             let cfg = config(disk, fs, PolicyKind::OrganPipe, 0xA5A5);
             let mut e = Experiment::new(cfg);
@@ -158,8 +195,8 @@ impl Campaign {
 
     /// Days measured under a given placement policy (on-days only),
     /// system file system, memoized (Tables 7–10).
-    fn policy_onoff(&mut self, disk: DiskKind, policy: PolicyKind) -> &[DayMetrics] {
-        self.policy_days.entry((disk, policy)).or_insert_with(|| {
+    fn policy_onoff(&self, disk: DiskKind, policy: PolicyKind) -> Arc<Vec<DayMetrics>> {
+        memoized(&self.cache.policy, (disk, policy), || {
             eprintln!(
                 "  running {} / system with {} placement...",
                 disk.name(),
@@ -171,7 +208,7 @@ impl Campaign {
         })
     }
 
-    fn table2_or_4_or_5_or_6(&mut self, id: &'static str) -> Report {
+    fn table2_or_4_or_5_or_6(&self, id: &'static str) -> Report {
         let (fs, reads_only, title, paper): (_, _, _, &[[f64; 9]]) = match id {
             "table2" => (
                 FsKind::System,
@@ -229,7 +266,7 @@ impl Campaign {
         ));
         let mut json_rows = Vec::new();
         for (di, disk) in DiskKind::both().into_iter().enumerate() {
-            let days = self.onoff_days(disk, fs).to_vec();
+            let days = self.onoff_days(disk, fs);
             for (oi, on) in [false, true].into_iter().enumerate() {
                 let pick = |d: &DayMetrics| {
                     if reads_only {
@@ -255,18 +292,18 @@ impl Campaign {
                     "{:8} {:4} | {:6.2} {:6.2} {:6.2} | {:6.2} {:6.2} {:6.2} | {:6.2} {:6.2} {:6.2}   (paper)",
                     "", "", p[0], p[1], p[2], p[3], p[4], p[5], p[6], p[7], p[8]
                 ));
-                json_rows.push(json!({
+                json_rows.push(jsn!({
                     "disk": disk.name(), "on": on,
                     "seek_ms": seeks, "service_ms": svcs, "waiting_ms": waits,
                     "paper": p.to_vec(),
                 }));
             }
         }
-        r.json = json!({ "rows": json_rows });
+        r.json = jsn!({ "rows": json_rows });
         r
     }
 
-    fn table3(&mut self) -> Report {
+    fn table3(&self) -> Report {
         let mut r = Report::new(
             "table3",
             "Two-day detail, system file system (off day / on day)",
@@ -292,7 +329,7 @@ impl Campaign {
         ]);
         let mut json_rows = Vec::new();
         for disk in DiskKind::both() {
-            let days = self.onoff_days(disk, FsKind::System).to_vec();
+            let days = self.onoff_days(disk, FsKind::System);
             // The first off/on pair is "Day 1 / Day 2".
             for day in days.iter().take(2) {
                 let m = day.all;
@@ -305,7 +342,7 @@ impl Campaign {
                     m.fcfs_seek_ms, p[3], m.seek_ms, p[4], m.service_ms, p[5],
                     m.waiting_ms, p[6],
                 ));
-                json_rows.push(json!({
+                json_rows.push(jsn!({
                     "disk": disk.name(), "on": day.rearranged,
                     "fcfs_seek_dist": m.fcfs_seek_dist, "seek_dist": m.seek_dist,
                     "zero_seek_pct": m.zero_seek_pct, "fcfs_seek_ms": m.fcfs_seek_ms,
@@ -314,11 +351,11 @@ impl Campaign {
                 }));
             }
         }
-        r.json = json!({ "rows": json_rows });
+        r.json = jsn!({ "rows": json_rows });
         r
     }
 
-    fn fig_cdf(&mut self, id: &'static str) -> Report {
+    fn fig_cdf(&self, id: &'static str) -> Report {
         let (fs, title) = match id {
             "fig4" => (
                 FsKind::System,
@@ -330,7 +367,7 @@ impl Campaign {
             ),
         };
         let mut r = Report::new(id, title);
-        let days = self.onoff_days(DiskKind::Fujitsu, fs).to_vec();
+        let days = self.onoff_days(DiskKind::Fujitsu, fs);
         let off = days.iter().find(|d| !d.rearranged).expect("off day");
         let on = days.iter().find(|d| d.rearranged).expect("on day");
         fn frac_below(d: &[(f64, f64)], ms: f64) -> f64 {
@@ -356,8 +393,8 @@ impl Campaign {
                 frac_below(&on.service_cdf, 20.0) * 100.0
             ));
         }
-        r.json = json!({
-            "off": off.service_cdf, "on": on.service_cdf,
+        r.json = jsn!({
+            "off": off.service_cdf.clone(), "on": on.service_cdf.clone(),
         });
         // Plot-ready CSV: service-time CDF for both days.
         let mut csv = String::from("ms,off_cumulative,on_cumulative\n");
@@ -380,7 +417,7 @@ impl Campaign {
         r
     }
 
-    fn fig_dist(&mut self, id: &'static str) -> Report {
+    fn fig_dist(&self, id: &'static str) -> Report {
         let (fs, title) = match id {
             "fig5" => (
                 FsKind::System,
@@ -394,7 +431,7 @@ impl Campaign {
         let mut r = Report::new(id, title);
         let mut json_rows = Vec::new();
         for disk in DiskKind::both() {
-            let days = self.onoff_days(disk, fs).to_vec();
+            let days = self.onoff_days(disk, fs);
             let day = &days[0];
             let share = |counts: &[u64], k: usize| {
                 let total: u64 = counts.iter().sum();
@@ -421,7 +458,7 @@ impl Campaign {
                 share(&day.block_counts_reads, 100),
                 share(&day.block_counts_reads, 500),
             ));
-            json_rows.push(json!({
+            json_rows.push(jsn!({
                 "disk": disk.name(),
                 "all": day.block_counts.iter().take(2000).collect::<Vec<_>>(),
                 "reads": day.block_counts_reads.iter().take(2000).collect::<Vec<_>>(),
@@ -447,11 +484,11 @@ impl Campaign {
             r.blank();
             r.line("paper (§5.4): fewer than 2000 blocks absorbed all requests; the 100 hottest absorbed ~90%");
         }
-        r.json = json!({ "rows": json_rows });
+        r.json = jsn!({ "rows": json_rows });
         r
     }
 
-    fn table7(&mut self) -> Report {
+    fn table7(&self) -> Report {
         let mut r = Report::new(
             "table7",
             "Placement policy summary: % reduction in daily mean seek time vs FCFS/no-rearrangement",
@@ -473,7 +510,7 @@ impl Campaign {
         let mut json_rows = Vec::new();
         for disk in DiskKind::both() {
             for policy in PolicyKind::all() {
-                let days = self.policy_onoff(disk, policy).to_vec();
+                let days = self.policy_onoff(disk, policy);
                 let ons: Vec<&DayMetrics> = days.iter().filter(|d| d.rearranged).collect();
                 let all: f64 = ons
                     .iter()
@@ -494,7 +531,7 @@ impl Campaign {
                     reads,
                     paper[&(disk, policy.name(), true)],
                 ));
-                json_rows.push(json!({
+                json_rows.push(jsn!({
                     "disk": disk.name(), "policy": policy.name(),
                     "all_reduction_pct": all, "reads_reduction_pct": reads,
                 }));
@@ -502,11 +539,11 @@ impl Campaign {
         }
         r.blank();
         r.line("expected shape: organ-pipe >= interleaved > serial on both disks");
-        r.json = json!({ "rows": json_rows });
+        r.json = jsn!({ "rows": json_rows });
         r
     }
 
-    fn table8_or_9(&mut self, disk: DiskKind) -> Report {
+    fn table8_or_9(&self, disk: DiskKind) -> Report {
         let (id, title): (&'static str, &'static str) = match disk {
             DiskKind::Toshiba => ("table8", "Placement policy detail, Toshiba (on days)"),
             DiskKind::Fujitsu => ("table9", "Placement policy detail, Fujitsu (on days)"),
@@ -514,7 +551,7 @@ impl Campaign {
         let mut r = Report::new(id, title);
         let mut json_rows = Vec::new();
         for policy in PolicyKind::all() {
-            let days = self.policy_onoff(disk, policy).to_vec();
+            let days = self.policy_onoff(disk, policy);
             let on = days.iter().find(|d| d.rearranged).expect("on day");
             for (label, m) in [("all", on.all), ("reads", on.reads)] {
                 r.line(format!(
@@ -523,7 +560,7 @@ impl Campaign {
                     m.fcfs_seek_dist, m.seek_dist, m.zero_seek_pct,
                     m.fcfs_seek_ms, m.seek_ms, m.service_ms, m.waiting_ms,
                 ));
-                json_rows.push(json!({
+                json_rows.push(jsn!({
                     "policy": policy.name(), "scope": label,
                     "fcfs_seek_dist": m.fcfs_seek_dist, "seek_dist": m.seek_dist,
                     "zero_seek_pct": m.zero_seek_pct, "seek_ms": m.seek_ms,
@@ -540,19 +577,17 @@ impl Campaign {
                 "paper (all): organ-pipe dist 22 zero 74% seek 1.10 svc 13.83 | interleaved dist 26 zero 77% seek 1.12 svc 14.35 | serial dist 26 zero 35% seek 2.49 svc 15.47",
             ),
         }
-        r.json = json!({ "rows": json_rows });
+        r.json = jsn!({ "rows": json_rows });
         r
     }
 
-    fn table10(&mut self) -> Report {
+    fn table10(&self) -> Report {
         let mut r = Report::new(
             "table10",
             "Rotational latency + transfer time by placement policy (reads, Toshiba)",
         );
         // Without rearrangement: the off day of the organ-pipe run.
-        let days = self
-            .policy_onoff(DiskKind::Toshiba, PolicyKind::OrganPipe)
-            .to_vec();
+        let days = self.policy_onoff(DiskKind::Toshiba, PolicyKind::OrganPipe);
         let off = days.iter().find(|d| !d.rearranged).expect("off day");
         let base = off.reads.rotation_ms + off.reads.transfer_ms;
         r.line(format!(
@@ -564,9 +599,9 @@ impl Campaign {
             ("Serial", 19.29),
             ("Interleaved", 18.47),
         ]);
-        let mut json_rows = vec![json!({"policy": "none", "rot_plus_xfer_ms": base})];
+        let mut json_rows = vec![jsn!({"policy": "none", "rot_plus_xfer_ms": base})];
         for policy in PolicyKind::all() {
-            let days = self.policy_onoff(DiskKind::Toshiba, policy).to_vec();
+            let days = self.policy_onoff(DiskKind::Toshiba, policy);
             let on = days.iter().find(|d| d.rearranged).expect("on day");
             let v = on.reads.rotation_ms + on.reads.transfer_ms;
             r.line(format!(
@@ -575,12 +610,12 @@ impl Campaign {
                 v,
                 paper[policy.name()],
             ));
-            json_rows.push(json!({"policy": policy.name(), "rot_plus_xfer_ms": v}));
+            json_rows.push(jsn!({"policy": policy.name(), "rot_plus_xfer_ms": v}));
         }
         r.blank();
         r.line("shape: interleaved preserves rotational placement (lowest); organ-pipe/serial add ~1 ms");
         r.line("note: our 'transfer' includes the fixed controller overhead, as does the paper's service-minus-seek residual");
-        r.json = json!({ "rows": json_rows });
+        r.json = jsn!({ "rows": json_rows });
         r
     }
 }
@@ -610,14 +645,14 @@ fn table1() -> Report {
             .map(|&d| format!("seek({d})={:.2}ms", m.seek.time_ms(d)))
             .collect();
         r.line(format!("    {}", samples.join("  ")));
-        rows.push(json!({
+        rows.push(jsn!({
             "name": m.name,
             "cylinders": g.cylinders,
             "seek_1": m.seek.time_ms(1),
             "seek_full": m.seek.full_stroke_ms(g.cylinders),
         }));
     }
-    r.json = json!({ "models": rows });
+    r.json = jsn!({ "models": rows });
     r
 }
 
@@ -659,7 +694,7 @@ fn fig8() -> Report {
             "{:7} | {:9.1}% {:9.1}% | {:9.1}% {:9.1}%",
             n, dr, tr, rdr, rtr
         ));
-        rows.push(json!({
+        rows.push(jsn!({
             "blocks": n,
             "all_dist_reduction_pct": dr, "all_time_reduction_pct": tr,
             "reads_dist_reduction_pct": rdr, "reads_time_reduction_pct": rtr,
@@ -667,7 +702,6 @@ fn fig8() -> Report {
     }
     r.blank();
     r.line("paper shape: marginal benefit beyond ~100 blocks is small (top-100 blocks absorb ~90% of requests)");
-    r.json = json!({ "points": rows });
     let mut csv =
         String::from("blocks,all_dist_reduction_pct,all_time_reduction_pct,reads_dist_reduction_pct,reads_time_reduction_pct\n");
     for p in &rows {
@@ -681,6 +715,7 @@ fn fig8() -> Report {
         ));
     }
     r.attach_csv("fig8_sweep.csv".to_string(), csv);
+    r.json = jsn!({ "points": rows });
     r
 }
 
@@ -730,12 +765,12 @@ fn fig3() -> Report {
             .map(|(b, s)| format!("{b}->slot{s}"))
             .collect();
         r.line(format!("{:12}: {}", kind.name(), desc.join("  ")));
-        json_rows.push(json!({
+        json_rows.push(jsn!({
             "policy": kind.name(),
             "assignment": placed,
         }));
     }
-    r.json = json!({ "rows": json_rows });
+    r.json = jsn!({ "rows": json_rows });
     r
 }
 
@@ -753,18 +788,42 @@ mod tests {
 
     #[test]
     fn table1_and_fig3_run_instantly() {
-        let mut c = Campaign::new();
-        let t1 = c.run("table1");
+        let c = Campaign::new();
+        let t1 = c.run("table1").unwrap();
         assert!(t1.text.contains("Toshiba MK156F"));
         assert!(t1.json["models"].as_array().unwrap().len() == 2);
-        let f3 = c.run("fig3");
+        assert_eq!(t1.json["models"][0]["cylinders"], 815);
+        let f3 = c.run("fig3").unwrap();
         assert!(f3.text.contains("Organ-pipe"));
         assert!(f3.text.contains("Serial"));
     }
 
     #[test]
-    #[should_panic(expected = "unknown experiment id")]
-    fn unknown_id_panics() {
-        Campaign::new().run("table99");
+    fn unknown_id_is_a_typed_error_listing_valid_ids() {
+        let err = Campaign::new().run("table99").unwrap_err();
+        assert_eq!(err.id, "table99");
+        let msg = err.to_string();
+        assert!(msg.contains("table99"));
+        assert!(msg.contains("table2"));
+        assert!(msg.contains("ablate-"));
+        assert!(msg.contains("faults"));
+    }
+
+    #[test]
+    fn shared_cache_serves_precomputed_days() {
+        // Pre-seed the cell so the test proves the cache-hit path
+        // without paying for a real multi-day simulation.
+        let cache = Arc::new(DayCache::default());
+        let days: Arc<Vec<DayMetrics>> = Arc::new(Vec::new());
+        let cell = Arc::new(OnceLock::new());
+        cell.set(Arc::clone(&days)).unwrap();
+        cache
+            .onoff
+            .lock()
+            .unwrap()
+            .insert((DiskKind::Toshiba, FsKind::System), cell);
+        let c = Campaign::with_cache(cache);
+        let got = c.onoff_days(DiskKind::Toshiba, FsKind::System);
+        assert!(Arc::ptr_eq(&got, &days), "must be served from the cache");
     }
 }

@@ -1,0 +1,43 @@
+//! Parallel/serial equivalence: the whole point of the run engine is
+//! that `--jobs N` changes wall-clock time and nothing else. This
+//! executes the same batch serially and on four workers and requires
+//! the *bytes* of every report (text, JSON, CSV companions) to match.
+//!
+//! The batch deliberately mixes the three run families: three paper
+//! experiments (one of them, fig8, a real multi-day simulation) and
+//! one ablation.
+
+use abr_bench::engine::RunBatch;
+
+const IDS: [&str; 4] = ["table1", "fig3", "fig8", "ablate-rotation"];
+
+#[test]
+fn parallel_batch_is_byte_identical_to_serial() {
+    let serial = RunBatch::new(&IDS, 1).unwrap().execute();
+    let parallel = RunBatch::new(&IDS, 4).unwrap().execute();
+    assert_eq!(parallel.jobs, 4);
+
+    assert_eq!(serial.outcomes.len(), IDS.len());
+    assert_eq!(parallel.outcomes.len(), IDS.len());
+    for (s, p) in serial.outcomes.iter().zip(&parallel.outcomes) {
+        assert_eq!(s.spec, p.spec, "outcomes must stay in spec order");
+        let (sr, pr) = (
+            s.report.as_ref().expect("serial run failed"),
+            p.report.as_ref().expect("parallel run failed"),
+        );
+        assert_eq!(sr.text, pr.text, "{}: text differs", s.spec.id);
+        assert_eq!(
+            sr.json.pretty(),
+            pr.json.pretty(),
+            "{}: JSON differs",
+            s.spec.id
+        );
+        assert_eq!(sr.csv, pr.csv, "{}: CSV companions differ", s.spec.id);
+        // A real run must have advanced simulated time; the meter is
+        // per-run even when four workers interleave.
+        if s.spec.id == "fig8" {
+            assert!(s.meter.days > 0, "fig8 must meter simulated days");
+            assert_eq!(s.meter, p.meter, "meter must not depend on scheduling");
+        }
+    }
+}

@@ -31,7 +31,10 @@ pub struct HotBlock {
 
 /// A reference stream analyzer: consumes block observations, produces a
 /// ranked hot list.
-pub trait ReferenceAnalyzer {
+///
+/// Analyzers are `Send` so a whole [`crate::Experiment`] can run on a
+/// worker thread of the parallel benchmark engine.
+pub trait ReferenceAnalyzer: Send {
     /// Record `weight` references to `block`.
     fn observe(&mut self, block: u64, weight: u64);
 

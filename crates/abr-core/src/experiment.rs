@@ -22,6 +22,50 @@ use abr_fs::{FileSystem, FsConfig, MountMode};
 use abr_sim::{SimDuration, SimRng, SimTime};
 use abr_workload::{WorkloadProfile, WorkloadState};
 
+/// Simulated progress accumulated on the current thread: how much
+/// simulated time [`Experiment::run_day`] has advanced and how many days
+/// completed since the last [`run_meter_reset`].
+///
+/// The parallel benchmark engine executes each run entirely on one
+/// worker thread, resets the meter before the run and snapshots it
+/// after, attributing a simulated-time/real-time ratio to every run even
+/// when the experiments are constructed deep inside a regenerator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunMeter {
+    /// Simulated time advanced by completed `run_day` calls.
+    pub sim: SimDuration,
+    /// Number of completed measured days (warm-up days included).
+    pub days: u64,
+}
+
+thread_local! {
+    static RUN_METER: std::cell::Cell<RunMeter> = const {
+        std::cell::Cell::new(RunMeter {
+            sim: SimDuration::ZERO,
+            days: 0,
+        })
+    };
+}
+
+/// Zero the current thread's [`RunMeter`].
+pub fn run_meter_reset() {
+    RUN_METER.with(|m| m.set(RunMeter::default()));
+}
+
+/// Snapshot the current thread's [`RunMeter`].
+pub fn run_meter() -> RunMeter {
+    RUN_METER.with(|m| m.get())
+}
+
+fn run_meter_add(sim: SimDuration) {
+    RUN_METER.with(|m| {
+        let mut v = m.get();
+        v.sim += sim;
+        v.days += 1;
+        m.set(v);
+    });
+}
+
 /// Experiment configuration.
 #[derive(Debug, Clone)]
 pub struct ExperimentConfig {
@@ -449,6 +493,7 @@ impl Experiment {
             read_dist.iter().map(|h| h.count).collect(),
         );
         self.clock = t.max(day_end);
+        run_meter_add(self.clock - day_start);
         self.last_online_io = online_io;
         metrics
     }
@@ -750,6 +795,28 @@ mod tests {
         // The injector survives with its history; the experiment is
         // still standing regardless of what the power cut interrupted.
         assert!(e.driver().disk().injector().is_some());
+    }
+
+    #[test]
+    fn experiment_is_send() {
+        // The parallel benchmark engine moves whole experiments onto
+        // worker threads; keep the stack `Send` end to end.
+        fn assert_send<T: Send>() {}
+        assert_send::<Experiment>();
+        assert_send::<ExperimentConfig>();
+    }
+
+    #[test]
+    fn run_meter_accumulates_per_thread() {
+        run_meter_reset();
+        let mut e = tiny_experiment();
+        let before = run_meter();
+        e.run_day();
+        let after = run_meter();
+        assert_eq!(after.days, before.days + 1);
+        assert!(after.sim > before.sim);
+        run_meter_reset();
+        assert_eq!(run_meter(), RunMeter::default());
     }
 
     #[test]

@@ -118,7 +118,10 @@ impl SlotMap {
 }
 
 /// A placement policy: assign hot blocks to reserved slots.
-pub trait PlacementPolicy {
+///
+/// Policies are `Send` so a whole [`crate::Experiment`] can run on a
+/// worker thread of the parallel benchmark engine.
+pub trait PlacementPolicy: Send {
     /// Display name.
     fn name(&self) -> &'static str;
 

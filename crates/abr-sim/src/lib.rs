@@ -20,6 +20,9 @@
 //!   tables), discrete distribution tables (seek distances), and cumulative
 //!   statistics at full microsecond resolution.
 //! * [`stats`] — small online summary statistics (min/avg/max across days).
+//! * [`json`] — dependency-free, order-preserving JSON values with
+//!   deterministic serialization, for the machine-readable experiment and
+//!   benchmark artifacts (`results/*.json`, `BENCH_*.json`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -28,12 +31,14 @@ pub mod arrival;
 pub mod dist;
 pub mod event;
 pub mod hist;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::EventQueue;
 pub use hist::{DistTable, Histogram, TimeStats};
+pub use json::JsonValue;
 pub use rng::SimRng;
 pub use stats::{OnlineStats, Summary};
 pub use time::{SimDuration, SimTime};

@@ -15,19 +15,32 @@ fn tiny_config(seed: u64) -> ExperimentConfig {
     cfg
 }
 
+fn fingerprint_day(d: &abr::core::DayMetrics) -> String {
+    // Bit-exact floats plus the raw per-block counters: any
+    // nondeterminism anywhere in the stack (hash iteration order,
+    // uninitialized state, clock skew) shows up here.
+    format!(
+        "{}:{}:{}:{}:{}:{}:{:?}:{:?}",
+        d.day,
+        d.all.n,
+        d.all.seek_ms.to_bits(),
+        d.all.service_ms.to_bits(),
+        d.all.waiting_ms.to_bits(),
+        d.rearranged,
+        d.service_cdf
+            .iter()
+            .map(|(a, b)| (a.to_bits(), b.to_bits()))
+            .collect::<Vec<_>>(),
+        d.block_counts,
+    )
+}
+
 fn run_fingerprint(seed: u64) -> String {
     let mut e = Experiment::new(tiny_config(seed));
     let off = e.run_day();
     e.rearrange_for_next_day(200);
     let on = e.run_day();
-    // Serialize the full metric records: any nondeterminism anywhere in
-    // the stack (hash iteration order, uninitialized state, clock skew)
-    // shows up here.
-    format!(
-        "{}|{}",
-        serde_json::to_string(&off).unwrap(),
-        serde_json::to_string(&on).unwrap()
-    )
+    format!("{}|{}", fingerprint_day(&off), fingerprint_day(&on))
 }
 
 #[test]
