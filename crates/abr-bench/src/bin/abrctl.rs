@@ -15,8 +15,16 @@
 //!                           [--incremental]
 //! abrctl clean   disk.img
 //! abrctl stats   disk.img
+//! abrctl monitor-dump disk.img
 //! abrctl replay  disk.img trace.jsonl [--blocks N]
+//! abrctl trace   spans.jsonl [--top N]
 //! ```
+//!
+//! Two different "traces" exist: `workload --trace` writes a *workload*
+//! trace (submitted requests, replayable with `abrctl replay`), while
+//! `abrctl trace` summarizes a *span* trace produced by
+//! `experiments --trace` — per-request lifecycle events from the
+//! flight recorder (see `abr-obs`).
 //!
 //! State carried between invocations: the disk image itself (label, block
 //! table, all sector data), `<image>.counts.json` (the analyzer's
@@ -36,9 +44,10 @@ use abr_core::placement::PolicyKind;
 use abr_core::replay::{replay, ReplayConfig};
 use abr_core::DayMetrics;
 use abr_disk::{image, models, Disk, DiskLabel, DiskModel};
-use abr_driver::{AdaptiveDriver, DriverConfig, Ioctl, IoctlReply};
+use abr_driver::{AdaptiveDriver, DriverConfig, Ioctl, IoctlReply, RequestMonitor};
 use abr_fs::{FileSystem, FsConfig, MountMode};
-use abr_sim::{SimDuration, SimRng, SimTime};
+use abr_obs::{ObsEvent, RequestSpan};
+use abr_sim::{jsn, JsonValue, SimDuration, SimRng, SimTime};
 use abr_workload::{TraceEvent, TraceLog, WorkloadProfile, WorkloadState};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -69,7 +78,9 @@ fn run(args: &[String]) -> Result<(), Error> {
         "rearrange" => rearrange(rest),
         "clean" => clean(rest),
         "stats" => stats(rest),
+        "monitor-dump" => monitor_dump(rest),
         "replay" => replay_cmd(rest),
+        "trace" => trace_summary(rest),
         "help" | "--help" | "-h" => {
             eprintln!("{}", usage());
             Ok(())
@@ -79,7 +90,7 @@ fn run(args: &[String]) -> Result<(), Error> {
 }
 
 fn usage() -> Box<dyn std::error::Error> {
-    "usage: abrctl <create|info|workload|analyze|rearrange|clean|stats|replay|help> <image> [options]"
+    "usage: abrctl <create|info|workload|analyze|rearrange|clean|stats|monitor-dump|replay|trace|help> <image|file> [options]"
         .into()
 }
 
@@ -149,6 +160,31 @@ fn stats_path(img: &Path) -> PathBuf {
     img.with_extension("stats.json")
 }
 
+fn reqtable_path(img: &Path) -> PathBuf {
+    img.with_extension("reqtable.json")
+}
+
+/// Dump the raw request-monitor table next to the image so
+/// `monitor-dump` can show exactly what the analyzer's clearing ioctl
+/// is about to consume.
+fn write_reqtable_sidecar(img: &Path, mon: &RequestMonitor) -> Result<(), Error> {
+    let mut records = JsonValue::Array(Vec::new());
+    for r in mon.records() {
+        records.push(jsn!({
+            "block": r.block,
+            "sectors": r.n_sectors,
+            "dir": if r.dir.is_read() { "r" } else { "w" },
+        }));
+    }
+    let dump = jsn!({
+        "records": records,
+        "dropped": mon.dropped(),
+        "suspension_episodes": mon.suspension_episodes(),
+    });
+    std::fs::write(reqtable_path(img), dump.pretty())?;
+    Ok(())
+}
+
 // ----- commands --------------------------------------------------------
 
 fn create(args: &[String]) -> Result<(), Error> {
@@ -182,6 +218,7 @@ fn create(args: &[String]) -> Result<(), Error> {
         stats_path(&path),
         fs_state_path(&path),
         wl_state_path(&path),
+        reqtable_path(&path),
     ] {
         let _ = std::fs::remove_file(side);
     }
@@ -369,7 +406,9 @@ fn workload(args: &[String]) -> Result<(), Error> {
     }
 
     // Persist: reference counts (analyze/rearrange read these), stats,
-    // optional trace, and the image itself.
+    // optional trace, and the image itself. The raw table goes into a
+    // sidecar first — the ioctl below clears it.
+    write_reqtable_sidecar(&path, driver.request_monitor())?;
     let (records, dropped) = match driver.ioctl(Ioctl::ReadRequestTable, now)? {
         IoctlReply::RequestTable { records, dropped } => (records, dropped),
         other => return Err(format!("unexpected reply to ReadRequestTable: {other:?}").into()),
@@ -536,6 +575,182 @@ fn stats(args: &[String]) -> Result<(), Error> {
             "  faults: retries {} | failed reads {} | failed writes {} | quarantined {} | lost {} | table write errs {}",
             m.faults.retries, m.faults.read_failures, m.faults.write_failures,
             m.faults.quarantines, m.faults.lost_blocks, m.faults.table_write_failures
+        );
+    }
+    Ok(())
+}
+
+fn monitor_dump(args: &[String]) -> Result<(), Error> {
+    let path = image_path(args)?;
+    let side = reqtable_path(&path);
+    let text = std::fs::read_to_string(&side).map_err(|_| {
+        format!(
+            "no request-table dump next to {} — run `abrctl workload` first",
+            path.display()
+        )
+    })?;
+    println!("{text}");
+    // Mirror the ioctl's read-and-clear semantics: a second dump finds
+    // nothing until the next workload run refills the table.
+    std::fs::remove_file(&side)?;
+    Ok(())
+}
+
+/// Per-run aggregates accumulated while scanning a span-trace file.
+#[derive(Default)]
+struct RunTrace {
+    name: String,
+    dropped: u64,
+    spans: Vec<RequestSpan>,
+    moves: u64,
+    move_ops: u64,
+    rearranges: u64,
+}
+
+fn trace_summary(args: &[String]) -> Result<(), Error> {
+    let file = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("missing trace file (produce one with `experiments --trace FILE`)")?;
+    let top: usize = opt(args, "--top").map_or(Ok(10), |s| s.parse())?;
+    let text = std::fs::read_to_string(file)?;
+
+    let mut runs: Vec<RunTrace> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = JsonValue::parse(line).map_err(|e| format!("{file}:{}: {e}", i + 1))?;
+        if let Some(name) = v["run"].as_str() {
+            runs.push(RunTrace {
+                name: name.to_string(),
+                dropped: v["dropped"].as_u64().unwrap_or(0),
+                ..RunTrace::default()
+            });
+            continue;
+        }
+        let Some(ev) = ObsEvent::from_json(&v) else {
+            continue; // foreign line; readers skip rather than fail
+        };
+        if runs.is_empty() {
+            // Headerless file (e.g. a hand-cut excerpt): one anonymous run.
+            runs.push(RunTrace {
+                name: "(trace)".to_string(),
+                ..RunTrace::default()
+            });
+        }
+        let run = runs.last_mut().expect("pushed above");
+        match ev {
+            ObsEvent::Request(s) => run.spans.push(s),
+            ObsEvent::Move { ops, .. } => {
+                run.moves += 1;
+                run.move_ops += u64::from(ops);
+            }
+            ObsEvent::Rearrange { .. } => run.rearranges += 1,
+        }
+    }
+    if runs
+        .iter()
+        .all(|r| r.spans.is_empty() && r.moves == 0 && r.rearranges == 0)
+    {
+        return Err(format!("{file}: no events — empty or not a span trace").into());
+    }
+
+    let ms = |us: u64| us as f64 / 1_000.0;
+    for run in &runs {
+        println!(
+            "run {}: {} requests, {} moves ({} ops), {} rearrange marks, {} dropped",
+            run.name,
+            run.spans.len(),
+            run.moves,
+            run.move_ops,
+            run.rearranges,
+            run.dropped
+        );
+        if run.spans.is_empty() {
+            continue;
+        }
+        let n = run.spans.len() as f64;
+        let sum = |f: fn(&RequestSpan) -> u64| run.spans.iter().map(f).sum::<u64>() as f64;
+        println!(
+            "  phase means: wait {:.2} ms | seek {:.2} ms | rotation {:.2} ms | transfer {:.2} ms | service {:.2} ms | response {:.2} ms",
+            sum(RequestSpan::waiting_us) / n / 1_000.0,
+            sum(|s| s.seek_us) / n / 1_000.0,
+            sum(|s| s.rotation_us) / n / 1_000.0,
+            sum(|s| s.transfer_us) / n / 1_000.0,
+            sum(RequestSpan::service_us) / n / 1_000.0,
+            sum(RequestSpan::response_us) / n / 1_000.0,
+        );
+        // Reserved-area hit timeline: the run split into 10 equal
+        // sim-time bins, each showing what share of completions landed
+        // in the reserved (rearranged) area — adaptation visible as the
+        // share climbing day over day.
+        let first = run.spans.iter().map(|s| s.completed_us).min().unwrap_or(0);
+        let last = run.spans.iter().map(|s| s.completed_us).max().unwrap_or(0);
+        let width = (last - first).max(1);
+        const BINS: usize = 10;
+        let mut hits = [0u64; BINS];
+        let mut totals = [0u64; BINS];
+        for s in &run.spans {
+            let bin =
+                ((s.completed_us - first) as u128 * BINS as u128 / (width as u128 + 1)) as usize;
+            totals[bin] += 1;
+            if s.in_reserved {
+                hits[bin] += 1;
+            }
+        }
+        let cells: Vec<String> = hits
+            .iter()
+            .zip(&totals)
+            .map(|(h, t)| {
+                if *t == 0 {
+                    "   - ".to_string()
+                } else {
+                    format!("{:4.0}%", *h as f64 / *t as f64 * 100.0)
+                }
+            })
+            .collect();
+        println!("  reserved hits: [{}]", cells.join(" "));
+        let retried = run.spans.iter().filter(|s| s.retries > 0).count();
+        let failed = run.spans.iter().filter(|s| s.error.is_some()).count();
+        if retried > 0 || failed > 0 {
+            println!("  faults: {retried} retried, {failed} failed");
+        }
+    }
+
+    // Slowest requests across the whole file, by response time.
+    let mut slowest: Vec<(&str, &RequestSpan)> = runs
+        .iter()
+        .flat_map(|r| r.spans.iter().map(move |s| (r.name.as_str(), s)))
+        .collect();
+    slowest.sort_by(|a, b| {
+        b.1.response_us()
+            .cmp(&a.1.response_us())
+            .then(a.1.id.cmp(&b.1.id))
+    });
+    println!("slowest {} requests:", top.min(slowest.len()));
+    for (run, s) in slowest.iter().take(top) {
+        println!(
+            "  {run} id {:>6} {} block {:>8}: response {:8.2} ms (wait {:.2}, seek {:.2}, rot {:.2}, xfer {:.2}, qdepth {}{}{})",
+            s.id,
+            if s.read { "r" } else { "w" },
+            s.block,
+            ms(s.response_us()),
+            ms(s.waiting_us()),
+            ms(s.seek_us),
+            ms(s.rotation_us),
+            ms(s.transfer_us),
+            s.queue_depth,
+            if s.retries > 0 {
+                format!(", {} retries", s.retries)
+            } else {
+                String::new()
+            },
+            if let Some(e) = &s.error {
+                format!(", FAILED: {e}")
+            } else {
+                String::new()
+            },
         );
     }
     Ok(())

@@ -5,6 +5,7 @@
 //! experiments table2 fig8            # run selected ids
 //! experiments --jobs 4 table2 fig8   # run them on 4 workers
 //! experiments --jobs 1 table2        # force the serial path
+//! experiments --trace out.jsonl fig8 # also record per-request traces
 //! experiments --list                 # list ids
 //! experiments --ablations            # the ablation suite
 //! experiments bench-compare OLD NEW [--threshold-pct P]
@@ -15,6 +16,12 @@
 //! times, sim-time throughput, and the speedup over a serial execution.
 //! Results are bit-identical for any `--jobs` value: runs are seeded
 //! independently, and shared day-vectors come from a compute-once cache.
+//!
+//! `--trace FILE` turns on the flight recorder for every run and writes
+//! one JSONL document (per-run header line, then one event per line) in
+//! spec order — byte-identical for any `--jobs` value. An empty trace or
+//! a nonzero drop count is an error, so CI can gate on the exit code.
+//! Inspect the file with `abrctl trace FILE`.
 
 use abr_bench::ablations;
 use abr_bench::engine::{bench_compare, detected_parallelism, RunBatch};
@@ -23,7 +30,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: experiments [--jobs N] [--list | --ablations | <id>...]\n\
+    "usage: experiments [--jobs N] [--trace FILE] [--list | --ablations | <id>...]\n\
      \x20      experiments bench-compare <old.json> <new.json> [--threshold-pct P]"
 }
 
@@ -47,6 +54,7 @@ fn main() -> ExitCode {
 
     let mut jobs: usize = 0; // 0 = autodetect
     let mut ablations_only = false;
+    let mut trace_path: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -61,6 +69,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
                 jobs = n;
+            }
+            "--trace" => {
+                let Some(path) = it.next() else {
+                    eprintln!("error: --trace needs an output file\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                trace_path = Some(PathBuf::from(path));
             }
             "--ablations" => ablations_only = true,
             other if other.starts_with('-') => {
@@ -79,13 +94,14 @@ fn main() -> ExitCode {
         ids.iter().map(String::as_str).collect()
     };
 
-    let batch = match RunBatch::new(&ids, jobs) {
+    let mut batch = match RunBatch::new(&ids, jobs) {
         Ok(b) => b,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    batch.set_trace(trace_path.is_some());
 
     eprintln!(
         "[{} runs on {} worker(s); host parallelism {}]",
@@ -128,6 +144,31 @@ fn main() -> ExitCode {
     );
     if let Err(e) = result.write_bench(&results_dir) {
         eprintln!("warning: could not write BENCH_experiments.json: {e}");
+    }
+
+    if let Some(path) = &trace_path {
+        match result.write_trace(path) {
+            Ok((events, dropped)) => {
+                eprintln!(
+                    "[trace: {events} events, {dropped} dropped -> {}]",
+                    path.display()
+                );
+                // A trace you asked for but cannot use is an error: CI
+                // gates on this exit code.
+                if events == 0 {
+                    eprintln!("error: trace is empty");
+                    failed = true;
+                }
+                if dropped > 0 {
+                    eprintln!("error: trace dropped {dropped} events (flight recorder overflow)");
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("error: could not write trace {}: {e}", path.display());
+                failed = true;
+            }
+        }
     }
 
     if failed {

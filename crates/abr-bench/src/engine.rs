@@ -23,6 +23,9 @@ use crate::faults::run_faults;
 use crate::report::Report;
 use crate::runs::{Campaign, DayCache};
 use abr_core::{run_meter, run_meter_reset, RunMeter};
+use abr_obs::{
+    registry_clear, registry_snapshot, trace_start, trace_take, TraceBuffer, DEFAULT_TRACE_CAPACITY,
+};
 use abr_sim::{jsn, JsonValue};
 use std::panic::AssertUnwindSafe;
 use std::path::Path;
@@ -129,6 +132,11 @@ pub struct RunOutcome {
     pub wall: Duration,
     /// Simulated time and days the run advanced (thread-local meter).
     pub meter: RunMeter,
+    /// Snapshot of the run's metrics registry (counters, gauges,
+    /// histograms), taken on its worker right after the run finished.
+    pub metrics: JsonValue,
+    /// The run's flight-recorder trace, when the batch traced.
+    pub trace: Option<TraceBuffer>,
 }
 
 impl RunOutcome {
@@ -185,6 +193,9 @@ impl BatchResult {
     pub fn bench_json(&self) -> JsonValue {
         let mut runs = JsonValue::Array(Vec::new());
         for o in &self.outcomes {
+            // Wall-clock profiling counters (`wall.*`) live here and
+            // only here — never in result files or traces, which are
+            // byte-compared across machines and worker counts.
             runs.push(jsn!({
                 "id": o.spec.id.as_str(),
                 "kind": o.spec.kind.name(),
@@ -193,6 +204,7 @@ impl BatchResult {
                 "sim_s": o.meter.sim.as_secs_f64(),
                 "sim_days": o.meter.days,
                 "sim_per_real": o.sim_per_real(),
+                "metrics": o.metrics.clone(),
             }));
         }
         let suite: Vec<&str> = self.outcomes.iter().map(|o| o.spec.id.as_str()).collect();
@@ -220,6 +232,46 @@ impl BatchResult {
             self.bench_json().pretty(),
         )
     }
+
+    /// Render every run's trace as one JSONL document, in spec order:
+    /// a header line `{"run": id, "events": n, "dropped": d}` per run,
+    /// followed by that run's events one per line. Deterministic — the
+    /// bytes depend only on the specs, never on `--jobs`.
+    pub fn trace_jsonl(&self) -> String {
+        let mut out = String::new();
+        for o in &self.outcomes {
+            let Some(buf) = &o.trace else { continue };
+            let header = jsn!({
+                "run": o.spec.id.as_str(),
+                "events": buf.events.len(),
+                "dropped": buf.dropped,
+            });
+            out.push_str(&header.to_string());
+            out.push('\n');
+            out.push_str(&buf.to_jsonl());
+        }
+        out
+    }
+
+    /// Total (events retained, events dropped) across every traced run.
+    pub fn trace_totals(&self) -> (u64, u64) {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.trace.as_ref())
+            .fold((0, 0), |(e, d), buf| {
+                (e + buf.events.len() as u64, d + buf.dropped)
+            })
+    }
+
+    /// Write the batch trace (see [`BatchResult::trace_jsonl`]) to
+    /// `path`, returning the `(events, dropped)` totals.
+    pub fn write_trace(&self, path: &Path) -> std::io::Result<(u64, u64)> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.trace_jsonl())?;
+        Ok(self.trace_totals())
+    }
 }
 
 /// The host's available parallelism (the `--jobs` default).
@@ -232,6 +284,7 @@ pub struct RunBatch {
     specs: Vec<RunSpec>,
     jobs: usize,
     cache: Arc<DayCache>,
+    trace: bool,
 }
 
 impl RunBatch {
@@ -251,7 +304,22 @@ impl RunBatch {
             specs,
             jobs,
             cache: Arc::new(DayCache::default()),
+            trace: false,
         })
+    }
+
+    /// Enable per-request flight-recorder tracing for every run in the
+    /// batch. Traced runs bypass the shared [`DayCache`] (each gets a
+    /// private campaign): a cache hit would silently skip the traced
+    /// day's I/O, making the trace depend on which worker computed the
+    /// day first — the opposite of the determinism the trace promises.
+    pub fn set_trace(&mut self, trace: bool) {
+        self.trace = trace;
+    }
+
+    /// Whether the batch traces its runs.
+    pub fn trace(&self) -> bool {
+        self.trace
     }
 
     /// Worker count this batch will use.
@@ -309,14 +377,28 @@ impl RunBatch {
     /// Run one spec on the current thread, metering it.
     fn execute_one(&self, spec: &RunSpec) -> RunOutcome {
         run_meter_reset();
+        // Full clear (not reset): worker threads are reused, and a
+        // zero-valued definition left by a previous run would make
+        // this run's snapshot depend on scheduling.
+        registry_clear();
+        if self.trace {
+            trace_start(DEFAULT_TRACE_CAPACITY);
+        }
         let t0 = Instant::now();
-        let campaign = Campaign::with_cache(Arc::clone(&self.cache));
+        let campaign = if self.trace {
+            Campaign::new()
+        } else {
+            Campaign::with_cache(Arc::clone(&self.cache))
+        };
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| match spec.kind {
             RunKind::Experiment => campaign.run(&spec.id),
             RunKind::Ablation => run_ablation(&spec.id),
             RunKind::Faults => Ok(run_faults()),
         }));
         let wall = t0.elapsed();
+        // Always harvest, even after a panic: worker threads are reused
+        // and a leaked recorder would bleed into the next run.
+        let trace = trace_take();
         let report = match result {
             // `resolve()` vetted the id, so the inner Err is unreachable
             // in practice; fold it into the failure path anyway.
@@ -328,6 +410,8 @@ impl RunBatch {
             report,
             wall,
             meter: run_meter(),
+            metrics: registry_snapshot(),
+            trace,
         }
     }
 }

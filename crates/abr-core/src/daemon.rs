@@ -11,6 +11,7 @@
 use crate::analyzer::{HotBlock, ReferenceAnalyzer};
 use crate::arranger::{BlockArranger, RearrangeReport};
 use abr_driver::{AdaptiveDriver, DriverError, Ioctl, IoctlReply};
+use abr_obs::{record_with, time_scope, ObsEvent, RearrangePhase};
 use abr_sim::{SimDuration, SimTime};
 
 /// The periodic monitoring + daily rearrangement controller.
@@ -76,6 +77,7 @@ impl RearrangementDaemon {
     /// Read and clear the driver's request table, feeding the analyzer.
     /// Call every [`RearrangementDaemon::read_period`].
     pub fn collect(&mut self, driver: &mut AdaptiveDriver, now: SimTime) {
+        let _t = time_scope("analyzer");
         match driver
             .ioctl(Ioctl::ReadRequestTable, now)
             .expect("monitor reads are infallible")
@@ -129,6 +131,7 @@ impl RearrangementDaemon {
         if hot.is_empty() {
             return Ok(RearrangeReport::default());
         }
+        let _t = time_scope("placement");
         self.arranger
             .rearrange_incremental(driver, &hot, n_blocks, now)
     }
@@ -166,7 +169,21 @@ impl RearrangementDaemon {
         n_blocks: usize,
         now: SimTime,
     ) -> Result<RearrangeReport, DriverError> {
-        let report = if driver.layout().is_none() {
+        let _t = time_scope("placement");
+        let moving = driver.layout().is_some();
+        if moving {
+            // A `Start` with no matching `Stop` in a trace marks a pass
+            // that failed outright (the error path below returns early).
+            record_with(|| ObsEvent::Rearrange {
+                phase: RearrangePhase::Start,
+                at_us: now.as_micros(),
+                placed: 0,
+                failed: 0,
+                io_ops: 0,
+                busy_us: 0,
+            });
+        }
+        let report = if !moving {
             // No reserved area (plain disk, or the cylinder-shuffling
             // baseline): nothing to move, just roll the day over.
             RearrangeReport::default()
@@ -178,6 +195,16 @@ impl RearrangementDaemon {
         } else {
             self.arranger.rearrange(driver, hot, n_blocks, now)?
         };
+        if moving {
+            record_with(|| ObsEvent::Rearrange {
+                phase: RearrangePhase::Stop,
+                at_us: (now + report.busy).as_micros(),
+                placed: report.blocks_placed,
+                failed: report.blocks_failed,
+                io_ops: report.io_ops,
+                busy_us: report.busy.as_micros(),
+            });
+        }
         self.analyzer.reset();
         self.read_analyzer.reset();
         self.dropped = 0;

@@ -64,6 +64,14 @@ fn run_meter_add(sim: SimDuration) {
         v.days += 1;
         m.set(v);
     });
+    // Mirror into the unified registry so a run's metrics snapshot
+    // carries the same progress figures as the meter.
+    abr_obs::with_registry(|r| {
+        let sim_us = r.counter("engine.sim_us");
+        let days = r.counter("engine.days");
+        r.inc(sim_us, sim.as_micros());
+        r.inc(days, 1);
+    });
 }
 
 /// Experiment configuration.
@@ -212,6 +220,11 @@ impl Experiment {
     /// the workload's file population (pushing its I/O through the driver
     /// before measurement starts), and zero all monitors.
     pub fn new(config: ExperimentConfig) -> Self {
+        // Setup and warm-up are unmeasured: suppress span/event recording
+        // so an active trace holds only measured-day traffic. (Wall-clock
+        // timers keep running; they feed `wall.*` metrics, which never
+        // enter traces.)
+        let _unmeasured = abr_obs::trace_pause();
         let model = config.disk.clone();
         let spb = 16; // 8 KB blocks
         let label = if config.reserved_cylinders > 0 {
@@ -384,6 +397,7 @@ impl Experiment {
 
     /// Run one measured day of workload and return its metrics.
     pub fn run_day(&mut self) -> DayMetrics {
+        let _t = abr_obs::time_scope("event_loop");
         let day_start = self.clock;
         let day_end = day_start + self.config.profile.day_length;
         let mut next_sync = day_start + self.config.sync_period;
@@ -511,6 +525,7 @@ impl Experiment {
     /// (`config.reserved_cylinders == 0`).
     pub fn shuffle_cylinders_for_next_day(&mut self) -> RearrangeReport {
         use abr_driver::cylmap::CylinderMap;
+        let _t = abr_obs::time_scope("shuffle");
         let g = self.driver.label().physical;
         let spb = u64::from(self.driver.sectors_per_block());
         let (all, _) = self.daemon.distributions();
@@ -817,6 +832,103 @@ mod tests {
         assert!(after.sim > before.sim);
         run_meter_reset();
         assert_eq!(run_meter(), RunMeter::default());
+    }
+
+    #[test]
+    fn setup_and_warmup_are_not_traced() {
+        abr_obs::trace_start(abr_obs::DEFAULT_TRACE_CAPACITY);
+        let _e = tiny_experiment();
+        let buf = abr_obs::trace_take().expect("tracing was started");
+        assert!(
+            buf.events.is_empty(),
+            "setup/warmup leaked {} events into the trace",
+            buf.events.len()
+        );
+        assert_eq!(buf.dropped, 0);
+    }
+
+    #[test]
+    fn spans_reconcile_with_day_metrics() {
+        use abr_obs::{ObsEvent, RearrangePhase};
+        abr_obs::trace_start(abr_obs::DEFAULT_TRACE_CAPACITY);
+        let mut e = tiny_experiment();
+        let m = e.run_day();
+        e.rearrange_for_next_day(40);
+        let buf = abr_obs::trace_take().expect("tracing was started");
+        assert_eq!(buf.dropped, 0);
+
+        let spans: Vec<&abr_obs::RequestSpan> = buf
+            .events
+            .iter()
+            .filter_map(|ev| match ev {
+                ObsEvent::Request(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans.len() as u64, m.all.n, "one span per measured request");
+
+        // Per-phase means reconcile with the day's DirMetrics: both
+        // sides hold exact integer-microsecond sums and divide the same
+        // way, so they agree to float round-off. (Fault-free day, so
+        // every span's breakdown covers its whole service time.)
+        let n = spans.len() as f64;
+        let mean_ms = |sum_us: u64| sum_us as f64 / n / 1_000.0;
+        let service: u64 = spans.iter().map(|s| s.service_us()).sum();
+        let waiting: u64 = spans.iter().map(|s| s.waiting_us()).sum();
+        let rotation: u64 = spans.iter().map(|s| s.rotation_us).sum();
+        let transfer: u64 = spans.iter().map(|s| s.transfer_us).sum();
+        for (name, got, want) in [
+            ("service", mean_ms(service), m.all.service_ms),
+            ("waiting", mean_ms(waiting), m.all.waiting_ms),
+            ("rotation", mean_ms(rotation), m.all.rotation_ms),
+            ("transfer", mean_ms(transfer), m.all.transfer_ms),
+        ] {
+            assert!(
+                (got - want).abs() < 1e-9,
+                "{name}: spans say {got} ms, DirMetrics say {want} ms"
+            );
+        }
+        assert!(spans.iter().all(|s| s.retries == 0 && s.error.is_none()));
+
+        // The overnight pass traced one rearrange start/stop pair, and
+        // the movement ioctls it issued account for its reported I/O.
+        let starts = buf
+            .events
+            .iter()
+            .filter(|ev| {
+                matches!(
+                    ev,
+                    ObsEvent::Rearrange {
+                        phase: RearrangePhase::Start,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(starts, 1);
+        let stop = buf
+            .events
+            .iter()
+            .find_map(|ev| match ev {
+                ObsEvent::Rearrange {
+                    phase: RearrangePhase::Stop,
+                    placed,
+                    io_ops,
+                    ..
+                } => Some((*placed, *io_ops)),
+                _ => None,
+            })
+            .expect("successful pass records a stop event");
+        assert!(stop.0 > 0, "blocks were placed");
+        let move_ops: u32 = buf
+            .events
+            .iter()
+            .filter_map(|ev| match ev {
+                ObsEvent::Move { ops, .. } => Some(*ops),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(move_ops, stop.1, "move events account for the pass's I/O");
     }
 
     #[test]

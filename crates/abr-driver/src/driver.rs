@@ -27,6 +27,7 @@ use abr_disk::disk::ServiceBreakdown;
 use abr_disk::fault::{DiskError, DiskFault};
 use abr_disk::label::LabelError;
 use abr_disk::{Disk, DiskLabel, SECTOR_SIZE};
+use abr_obs::{record_with, with_registry, CounterId, MoveKind, ObsEvent, RequestSpan};
 use abr_sim::{SimDuration, SimTime};
 use bytes::Bytes;
 use std::collections::BTreeSet;
@@ -287,6 +288,35 @@ struct Active {
     breakdown: ServiceBreakdown,
     completes: SimTime,
     error: Option<DriverError>,
+    /// Span scratch carried from dispatch to completion so the trace
+    /// layer can emit one complete lifecycle record per request.
+    seek_cylinders: u32,
+    queue_depth: u32,
+    in_reserved: bool,
+    retries: u32,
+}
+
+/// Static unified-registry handles for the driver's own counters
+/// (resolved once at attach; see `abr_obs::registry`).
+#[derive(Debug, Clone, Copy)]
+struct DriverObs {
+    submitted: CounterId,
+    completed: CounterId,
+    failed: CounterId,
+    move_ops: CounterId,
+    move_busy_us: CounterId,
+}
+
+impl DriverObs {
+    fn resolve() -> Self {
+        with_registry(|r| DriverObs {
+            submitted: r.counter("driver.submitted"),
+            completed: r.counter("driver.completed"),
+            failed: r.counter("driver.failed"),
+            move_ops: r.counter("driver.move.ops"),
+            move_busy_us: r.counter("driver.move.busy_us"),
+        })
+    }
 }
 
 /// The adaptive disk device driver.
@@ -345,6 +375,11 @@ pub struct AdaptiveDriver {
     /// reserved copy destroyed). Reads fail with [`DriverError::DataLoss`]
     /// until a full-block write refreshes the block.
     lost: BTreeSet<u64>,
+    /// Retries absorbed while servicing the current foreground request
+    /// (zeroed at dispatch; copied into the span at completion).
+    retry_scratch: u32,
+    /// Unified-registry counter handles.
+    obs: DriverObs,
 }
 
 impl fmt::Debug for AdaptiveDriver {
@@ -436,8 +471,16 @@ impl AdaptiveDriver {
             degraded,
             quarantined: BTreeSet::new(),
             lost: BTreeSet::new(),
+            retry_scratch: 0,
+            obs: DriverObs::resolve(),
             config,
         })
+    }
+
+    /// The request monitor (diagnostics like `abrctl monitor-dump`; the
+    /// ioctl path reads and clears it instead).
+    pub fn request_monitor(&self) -> &RequestMonitor {
+        &self.req_mon
     }
 
     /// Whether the driver attached in degraded pass-through mode (the
@@ -578,6 +621,8 @@ impl AdaptiveDriver {
         }
         self.last_arrival_cyl = Some(pre_cyl);
 
+        with_registry(|r| r.inc(self.obs.submitted, 1));
+
         // Request monitor sees the stable virtual block number.
         self.req_mon.record(RequestRecord {
             block: vsector / spb,
@@ -670,10 +715,12 @@ impl AdaptiveDriver {
             (eligible[pick], now)
         };
         let q = self.queue.remove(idx);
+        let queue_depth = self.queue.len() as u32;
 
         // Address-based scheduled seek distance (what the paper's monitor
         // records; it cannot see track-buffer hits).
-        let addr_dist = u64::from(q.target_cylinder.abs_diff(head));
+        let seek_cylinders = q.target_cylinder.abs_diff(head);
+        let addr_dist = u64::from(seek_cylinders);
         let in_reserved = self
             .label
             .reserved
@@ -697,6 +744,10 @@ impl AdaptiveDriver {
                 breakdown: zero_breakdown(),
                 completes: now,
                 error: Some(DriverError::DataLoss),
+                seek_cylinders,
+                queue_depth,
+                in_reserved,
+                retries: 0,
             });
             return;
         }
@@ -708,6 +759,7 @@ impl AdaptiveDriver {
         // every segment starts at `now + acc.total()` exactly as before.
         // A segment failure (after the bounded retries inside `serviced`)
         // fails the whole request but still charges the time it took.
+        self.retry_scratch = 0;
         let mut wasted = SimDuration::ZERO;
         let mut acc: Option<ServiceBreakdown> = None;
         let mut error = None;
@@ -767,6 +819,10 @@ impl AdaptiveDriver {
             breakdown,
             completes,
             error,
+            seek_cylinders,
+            queue_depth,
+            in_reserved,
+            retries: self.retry_scratch,
         });
     }
 
@@ -821,6 +877,36 @@ impl AdaptiveDriver {
                 a.breakdown.transfer + a.breakdown.overhead,
             );
         }
+        with_registry(|r| {
+            let ctr = if a.error.is_none() {
+                self.obs.completed
+            } else {
+                self.obs.failed
+            };
+            r.inc(ctr, 1);
+        });
+        record_with(|| {
+            let spb = u64::from(self.sectors_per_block());
+            let vsector = self.label.partitions[a.queued.req.partition].start_sector
+                + a.queued.req.sector_in_partition;
+            ObsEvent::Request(RequestSpan {
+                id: a.queued.id.0,
+                read: a.queued.req.dir.is_read(),
+                block: vsector / spb,
+                n_sectors: a.queued.req.n_sectors,
+                arrived_us: a.queued.arrived.as_micros(),
+                dispatched_us: a.dispatched.as_micros(),
+                completed_us: now.as_micros(),
+                seek_us: a.breakdown.seek.as_micros(),
+                rotation_us: a.breakdown.rotation.as_micros(),
+                transfer_us: (a.breakdown.transfer + a.breakdown.overhead).as_micros(),
+                seek_cylinders: a.seek_cylinders,
+                queue_depth: a.queue_depth,
+                in_reserved: a.in_reserved,
+                retries: a.retries,
+                error: a.error.as_ref().map(|e| e.to_string()),
+            })
+        });
         let completion = Completion {
             id: a.queued.id,
             dir: a.queued.req.dir,
@@ -850,10 +936,32 @@ impl AdaptiveDriver {
     /// delayed" — we model the daily arranger running in a quiet period).
     pub fn ioctl(&mut self, op: Ioctl, now: SimTime) -> Result<IoctlReply, DriverError> {
         match op {
-            Ioctl::BCopy { block, slot } => self.bcopy(block, slot, now),
-            Ioctl::Clean => self.clean(now),
-            Ioctl::BEvict { orig } => self.bevict(orig, now),
-            Ioctl::ShuffleCylinders { map } => self.shuffle_cylinders(map, now),
+            Ioctl::BCopy { block, slot } => {
+                let res = self.bcopy(block, slot, now);
+                self.note_move(MoveKind::BCopy, now, block, u64::from(slot), &res);
+                res
+            }
+            Ioctl::Clean => {
+                let res = self.clean(now);
+                self.note_move(MoveKind::Clean, now, 0, 0, &res);
+                res
+            }
+            Ioctl::BEvict { orig } => {
+                let slot = self
+                    .table
+                    .lookup(orig)
+                    .map(|e| u64::from(e.slot))
+                    .unwrap_or(0);
+                let block = orig / u64::from(self.sectors_per_block());
+                let res = self.bevict(orig, now);
+                self.note_move(MoveKind::BEvict, now, block, slot, &res);
+                res
+            }
+            Ioctl::ShuffleCylinders { map } => {
+                let res = self.shuffle_cylinders(map, now);
+                self.note_move(MoveKind::Shuffle, now, 0, 0, &res);
+                res
+            }
             Ioctl::ReadRequestTable => {
                 let (records, dropped) = self.req_mon.read_and_clear();
                 Ok(IoctlReply::RequestTable { records, dropped })
@@ -861,6 +969,35 @@ impl AdaptiveDriver {
             Ioctl::ReadStats => Ok(IoctlReply::Stats(Box::new(self.perf.read_and_clear()))),
             Ioctl::PeekStats => Ok(IoctlReply::Stats(Box::new(self.perf.snapshot()))),
         }
+    }
+
+    /// Publish one block-movement outcome to the trace and the registry.
+    /// `block`/`slot` identify what moved (zero for whole-area calls).
+    fn note_move(
+        &self,
+        kind: MoveKind,
+        now: SimTime,
+        block: u64,
+        slot: u64,
+        res: &Result<IoctlReply, DriverError>,
+    ) {
+        let (ops, busy_us, ok) = match res {
+            Ok(IoctlReply::Moved { ops, busy }) => (*ops, busy.as_micros(), true),
+            _ => (0, 0, false),
+        };
+        with_registry(|r| {
+            r.inc(self.obs.move_ops, u64::from(ops));
+            r.inc(self.obs.move_busy_us, busy_us);
+        });
+        record_with(|| ObsEvent::Move {
+            kind,
+            at_us: now.as_micros(),
+            block,
+            slot,
+            ops,
+            busy_us,
+            ok,
+        });
     }
 
     /// `DKIOCBCOPY` (§4.1.3): copy a block into the reserved area —
@@ -1210,6 +1347,7 @@ impl AdaptiveDriver {
                     elapsed += e.elapsed;
                     if e.fault.is_retryable() && attempt < MAX_ATTEMPTS {
                         self.perf.record_retry();
+                        self.retry_scratch += 1;
                         elapsed += SimDuration::from_millis(1 << (attempt - 1));
                     } else {
                         return (elapsed, Err(e));

@@ -13,6 +13,7 @@
 //! resolution with exact cumulative sums.
 
 use abr_disk::disk::IoDir;
+use abr_obs::{with_registry, CounterId};
 use abr_sim::{DistTable, SimDuration, TimeStats};
 use serde::{Deserialize, Serialize};
 
@@ -38,6 +39,11 @@ pub struct RequestMonitor {
     /// Lifetime count of suspension episodes (for reporting).
     suspension_episodes: u64,
     full: bool,
+    /// Unified-registry mirrors of the two counters above (static
+    /// handles; the thread-local registry is the single sink every
+    /// subsystem's tallies flow into).
+    dropped_ctr: CounterId,
+    suspensions_ctr: CounterId,
 }
 
 impl RequestMonitor {
@@ -47,26 +53,42 @@ impl RequestMonitor {
     /// Panics if capacity is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
+        let (dropped_ctr, suspensions_ctr) = with_registry(|r| {
+            (
+                r.counter("driver.monitor.dropped"),
+                r.counter("driver.monitor.suspensions"),
+            )
+        });
         RequestMonitor {
             records: Vec::with_capacity(capacity.min(4096)),
             capacity,
             suspended: 0,
             suspension_episodes: 0,
             full: false,
+            dropped_ctr,
+            suspensions_ctr,
         }
     }
 
     /// Record one request; silently drops (and counts) it if the table is
     /// full — "request recording is temporarily suspended".
+    ///
+    /// A suspension episode starts the moment the table *becomes* full:
+    /// recording of the next request is already suspended whether or not
+    /// one arrives before the table is read. (Counting on the first drop
+    /// instead would report zero episodes for an exactly-full window,
+    /// under-reporting how often the monitor saturated.)
     pub fn record(&mut self, rec: RequestRecord) {
         if self.records.len() >= self.capacity {
-            if !self.full {
-                self.full = true;
-                self.suspension_episodes += 1;
-            }
             self.suspended += 1;
+            with_registry(|r| r.inc(self.dropped_ctr, 1));
         } else {
             self.records.push(rec);
+            if self.records.len() == self.capacity && !self.full {
+                self.full = true;
+                self.suspension_episodes += 1;
+                with_registry(|r| r.inc(self.suspensions_ctr, 1));
+            }
         }
     }
 
@@ -93,6 +115,18 @@ impl RequestMonitor {
     /// Total suspension episodes over the monitor's lifetime.
     pub fn suspension_episodes(&self) -> u64 {
         self.suspension_episodes
+    }
+
+    /// The records currently held, without clearing (diagnostics like
+    /// `abrctl monitor-dump`; the ioctl path uses
+    /// [`RequestMonitor::read_and_clear`]).
+    pub fn records(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
+    /// Requests dropped since the last read, without clearing.
+    pub fn dropped(&self) -> u64 {
+        self.suspended
     }
 }
 
@@ -214,12 +248,51 @@ impl PerfSnapshot {
     }
 }
 
+/// Static registry handles mirroring the performance monitor's tallies
+/// into the unified thread-local registry (resolved once per monitor).
+#[derive(Debug, Clone, Copy)]
+struct PerfHandles {
+    retries: CounterId,
+    read_failures: CounterId,
+    write_failures: CounterId,
+    quarantines: CounterId,
+    lost_blocks: CounterId,
+    table_write_failures: CounterId,
+    reserved_dispatches: CounterId,
+    service_us: abr_obs::HistogramId,
+    queueing_us: abr_obs::HistogramId,
+}
+
+/// Fixed bucket bounds (µs) for the registry's latency histograms:
+/// 1 ms .. 1 s, roughly log-spaced. Exact sums ride alongside, so the
+/// coarse buckets never degrade means.
+const LATENCY_BOUNDS_US: [u64; 9] = [
+    1_000, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000,
+];
+
+impl PerfHandles {
+    fn resolve() -> Self {
+        with_registry(|r| PerfHandles {
+            retries: r.counter("driver.faults.retries"),
+            read_failures: r.counter("driver.faults.read_failures"),
+            write_failures: r.counter("driver.faults.write_failures"),
+            quarantines: r.counter("driver.faults.quarantines"),
+            lost_blocks: r.counter("driver.faults.lost_blocks"),
+            table_write_failures: r.counter("driver.faults.table_write_failures"),
+            reserved_dispatches: r.counter("driver.dispatch.reserved"),
+            service_us: r.histogram("driver.service_us", &LATENCY_BOUNDS_US),
+            queueing_us: r.histogram("driver.queueing_us", &LATENCY_BOUNDS_US),
+        })
+    }
+}
+
 /// The in-driver performance monitor.
 #[derive(Debug, Clone)]
 pub struct PerfMonitor {
     reads: DirStats,
     writes: DirStats,
     faults: FaultStats,
+    handles: PerfHandles,
 }
 
 /// Histogram range: times at or beyond this many ms land in the overflow
@@ -239,35 +312,47 @@ impl PerfMonitor {
             reads: DirStats::new(RANGE_MS),
             writes: DirStats::new(RANGE_MS),
             faults: FaultStats::default(),
+            handles: PerfHandles::resolve(),
         }
     }
 
     /// Count one absorbed (retried) transient disk fault.
     pub fn record_retry(&mut self) {
         self.faults.retries += 1;
+        with_registry(|r| r.inc(self.handles.retries, 1));
     }
 
     /// Count one request that failed after exhausting retries.
     pub fn record_failure(&mut self, dir: IoDir) {
+        let h = &self.handles;
         match dir {
-            IoDir::Read => self.faults.read_failures += 1,
-            IoDir::Write => self.faults.write_failures += 1,
+            IoDir::Read => {
+                self.faults.read_failures += 1;
+                with_registry(|r| r.inc(h.read_failures, 1));
+            }
+            IoDir::Write => {
+                self.faults.write_failures += 1;
+                with_registry(|r| r.inc(h.write_failures, 1));
+            }
         }
     }
 
     /// Count one reserved slot quarantined after a hard media error.
     pub fn record_quarantine(&mut self) {
         self.faults.quarantines += 1;
+        with_registry(|r| r.inc(self.handles.quarantines, 1));
     }
 
     /// Count one block whose latest data became unrecoverable.
     pub fn record_lost_block(&mut self) {
         self.faults.lost_blocks += 1;
+        with_registry(|r| r.inc(self.handles.lost_blocks, 1));
     }
 
     /// Count one failed (rolled-back) block-table persist.
     pub fn record_table_write_failure(&mut self) {
         self.faults.table_write_failures += 1;
+        with_registry(|r| r.inc(self.handles.table_write_failures, 1));
     }
 
     fn dir_mut(&mut self, dir: IoDir) -> &mut DirStats {
@@ -293,11 +378,14 @@ impl PerfMonitor {
         queueing: SimDuration,
         in_reserved: bool,
     ) {
+        let h = self.handles;
         let d = self.dir_mut(dir);
         d.sched_seek.record(distance);
         d.queueing.record(queueing);
+        with_registry(|r| r.observe(h.queueing_us, queueing.as_micros()));
         if in_reserved {
             d.reserved_dispatches += 1;
+            with_registry(|r| r.inc(h.reserved_dispatches, 1));
         }
     }
 
@@ -310,10 +398,12 @@ impl PerfMonitor {
         rotation: SimDuration,
         transfer_and_overhead: SimDuration,
     ) {
+        let h = self.handles;
         let d = self.dir_mut(dir);
         d.service.record(service);
         d.rotation.record(rotation);
         d.transfer.record(transfer_and_overhead);
+        with_registry(|r| r.observe(h.service_us, service.as_micros()));
     }
 
     /// Snapshot without clearing.
@@ -361,6 +451,40 @@ mod tests {
         // Recording resumes after the read.
         m.record(rec(9));
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn request_monitor_exactly_full_counts_one_suspension() {
+        // Regression: a window that fills the table exactly — with no
+        // overflow arrivals before the clear — is still a suspension
+        // episode (recording *was* suspended); it used to count zero.
+        let mut m = RequestMonitor::new(3);
+        for b in 0..3 {
+            m.record(rec(b));
+        }
+        let (recs, dropped) = m.read_and_clear();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(dropped, 0, "nothing was dropped in an exactly-full window");
+        assert_eq!(m.suspension_episodes(), 1);
+        // Each saturated window counts exactly one more episode.
+        for b in 0..4 {
+            m.record(rec(b));
+        }
+        let (_, dropped) = m.read_and_clear();
+        assert_eq!(dropped, 1);
+        assert_eq!(m.suspension_episodes(), 2);
+    }
+
+    #[test]
+    fn request_monitor_registry_mirrors_drops_and_suspensions() {
+        abr_obs::registry_reset();
+        let mut m = RequestMonitor::new(2);
+        for b in 0..5 {
+            m.record(rec(b));
+        }
+        let snap = abr_obs::registry_snapshot();
+        assert_eq!(snap["counters"]["driver.monitor.dropped"], 3);
+        assert_eq!(snap["counters"]["driver.monitor.suspensions"], 1);
     }
 
     #[test]

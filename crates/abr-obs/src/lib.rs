@@ -1,0 +1,50 @@
+//! # abr-obs — observability substrate
+//!
+//! The paper's adaptive mechanism is driven entirely by what the driver
+//! can *observe* about the request stream (§4.1.4–§4.1.5). This crate is
+//! the reproduction's equivalent of the measurement rig the authors
+//! wired into their SunOS kernel, extended to modern observability
+//! practice:
+//!
+//! * [`span`] — per-request lifecycle spans (arrival → queue → dispatch
+//!   → seek/rotation/transfer → completion, with retry and fault edges)
+//!   plus arranger/daemon activity events, all timestamped in
+//!   *simulated* time so traces are bit-reproducible.
+//! * [`recorder`] — a bounded flight-recorder ring buffer with exact
+//!   drop counting: overhead is fixed no matter how long a run is, and
+//!   recording is a thread-local concern so `--jobs N` parallelism
+//!   cannot perturb a trace.
+//! * [`registry`] — a unified metrics registry (counters, gauges,
+//!   fixed-bucket histograms) with static handles, snapshotable as
+//!   deterministic JSON through [`abr_sim::json`].
+//! * [`timer`] — scoped *wall-clock* timers feeding the same registry,
+//!   so simulated-time and real-time cost of each pipeline phase
+//!   (analyzer, placement, event loop) are reported side by side.
+//!
+//! ## Determinism contract
+//!
+//! Everything recorded into the trace is derived from simulated time and
+//! the deterministic request stream; wall-clock measurements go only
+//! into registry metrics under the `wall.` prefix, which callers must
+//! keep out of byte-compared artifacts. The CI determinism gate relies
+//! on this split: `experiments --jobs 4 --trace` must produce the same
+//! trace bytes as `--jobs 1`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod recorder;
+pub mod registry;
+pub mod span;
+pub mod timer;
+
+pub use recorder::{
+    record, record_with, trace_active, trace_pause, trace_start, trace_take, FlightRecorder,
+    TraceBuffer, TracePause, DEFAULT_TRACE_CAPACITY,
+};
+pub use registry::{
+    registry_clear, registry_reset, registry_snapshot, with_registry, CounterId, FixedHistogram,
+    GaugeId, HistogramId, Registry,
+};
+pub use span::{MoveKind, ObsEvent, RearrangePhase, RequestSpan};
+pub use timer::{time_scope, ScopedWallTimer};

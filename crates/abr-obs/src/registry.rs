@@ -1,0 +1,328 @@
+//! Unified metrics registry: counters, gauges, fixed-bucket histograms.
+//!
+//! Every subsystem that used to keep an ad-hoc `u64` tally (the request
+//! monitor, the perf monitor, the bench engine's `RunMeter`) registers
+//! a named metric here instead and holds a static handle
+//! ([`CounterId`] / [`GaugeId`] / [`HistogramId`]) — an index, so the
+//! hot-path update is one bounds-checked array write with no hashing.
+//!
+//! The registry is thread-local for the same reason the flight recorder
+//! is: each benchmark run owns one worker thread, so per-run metrics
+//! need no locks and parallel runs cannot interleave. [`Registry::reset`]
+//! zeroes values but **preserves definitions**, so handles resolved once
+//! (e.g. at driver construction) stay valid across day boundaries and
+//! engine resets.
+//!
+//! Snapshots serialize through [`abr_sim::json`] with names sorted, so
+//! two runs that touched the same metrics in different orders still
+//! emit identical bytes.
+
+use std::cell::RefCell;
+
+use abr_sim::jsn;
+use abr_sim::json::JsonValue;
+
+/// Handle to a registered counter (monotone `u64`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge (settable `i64`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered fixed-bucket histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// A histogram with caller-fixed bucket upper bounds plus an overflow
+/// bucket, tracking exact `count` and `sum` alongside.
+///
+/// Bounds are inclusive upper edges in the metric's native unit
+/// (typically microseconds). Exact totals mean snapshots can recompute
+/// a mean without quantization error — the reconciliation test against
+/// `DirMetrics` relies on this.
+#[derive(Debug, Clone)]
+pub struct FixedHistogram {
+    bounds: Vec<u64>,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl FixedHistogram {
+    fn new(bounds: Vec<u64>) -> FixedHistogram {
+        let n = bounds.len() + 1; // + overflow
+        FixedHistogram {
+            bounds,
+            buckets: vec![0; n],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Observations that exceeded the last bound.
+    pub fn overflow(&self) -> u64 {
+        *self.buckets.last().expect("overflow bucket always present")
+    }
+
+    fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+    }
+
+    fn to_json(&self) -> JsonValue {
+        jsn!({
+            "bounds": self.bounds.clone(),
+            "buckets": self.buckets.clone(),
+            "count": self.count,
+            "sum": self.sum,
+        })
+    }
+}
+
+/// A metrics registry: named counters, gauges, and histograms.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, i64)>,
+    histograms: Vec<(String, FixedHistogram)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|(n, _)| n == name) {
+            return CounterId(i);
+        }
+        self.counters.push((name.to_string(), 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(i) = self.gauges.iter().position(|(n, _)| n == name) {
+            return GaugeId(i);
+        }
+        self.gauges.push((name.to_string(), 0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Get or create the histogram named `name`. Bucket bounds are
+    /// fixed at first registration; later callers get the same
+    /// histogram regardless of the bounds they pass.
+    pub fn histogram(&mut self, name: &str, bounds: &[u64]) -> HistogramId {
+        if let Some(i) = self.histograms.iter().position(|(n, _)| n == name) {
+            return HistogramId(i);
+        }
+        self.histograms
+            .push((name.to_string(), FixedHistogram::new(bounds.to_vec())));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Add `delta` to a counter.
+    pub fn inc(&mut self, id: CounterId, delta: u64) {
+        self.counters[id.0].1 += delta;
+    }
+
+    /// Current value of a counter.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].1
+    }
+
+    /// Set a gauge.
+    pub fn set_gauge(&mut self, id: GaugeId, value: i64) {
+        self.gauges[id.0].1 = value;
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge_value(&self, id: GaugeId) -> i64 {
+        self.gauges[id.0].1
+    }
+
+    /// Record one observation into a histogram.
+    pub fn observe(&mut self, id: HistogramId, value: u64) {
+        self.histograms[id.0].1.observe(value);
+    }
+
+    /// Read access to a histogram.
+    pub fn histogram_value(&self, id: HistogramId) -> &FixedHistogram {
+        &self.histograms[id.0].1
+    }
+
+    /// Zero all values, **keeping definitions** so existing handles
+    /// remain valid (day boundaries, engine resets).
+    pub fn reset(&mut self) {
+        self.counters.iter_mut().for_each(|(_, v)| *v = 0);
+        self.gauges.iter_mut().for_each(|(_, v)| *v = 0);
+        self.histograms.iter_mut().for_each(|(_, h)| h.reset());
+    }
+
+    /// Serialize all metrics, names sorted within each section, as a
+    /// deterministic JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+    pub fn snapshot(&self) -> JsonValue {
+        let mut counters: Vec<&(String, u64)> = self.counters.iter().collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut c = JsonValue::object();
+        for (name, v) in counters {
+            c.insert(name.as_str(), *v);
+        }
+
+        let mut gauges: Vec<&(String, i64)> = self.gauges.iter().collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut g = JsonValue::object();
+        for (name, v) in gauges {
+            g.insert(name.as_str(), *v);
+        }
+
+        let mut hists: Vec<&(String, FixedHistogram)> = self.histograms.iter().collect();
+        hists.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut h = JsonValue::object();
+        for (name, hist) in hists {
+            h.insert(name.as_str(), hist.to_json());
+        }
+
+        jsn!({ "counters": c, "gauges": g, "histograms": h })
+    }
+}
+
+thread_local! {
+    static REGISTRY: RefCell<Registry> = RefCell::new(Registry::new());
+}
+
+/// Run `f` with this thread's registry. The registry always exists;
+/// metric updates outside any run simply accumulate until the next
+/// [`registry_reset`].
+pub fn with_registry<T>(f: impl FnOnce(&mut Registry) -> T) -> T {
+    REGISTRY.with(|r| f(&mut r.borrow_mut()))
+}
+
+/// Zero this thread's registry values (definitions survive).
+pub fn registry_reset() {
+    with_registry(Registry::reset);
+}
+
+/// Discard this thread's registry entirely, definitions included,
+/// invalidating every previously resolved handle. Use at *run*
+/// boundaries (the bench engine reuses worker threads across runs, and
+/// a leftover zero-valued definition would make one run's snapshot
+/// depend on which runs its thread executed before); within a run, use
+/// [`registry_reset`] so handles stay valid.
+pub fn registry_clear() {
+    with_registry(|r| *r = Registry::new());
+}
+
+/// Snapshot this thread's registry as deterministic JSON.
+pub fn registry_snapshot() -> JsonValue {
+    with_registry(|r| r.snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_get_or_create() {
+        let mut reg = Registry::new();
+        let a = reg.counter("io.reads");
+        let b = reg.counter("io.reads");
+        assert_eq!(a, b);
+        let c = reg.counter("io.writes");
+        assert_ne!(a, c);
+        reg.inc(a, 2);
+        reg.inc(b, 3);
+        assert_eq!(reg.counter_value(a), 5);
+    }
+
+    #[test]
+    fn reset_preserves_definitions() {
+        let mut reg = Registry::new();
+        let c = reg.counter("x");
+        let g = reg.gauge("y");
+        let h = reg.histogram("z", &[10, 100]);
+        reg.inc(c, 7);
+        reg.set_gauge(g, -4);
+        reg.observe(h, 55);
+        reg.reset();
+        assert_eq!(reg.counter_value(c), 0);
+        assert_eq!(reg.gauge_value(g), 0);
+        assert_eq!(reg.histogram_value(h).count(), 0);
+        // Handles resolved before the reset still address the same metric.
+        reg.inc(c, 1);
+        let again = reg.counter("x");
+        assert_eq!(reg.counter_value(again), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = FixedHistogram::new(vec![10, 100, 1000]);
+        for v in [5, 10, 11, 100, 999, 1000, 1001, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 5 + 10 + 11 + 100 + 999 + 1000 + 1001 + 5000);
+        assert_eq!(h.overflow(), 2);
+        let j = h.to_json();
+        assert_eq!(j["buckets"][0], 2); // 5, 10
+        assert_eq!(j["buckets"][1], 2); // 11, 100
+        assert_eq!(j["buckets"][2], 2); // 999, 1000
+        assert_eq!(j["buckets"][3], 2); // 1001, 5000
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_registration_order_free() {
+        let mut a = Registry::new();
+        let (a_zz, a_aa) = (a.counter("zz"), a.counter("aa"));
+        a.inc(a_zz, 1);
+        a.inc(a_aa, 2);
+        let mut b = Registry::new();
+        let (b_aa, b_zz) = (b.counter("aa"), b.counter("zz"));
+        b.inc(b_aa, 2);
+        b.inc(b_zz, 1);
+        assert_eq!(a.snapshot().to_string(), b.snapshot().to_string());
+        let text = a.snapshot().to_string();
+        assert!(text.find("\"aa\"").unwrap() < text.find("\"zz\"").unwrap());
+    }
+
+    #[test]
+    fn thread_local_reset_roundtrip() {
+        registry_reset();
+        let id = with_registry(|r| {
+            let id = r.counter("tl.test");
+            r.inc(id, 9);
+            id
+        });
+        let snap = registry_snapshot();
+        assert_eq!(snap["counters"]["tl.test"], 9);
+        registry_reset();
+        assert_eq!(with_registry(|r| r.counter_value(id)), 0);
+    }
+}
