@@ -1,0 +1,36 @@
+//! # abr-array — a multi-disk volume over adaptive drivers
+//!
+//! The paper rearranges blocks on one spindle; this crate scales the
+//! I/O path out to N spindles. An [`ArrayVolume`] presents N
+//! independent [`abr_driver::AdaptiveDriver`]s behind a single flat
+//! block address space:
+//!
+//! * [`stripe`] — the address map: classic striping with a
+//!   configurable chunk size, concatenation, and hash-sharding.
+//! * [`volume`] — the dispatcher: splits requests into per-disk
+//!   sub-requests, merges completions in simulated-time order, tracks
+//!   per-disk health (dead / degraded / lost blocks), and publishes
+//!   the `array.*` registry metrics.
+//! * [`experiment`] — the measured-day harness over a volume, with one
+//!   rearrangement daemon *per member disk* so hot blocks migrate into
+//!   each spindle's own reserved region.
+//!
+//! ## Determinism invariants
+//!
+//! Array runs are byte-identical across thread counts because (1) the
+//! stripe map is immutable after construction, (2) simultaneous
+//! completions retire in disk-index order, and (3) volume metrics fold
+//! per-disk windows with order-insensitive merges. An N=1 volume is
+//! byte-identical to the single-disk harness — the experiment loop is
+//! a line-for-line mirror of `abr_core::Experiment`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiment;
+pub mod stripe;
+pub mod volume;
+
+pub use experiment::{ArrayConfig, ArrayDayMetrics, ArrayExperiment};
+pub use stripe::{StripeMap, StripePolicy};
+pub use volume::{ArrayHealth, ArrayVolume, DiskHealth, DiskIoCounts, VolCompletion, VolRequestId};

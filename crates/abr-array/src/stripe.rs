@@ -1,0 +1,326 @@
+//! Striping policies: how a volume's flat block address space is laid
+//! out over N member disks.
+//!
+//! All three policies work in units of file-system *blocks* (the
+//! adaptive driver rejects any request crossing a block boundary, so a
+//! block is the largest unit a single request can touch). A *chunk* is
+//! a run of consecutive volume blocks kept together on one disk;
+//! sub-block offsets are preserved, so a request never straddles two
+//! disks.
+//!
+//! The map is fully determined by `(policy, n_disks, per-disk size)` at
+//! construction — no state updates on the I/O path — which is what
+//! makes array runs byte-identical across thread counts.
+
+use serde::{Deserialize, Serialize};
+
+/// How volume blocks are distributed over the member disks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StripePolicy {
+    /// Classic RAID-0: chunk `c` of the volume lives on disk
+    /// `c mod N`, round-robin.
+    Striped {
+        /// Chunk size in file-system blocks (≥ 1).
+        chunk_blocks: u64,
+    },
+    /// Concatenation (linear/JBOD): disk 0's blocks first, then disk
+    /// 1's, and so on.
+    Concat,
+    /// Hash-sharded: each chunk's home disk is chosen by a fixed
+    /// integer hash of its index, with linear probing onto the next
+    /// disk once a disk is full. Spreads sequential runs like striping
+    /// but without the rigid round-robin phase.
+    HashShard {
+        /// Chunk size in file-system blocks (≥ 1).
+        chunk_blocks: u64,
+    },
+}
+
+impl StripePolicy {
+    /// Short policy name for reports and metric labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StripePolicy::Striped { .. } => "striped",
+            StripePolicy::Concat => "concat",
+            StripePolicy::HashShard { .. } => "hash",
+        }
+    }
+
+    /// The chunk size in blocks (1 for concatenation, where the "chunk"
+    /// is a whole disk).
+    pub fn chunk_blocks(&self) -> u64 {
+        match self {
+            StripePolicy::Striped { chunk_blocks } | StripePolicy::HashShard { chunk_blocks } => {
+                *chunk_blocks
+            }
+            StripePolicy::Concat => 1,
+        }
+    }
+}
+
+/// SplitMix64 finalizer — the same fixed integer hash `SimRng` uses for
+/// substream derivation, reused here to shard chunks.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// A precomputed volume-to-disk address map.
+///
+/// For `n_disks == 1` every policy is the identity map and the volume
+/// exposes the member's partition size *exactly* — including a trailing
+/// partial block — so a one-disk volume is byte-identical to driving
+/// the disk directly. For `n_disks > 1` the volume exposes only whole
+/// chunks (each disk's tail blocks that don't fill a chunk are unused).
+#[derive(Debug, Clone)]
+pub struct StripeMap {
+    policy: StripePolicy,
+    n_disks: usize,
+    sectors_per_block: u64,
+    per_disk_blocks: u64,
+    vol_sectors: u64,
+    chunk_blocks: u64,
+    /// `HashShard` only: chunk index → home disk.
+    shard_disk: Vec<u32>,
+    /// `HashShard` only: chunk index → chunk slot on its home disk.
+    shard_slot: Vec<u64>,
+}
+
+impl StripeMap {
+    /// Build the map for `n_disks` identical members, each exposing
+    /// `per_disk_sectors` sectors of partition 0.
+    ///
+    /// # Panics
+    /// If `n_disks == 0`, the chunk size is 0, or a disk is too small
+    /// to hold even one chunk.
+    pub fn new(
+        policy: StripePolicy,
+        n_disks: usize,
+        per_disk_sectors: u64,
+        sectors_per_block: u32,
+    ) -> Self {
+        assert!(n_disks >= 1, "a volume needs at least one disk");
+        let spb = u64::from(sectors_per_block);
+        assert!(spb >= 1);
+        let per_disk_blocks = per_disk_sectors / spb;
+        let chunk_blocks = policy.chunk_blocks();
+        assert!(chunk_blocks >= 1, "chunk size must be at least one block");
+
+        let mut map = StripeMap {
+            policy,
+            n_disks,
+            sectors_per_block: spb,
+            per_disk_blocks,
+            vol_sectors: 0,
+            chunk_blocks,
+            shard_disk: Vec::new(),
+            shard_slot: Vec::new(),
+        };
+        if n_disks == 1 {
+            // Identity: expose the partition exactly, trailing partial
+            // block included.
+            map.vol_sectors = per_disk_sectors;
+            return map;
+        }
+        match policy {
+            StripePolicy::Concat => {
+                map.vol_sectors = n_disks as u64 * per_disk_blocks * spb;
+            }
+            StripePolicy::Striped { .. } | StripePolicy::HashShard { .. } => {
+                let chunks_per_disk = per_disk_blocks / chunk_blocks;
+                assert!(
+                    chunks_per_disk >= 1,
+                    "chunk of {chunk_blocks} blocks does not fit a {per_disk_blocks}-block disk"
+                );
+                let total_chunks = n_disks as u64 * chunks_per_disk;
+                map.vol_sectors = total_chunks * chunk_blocks * spb;
+                if matches!(policy, StripePolicy::HashShard { .. }) {
+                    let mut fill = vec![0u64; n_disks];
+                    map.shard_disk.reserve(total_chunks as usize);
+                    map.shard_slot.reserve(total_chunks as usize);
+                    for chunk in 0..total_chunks {
+                        let mut d = (splitmix64(chunk) % n_disks as u64) as usize;
+                        while fill[d] == chunks_per_disk {
+                            d = (d + 1) % n_disks;
+                        }
+                        map.shard_disk.push(d as u32);
+                        map.shard_slot.push(fill[d]);
+                        fill[d] += 1;
+                    }
+                }
+            }
+        }
+        map
+    }
+
+    /// The policy this map implements.
+    pub fn policy(&self) -> StripePolicy {
+        self.policy
+    }
+
+    /// Number of member disks.
+    pub fn n_disks(&self) -> usize {
+        self.n_disks
+    }
+
+    /// Total sectors the volume exposes.
+    pub fn vol_sectors(&self) -> u64 {
+        self.vol_sectors
+    }
+
+    /// Sectors per file-system block.
+    pub fn sectors_per_block(&self) -> u64 {
+        self.sectors_per_block
+    }
+
+    /// Map a volume block index to `(disk index, disk block index)`.
+    pub fn map_block(&self, vblock: u64) -> (usize, u64) {
+        if self.n_disks == 1 {
+            return (0, vblock);
+        }
+        match self.policy {
+            StripePolicy::Striped { .. } => {
+                let chunk = vblock / self.chunk_blocks;
+                let within = vblock % self.chunk_blocks;
+                let disk = (chunk % self.n_disks as u64) as usize;
+                let slot = chunk / self.n_disks as u64;
+                (disk, slot * self.chunk_blocks + within)
+            }
+            StripePolicy::Concat => (
+                (vblock / self.per_disk_blocks) as usize,
+                vblock % self.per_disk_blocks,
+            ),
+            StripePolicy::HashShard { .. } => {
+                let chunk = vblock / self.chunk_blocks;
+                let within = vblock % self.chunk_blocks;
+                let disk = self.shard_disk[chunk as usize] as usize;
+                let slot = self.shard_slot[chunk as usize];
+                (disk, slot * self.chunk_blocks + within)
+            }
+        }
+    }
+
+    /// Map a volume sector to `(disk index, disk sector)`. The
+    /// sub-block offset is preserved, so a request that fits in one
+    /// volume block lands wholly on one disk.
+    pub fn map_sector(&self, vsector: u64) -> (usize, u64) {
+        let (disk, dblock) = self.map_block(vsector / self.sectors_per_block);
+        (
+            disk,
+            dblock * self.sectors_per_block + vsector % self.sectors_per_block,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPB: u32 = 16;
+
+    fn policies() -> Vec<StripePolicy> {
+        vec![
+            StripePolicy::Striped { chunk_blocks: 4 },
+            StripePolicy::Striped { chunk_blocks: 1 },
+            StripePolicy::Concat,
+            StripePolicy::HashShard { chunk_blocks: 4 },
+        ]
+    }
+
+    #[test]
+    fn n1_is_the_identity_for_every_policy() {
+        // 100 blocks plus a 7-sector partial tail; N=1 must expose it all.
+        let per_disk = 100 * u64::from(SPB) + 7;
+        for p in policies() {
+            let m = StripeMap::new(p, 1, per_disk, SPB);
+            assert_eq!(m.vol_sectors(), per_disk, "{p:?}");
+            for v in [0, 1, 15, 16, 17, per_disk - 1] {
+                assert_eq!(m.map_sector(v), (0, v), "{p:?} sector {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_policy_is_a_bijection_within_bounds() {
+        let per_disk = 24 * u64::from(SPB);
+        for p in policies() {
+            for n in [2usize, 3, 4, 8] {
+                let m = StripeMap::new(p, n, per_disk, SPB);
+                let vol_blocks = m.vol_sectors() / u64::from(SPB);
+                let mut seen = std::collections::HashSet::new();
+                for vb in 0..vol_blocks {
+                    let (d, db) = m.map_block(vb);
+                    assert!(d < n, "{p:?} N={n}: disk {d} out of range");
+                    assert!(
+                        db < per_disk / u64::from(SPB),
+                        "{p:?} N={n}: block {db} past end of disk"
+                    );
+                    assert!(seen.insert((d, db)), "{p:?} N={n}: ({d},{db}) mapped twice");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_stay_contiguous_on_one_disk() {
+        let per_disk = 24 * u64::from(SPB);
+        for p in policies() {
+            let m = StripeMap::new(p, 4, per_disk, SPB);
+            let cb = p.chunk_blocks();
+            let vol_blocks = m.vol_sectors() / u64::from(SPB);
+            for chunk in 0..vol_blocks / cb {
+                let (d0, b0) = m.map_block(chunk * cb);
+                for i in 1..cb {
+                    let (d, b) = m.map_block(chunk * cb + i);
+                    assert_eq!(d, d0, "{p:?}: chunk {chunk} split across disks");
+                    assert_eq!(b, b0 + i, "{p:?}: chunk {chunk} not contiguous");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn striped_round_robins_across_disks() {
+        let m = StripeMap::new(StripePolicy::Striped { chunk_blocks: 2 }, 3, 12 * 16, SPB);
+        assert_eq!(m.map_block(0), (0, 0));
+        assert_eq!(m.map_block(1), (0, 1));
+        assert_eq!(m.map_block(2), (1, 0));
+        assert_eq!(m.map_block(4), (2, 0));
+        assert_eq!(m.map_block(6), (0, 2));
+    }
+
+    #[test]
+    fn concat_fills_disks_in_order() {
+        let m = StripeMap::new(StripePolicy::Concat, 2, 10 * 16, SPB);
+        assert_eq!(m.map_block(0), (0, 0));
+        assert_eq!(m.map_block(9), (0, 9));
+        assert_eq!(m.map_block(10), (1, 0));
+        assert_eq!(m.map_block(19), (1, 9));
+    }
+
+    #[test]
+    fn hash_shard_balances_exactly() {
+        let per_disk = 40 * u64::from(SPB);
+        let m = StripeMap::new(
+            StripePolicy::HashShard { chunk_blocks: 4 },
+            4,
+            per_disk,
+            SPB,
+        );
+        let mut per = vec![0u64; 4];
+        let vol_blocks = m.vol_sectors() / u64::from(SPB);
+        for vb in (0..vol_blocks).step_by(4) {
+            per[m.map_block(vb).0] += 1;
+        }
+        assert_eq!(per, vec![10, 10, 10, 10], "probing must fill every disk");
+    }
+
+    #[test]
+    fn map_sector_preserves_sub_block_offsets() {
+        let m = StripeMap::new(StripePolicy::Striped { chunk_blocks: 1 }, 2, 8 * 16, SPB);
+        let (d, s) = m.map_sector(16 + 5);
+        assert_eq!((d, s % u64::from(SPB)), (1, 5));
+    }
+}

@@ -1,0 +1,550 @@
+//! The volume: N adaptive drivers behind one block address space.
+//!
+//! [`ArrayVolume`] mirrors the `AdaptiveDriver` submit/complete surface
+//! so the experiment loop drives a volume exactly like a single disk.
+//! Incoming requests are mapped through the [`StripeMap`]
+//! (single-block requests land wholly on one disk; the raw path splits
+//! multi-block transfers into per-disk sub-requests), and completions
+//! are merged back in simulated-time order.
+//!
+//! Determinism invariant: when several disks complete at the same
+//! simulated instant, [`ArrayVolume::complete_next`] always retires the
+//! lowest disk index first. Combined with the stateless stripe map this
+//! keeps every array run byte-identical regardless of host threading.
+
+use crate::stripe::{StripeMap, StripePolicy};
+use abr_driver::request::IoDir;
+use abr_driver::{AdaptiveDriver, DriverError, IoRequest, RequestId};
+use abr_obs::{with_registry, CounterId, GaugeId};
+use abr_sim::SimTime;
+use std::collections::HashMap;
+
+/// Opaque identifier of a volume-level request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VolRequestId(pub u64);
+
+/// A finished volume request: all of its per-disk sub-requests have
+/// completed, merged in sim time.
+#[derive(Debug, Clone)]
+pub struct VolCompletion {
+    /// The volume request's id.
+    pub id: VolRequestId,
+    /// When the volume accepted the request.
+    pub arrived: SimTime,
+    /// When the *last* sub-request completed.
+    pub completed: SimTime,
+    /// How many per-disk sub-requests the request was split into.
+    pub n_subs: u32,
+    /// First error any sub-request reported, if any.
+    pub error: Option<DriverError>,
+}
+
+/// Health of one member disk, as reported by [`ArrayVolume::health`].
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct DiskHealth {
+    /// Disk index within the array.
+    pub disk: u32,
+    /// The disk is powered off (a `FaultPlan` power cut fired).
+    pub dead: bool,
+    /// The driver is in degraded pass-through mode (block table
+    /// unreadable); rearrangement is disabled but I/O still flows.
+    pub degraded: bool,
+    /// Quarantined reserved-area slots.
+    pub quarantined: u32,
+    /// Blocks whose freshest copy was lost to a hard error.
+    pub lost: u32,
+    /// Blocks currently placed in this disk's reserved area.
+    pub placed: u32,
+}
+
+impl DiskHealth {
+    /// A disk that needs operator attention: dead, degraded, or with
+    /// data loss.
+    pub fn impaired(&self) -> bool {
+        self.dead || self.degraded || self.lost > 0
+    }
+}
+
+/// Array-level health summary.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ArrayHealth {
+    /// Per-disk state, indexed by disk.
+    pub disks: Vec<DiskHealth>,
+}
+
+impl ArrayHealth {
+    /// Disks currently serving normally (not dead, not degraded).
+    pub fn n_healthy(&self) -> usize {
+        self.disks.iter().filter(|d| !d.dead && !d.degraded).count()
+    }
+
+    /// Disks that are powered off.
+    pub fn n_dead(&self) -> usize {
+        self.disks.iter().filter(|d| d.dead).count()
+    }
+
+    /// Disks in degraded pass-through mode.
+    pub fn n_degraded(&self) -> usize {
+        self.disks.iter().filter(|d| d.degraded).count()
+    }
+
+    /// Total lost blocks across the array.
+    pub fn total_lost(&self) -> u64 {
+        self.disks.iter().map(|d| u64::from(d.lost)).sum()
+    }
+
+    /// Whether every disk is serving normally with no data loss.
+    pub fn is_fully_healthy(&self) -> bool {
+        self.disks.iter().all(|d| !d.impaired())
+    }
+}
+
+/// Per-request bookkeeping while sub-requests are outstanding.
+#[derive(Debug)]
+struct Inflight {
+    remaining: u32,
+    n_subs: u32,
+    arrived: SimTime,
+    error: Option<DriverError>,
+}
+
+/// Registry handles for the `array.*` metric family.
+struct ArrayObs {
+    requests: CounterId,
+    subrequests: CounterId,
+    dead: GaugeId,
+    degraded: GaugeId,
+    lost: GaugeId,
+    per_disk: Vec<DiskObs>,
+}
+
+struct DiskObs {
+    submitted: CounterId,
+    completed: CounterId,
+    failed: CounterId,
+}
+
+impl ArrayObs {
+    fn resolve(n_disks: usize) -> Self {
+        with_registry(|r| {
+            let disks = r.gauge("array.disks");
+            r.set_gauge(disks, n_disks as i64);
+            ArrayObs {
+                requests: r.counter("array.requests"),
+                subrequests: r.counter("array.subrequests"),
+                dead: r.gauge("array.disks.dead"),
+                degraded: r.gauge("array.disks.degraded"),
+                lost: r.gauge("array.blocks.lost"),
+                per_disk: (0..n_disks)
+                    .map(|i| DiskObs {
+                        submitted: r.counter(&format!("array.disk.{i}.submitted")),
+                        completed: r.counter(&format!("array.disk.{i}.completed")),
+                        failed: r.counter(&format!("array.disk.{i}.failed")),
+                    })
+                    .collect(),
+            }
+        })
+    }
+}
+
+/// Plain per-disk I/O tallies, independent of the registry, for tests
+/// and reports that need exact counts from a specific volume instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct DiskIoCounts {
+    /// Sub-requests submitted to this disk.
+    pub submitted: u64,
+    /// Sub-requests that completed successfully.
+    pub completed: u64,
+    /// Sub-requests that completed with an error.
+    pub failed: u64,
+}
+
+/// N adaptive drivers behind one block address space.
+pub struct ArrayVolume {
+    disks: Vec<AdaptiveDriver>,
+    map: StripeMap,
+    next_id: u64,
+    subs: HashMap<(usize, RequestId), u64>,
+    inflight: HashMap<u64, Inflight>,
+    io_counts: Vec<DiskIoCounts>,
+    obs: ArrayObs,
+}
+
+impl std::fmt::Debug for ArrayVolume {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArrayVolume")
+            .field("n_disks", &self.disks.len())
+            .field("policy", &self.map.policy())
+            .field("vol_sectors", &self.map.vol_sectors())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ArrayVolume {
+    /// Assemble a volume from identically-formatted member drivers.
+    ///
+    /// Each driver's disk index is stamped so its request spans and
+    /// metrics carry the per-disk label dimension.
+    ///
+    /// # Panics
+    /// If `disks` is empty or the members disagree on partition size or
+    /// block size (heterogeneous arrays are out of scope).
+    pub fn new(mut disks: Vec<AdaptiveDriver>, policy: StripePolicy) -> Self {
+        assert!(!disks.is_empty(), "a volume needs at least one disk");
+        let per_disk_sectors = disks[0].label().partitions[0].n_sectors;
+        let spb = disks[0].sectors_per_block();
+        for (i, d) in disks.iter_mut().enumerate() {
+            assert_eq!(
+                d.label().partitions[0].n_sectors,
+                per_disk_sectors,
+                "disk {i} partition size differs"
+            );
+            assert_eq!(d.sectors_per_block(), spb, "disk {i} block size differs");
+            d.set_disk_index(i as u32);
+        }
+        let map = StripeMap::new(policy, disks.len(), per_disk_sectors, spb);
+        let obs = ArrayObs::resolve(disks.len());
+        let n = disks.len();
+        ArrayVolume {
+            disks,
+            map,
+            next_id: 0,
+            subs: HashMap::new(),
+            inflight: HashMap::new(),
+            io_counts: vec![DiskIoCounts::default(); n],
+            obs,
+        }
+    }
+
+    /// The stripe map in force.
+    pub fn map(&self) -> &StripeMap {
+        &self.map
+    }
+
+    /// Number of member disks.
+    pub fn n_disks(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Total sectors the volume exposes (partition 0 of the array).
+    pub fn vol_sectors(&self) -> u64 {
+        self.map.vol_sectors()
+    }
+
+    /// A member driver.
+    pub fn disk(&self, i: usize) -> &AdaptiveDriver {
+        &self.disks[i]
+    }
+
+    /// A member driver, mutably — for the per-disk rearrangement
+    /// daemons and fault-plan installation.
+    pub fn disk_mut(&mut self, i: usize) -> &mut AdaptiveDriver {
+        &mut self.disks[i]
+    }
+
+    /// Exact per-disk sub-request tallies for this volume instance.
+    pub fn io_counts(&self, i: usize) -> DiskIoCounts {
+        self.io_counts[i]
+    }
+
+    /// Submit a block-interface request against the volume's address
+    /// space. Like the single-disk driver, the request must not cross a
+    /// file-system block boundary — which guarantees it maps onto
+    /// exactly one member disk.
+    pub fn submit(&mut self, req: IoRequest, now: SimTime) -> Result<VolRequestId, DriverError> {
+        if req.partition != 0 {
+            return Err(DriverError::BadPartition);
+        }
+        if req.n_sectors == 0 {
+            return Err(DriverError::EmptyTransfer);
+        }
+        let end = req
+            .sector_in_partition
+            .checked_add(u64::from(req.n_sectors))
+            .ok_or(DriverError::OutOfPartition)?;
+        if end > self.map.vol_sectors() {
+            return Err(DriverError::OutOfPartition);
+        }
+        let (disk, sector) = self.map.map_sector(req.sector_in_partition);
+        let sub = IoRequest {
+            sector_in_partition: sector,
+            ..req
+        };
+        let sub_id = self.disks[disk].submit(sub, now)?;
+        Ok(self.admit(now, vec![(disk, sub_id)]))
+    }
+
+    /// Submit a raw transfer of `n_sectors` starting at `sector`,
+    /// splitting it into one sub-request per file-system block (the
+    /// same split the single-disk driver's raw path performs) and
+    /// fanning the pieces out to their home disks.
+    pub fn submit_raw(
+        &mut self,
+        dir: IoDir,
+        sector: u64,
+        n_sectors: u32,
+        now: SimTime,
+    ) -> Result<VolRequestId, DriverError> {
+        if n_sectors == 0 {
+            return Err(DriverError::EmptyTransfer);
+        }
+        let end = sector
+            .checked_add(u64::from(n_sectors))
+            .ok_or(DriverError::OutOfPartition)?;
+        if end > self.map.vol_sectors() {
+            return Err(DriverError::OutOfPartition);
+        }
+        let spb = self.map.sectors_per_block() as u32;
+        let mut placed: Vec<(usize, RequestId)> = Vec::new();
+        for (s, n) in abr_driver::physio::split(sector, n_sectors, spb) {
+            let (disk, dsector) = self.map.map_sector(s);
+            let sub = match dir {
+                IoDir::Read => IoRequest::read(0, dsector, n),
+                IoDir::Write => IoRequest::write_zeroes(0, dsector, n),
+            };
+            match self.disks[disk].submit(sub, now) {
+                Ok(id) => placed.push((disk, id)),
+                Err(e) => {
+                    // Piece rejected up front (it never reached a
+                    // queue): orphan the accepted pieces — they will
+                    // complete and be dropped — and report the error.
+                    for (d, id) in placed {
+                        self.subs.remove(&(d, id));
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(self.admit(now, placed))
+    }
+
+    /// Record an accepted request and its sub-requests.
+    fn admit(&mut self, now: SimTime, pieces: Vec<(usize, RequestId)>) -> VolRequestId {
+        let vol = self.next_id;
+        self.next_id += 1;
+        let n_subs = pieces.len() as u32;
+        for (disk, id) in pieces {
+            self.subs.insert((disk, id), vol);
+            self.io_counts[disk].submitted += 1;
+            with_registry(|r| {
+                r.inc(self.obs.per_disk[disk].submitted, 1);
+                r.inc(self.obs.subrequests, 1);
+            });
+        }
+        with_registry(|r| r.inc(self.obs.requests, 1));
+        self.inflight.insert(
+            vol,
+            Inflight {
+                remaining: n_subs,
+                n_subs,
+                arrived: now,
+                error: None,
+            },
+        );
+        VolRequestId(vol)
+    }
+
+    /// When the next sub-request anywhere in the array will complete.
+    /// Idle disks with queued work dispatch here, exactly like the
+    /// single-disk driver's `next_completion`.
+    pub fn next_completion(&mut self) -> Option<SimTime> {
+        self.disks
+            .iter_mut()
+            .filter_map(|d| d.next_completion())
+            .min()
+    }
+
+    /// Retire the sub-request completing at `now` (ties broken by
+    /// lowest disk index). Returns the volume-level completion if this
+    /// was its request's last outstanding piece.
+    ///
+    /// # Panics
+    /// If no disk has a completion at exactly `now` — same contract as
+    /// the single-disk driver.
+    pub fn complete_next(&mut self, now: SimTime) -> Option<VolCompletion> {
+        let disk = (0..self.disks.len())
+            .find(|&i| self.disks[i].next_completion() == Some(now))
+            .expect("no completion at this time");
+        let c = self.disks[disk].complete_next(now);
+        if c.is_ok() {
+            self.io_counts[disk].completed += 1;
+            with_registry(|r| r.inc(self.obs.per_disk[disk].completed, 1));
+        } else {
+            self.io_counts[disk].failed += 1;
+            with_registry(|r| r.inc(self.obs.per_disk[disk].failed, 1));
+        }
+        let vol = self.subs.remove(&(disk, c.id))?;
+        let inflight = self
+            .inflight
+            .get_mut(&vol)
+            .expect("sub-request maps to a live request");
+        inflight.remaining -= 1;
+        if inflight.error.is_none() {
+            inflight.error = c.error;
+        }
+        if inflight.remaining > 0 {
+            return None;
+        }
+        let done = self.inflight.remove(&vol).expect("checked above");
+        Some(VolCompletion {
+            id: VolRequestId(vol),
+            arrived: done.arrived,
+            completed: now,
+            n_subs: done.n_subs,
+            error: done.error,
+        })
+    }
+
+    /// Run every member to completion, returning merged volume
+    /// completions in sim-time order.
+    pub fn drain(&mut self) -> Vec<VolCompletion> {
+        let mut out = Vec::new();
+        while let Some(t) = self.next_completion() {
+            if let Some(vc) = self.complete_next(t) {
+                out.push(vc);
+            }
+        }
+        out
+    }
+
+    /// Outstanding sub-requests across all member queues.
+    pub fn queue_len(&self) -> usize {
+        self.disks.iter().map(|d| d.queue_len()).sum()
+    }
+
+    /// Whether every member is idle.
+    pub fn is_idle(&self) -> bool {
+        self.disks.iter().all(|d| d.is_idle())
+    }
+
+    /// Snapshot array health and publish it to the `array.*` gauges.
+    pub fn health(&mut self) -> ArrayHealth {
+        let disks: Vec<DiskHealth> = self
+            .disks
+            .iter()
+            .enumerate()
+            .map(|(i, d)| DiskHealth {
+                disk: i as u32,
+                dead: d.disk().injector().is_some_and(|inj| inj.is_dead()),
+                degraded: d.is_degraded(),
+                quarantined: d.quarantined_slots().count() as u32,
+                lost: d.lost_blocks().count() as u32,
+                placed: d.block_table().len() as u32,
+            })
+            .collect();
+        let health = ArrayHealth { disks };
+        with_registry(|r| {
+            r.set_gauge(self.obs.dead, health.n_dead() as i64);
+            r.set_gauge(self.obs.degraded, health.n_degraded() as i64);
+            r.set_gauge(self.obs.lost, health.total_lost() as i64);
+        });
+        health
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_disk::{models, Disk, DiskLabel};
+    use abr_driver::{DriverConfig, SchedulerKind};
+
+    fn member(spb: u32) -> AdaptiveDriver {
+        let model = models::toshiba_mk156f();
+        let label = DiskLabel::rearranged_aligned(model.geometry, 8, spb);
+        let cfg = DriverConfig {
+            block_size: 8192,
+            scheduler: SchedulerKind::Scan,
+            monitor_capacity: 1 << 16,
+            table_max_entries: 1024,
+        };
+        let mut disk = Disk::new(model);
+        AdaptiveDriver::format(&mut disk, &label, &cfg);
+        AdaptiveDriver::attach(disk, cfg).expect("fresh format attaches")
+    }
+
+    fn volume(n: usize, policy: StripePolicy) -> ArrayVolume {
+        ArrayVolume::new((0..n).map(|_| member(16)).collect(), policy)
+    }
+
+    #[test]
+    fn single_block_requests_route_to_one_disk() {
+        let mut v = volume(4, StripePolicy::Striped { chunk_blocks: 1 });
+        let t = SimTime::ZERO;
+        // Block 0 → disk 0, block 1 → disk 1, ...
+        for b in 0..4u64 {
+            v.submit(IoRequest::read(0, b * 16, 16), t).unwrap();
+        }
+        for i in 0..4 {
+            assert!(!v.disk(i).is_idle(), "disk {i} should hold one request");
+        }
+        let done = v.drain();
+        assert_eq!(done.len(), 4);
+        assert!(done.iter().all(|c| c.error.is_none() && c.n_subs == 1));
+        assert!(v.is_idle());
+    }
+
+    #[test]
+    fn raw_requests_split_and_merge() {
+        let mut v = volume(2, StripePolicy::Striped { chunk_blocks: 1 });
+        // 4 blocks starting mid-block: 5 pieces over both disks, one
+        // volume completion when the last piece lands.
+        let id = v
+            .submit_raw(IoDir::Write, 8, 4 * 16, SimTime::ZERO)
+            .unwrap();
+        let done = v.drain();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, id);
+        assert_eq!(done[0].n_subs, 5);
+        assert!(done[0].error.is_none());
+        assert_eq!(v.io_counts(0).submitted + v.io_counts(1).submitted, 5);
+    }
+
+    #[test]
+    fn out_of_range_requests_are_rejected() {
+        let mut v = volume(2, StripePolicy::Concat);
+        let end = v.vol_sectors();
+        assert_eq!(
+            v.submit(IoRequest::read(0, end, 16), SimTime::ZERO),
+            Err(DriverError::OutOfPartition)
+        );
+        assert_eq!(
+            v.submit(IoRequest::read(1, 0, 16), SimTime::ZERO),
+            Err(DriverError::BadPartition)
+        );
+        assert_eq!(
+            v.submit(IoRequest::read(0, 0, 0), SimTime::ZERO),
+            Err(DriverError::EmptyTransfer)
+        );
+    }
+
+    #[test]
+    fn completions_merge_in_time_order() {
+        let mut v = volume(2, StripePolicy::Striped { chunk_blocks: 1 });
+        let a = v.submit(IoRequest::read(0, 0, 16), SimTime::ZERO).unwrap();
+        let b = v.submit(IoRequest::read(0, 16, 16), SimTime::ZERO).unwrap();
+        let done = v.drain();
+        assert_eq!(done.len(), 2);
+        assert!(done[0].completed <= done[1].completed);
+        let ids: Vec<VolRequestId> = done.iter().map(|c| c.id).collect();
+        assert!(ids.contains(&a) && ids.contains(&b));
+    }
+
+    #[test]
+    fn health_reports_every_disk() {
+        let mut v = volume(3, StripePolicy::Concat);
+        let h = v.health();
+        assert_eq!(h.disks.len(), 3);
+        assert!(h.is_fully_healthy());
+        assert_eq!(h.n_healthy(), 3);
+        assert_eq!(h.n_dead(), 0);
+        assert_eq!(h.total_lost(), 0);
+    }
+
+    #[test]
+    fn disk_indices_are_stamped_on_members() {
+        let v = volume(3, StripePolicy::Concat);
+        for i in 0..3 {
+            assert_eq!(v.disk(i).disk_index(), i as u32);
+        }
+    }
+}

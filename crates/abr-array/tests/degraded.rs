@@ -1,0 +1,102 @@
+//! Degraded-array serving: kill one member mid-day via a `FaultPlan`
+//! power cut and assert the volume keeps serving every request that
+//! maps to a healthy disk, while the failed disk shows up in both the
+//! health report and the `array.*` metrics.
+
+use abr_array::{ArrayConfig, ArrayExperiment, StripePolicy};
+use abr_core::ExperimentConfig;
+use abr_disk::models;
+use abr_disk::FaultPlan;
+use abr_sim::SimDuration;
+use abr_workload::WorkloadProfile;
+
+fn tiny_config() -> ExperimentConfig {
+    let mut profile = WorkloadProfile::tiny_test();
+    profile.day_length = SimDuration::from_mins(20);
+    let mut cfg = ExperimentConfig::new(models::toshiba_mk156f(), profile);
+    cfg.cache_blocks = 192;
+    cfg.seed = 12345;
+    cfg
+}
+
+#[test]
+fn one_dead_disk_does_not_stop_the_volume() {
+    abr_obs::registry_clear();
+    let mut cfg = ArrayConfig::new(tiny_config(), 3, StripePolicy::Striped { chunk_blocks: 8 });
+    // Disk 1 powers off after 500 operations — early in the measured
+    // day; disks 0 and 2 stay healthy.
+    cfg.fault_plans = vec![
+        None,
+        Some(FaultPlan {
+            power_cut_after_ops: Some(500),
+            ..FaultPlan::none()
+        }),
+        None,
+    ];
+    let mut e = ArrayExperiment::new(cfg);
+    let day = e.run_day();
+
+    // The day completed and produced traffic despite the dead member.
+    assert!(day.volume.all.n > 100, "volume served {}", day.volume.all.n);
+
+    // The failed disk is reported.
+    let health = e.health();
+    assert!(health.disks[1].dead, "disk 1's power cut must have fired");
+    assert_eq!(health.n_dead(), 1);
+    assert_eq!(health.n_healthy(), 2);
+    assert!(!health.is_fully_healthy());
+
+    // 100% of the requests that mapped to healthy disks were served:
+    // everything submitted completed, nothing failed.
+    for i in [0usize, 2] {
+        let c = e.volume().io_counts(i);
+        assert!(c.completed > 0, "disk {i} served nothing");
+        assert_eq!(c.failed, 0, "healthy disk {i} reported failures");
+        assert_eq!(
+            c.submitted, c.completed,
+            "disk {i} dropped requests on the floor"
+        );
+    }
+    // The dead disk kept completing (with errors) — the volume never
+    // wedges on a dead member.
+    let c1 = e.volume().io_counts(1);
+    assert!(c1.failed > 0, "the dead disk must report failed requests");
+    assert_eq!(c1.submitted, c1.completed + c1.failed);
+
+    // And the failure is visible in the metrics registry.
+    let snap = abr_obs::registry_snapshot();
+    assert!(
+        snap["counters"]["array.disk.1.failed"]
+            .as_u64()
+            .unwrap_or(0)
+            > 0,
+        "array.disk.1.failed must count the dead disk's errors"
+    );
+    assert_eq!(
+        snap["counters"]["array.disk.0.failed"]
+            .as_u64()
+            .unwrap_or(u64::MAX),
+        0,
+        "array.disk.0.failed must stay zero"
+    );
+    assert_eq!(snap["gauges"]["array.disks.dead"].as_u64().unwrap_or(0), 1);
+    assert_eq!(snap["gauges"]["array.disks"].as_u64().unwrap_or(0), 3);
+}
+
+#[test]
+fn dead_disk_revives_overnight() {
+    let mut cfg = ArrayConfig::new(tiny_config(), 2, StripePolicy::Concat);
+    cfg.fault_plans = vec![
+        Some(FaultPlan {
+            power_cut_after_ops: Some(500),
+            ..FaultPlan::none()
+        }),
+        None,
+    ];
+    let mut e = ArrayExperiment::new(cfg);
+    e.run_day();
+    assert_eq!(e.health().n_dead(), 1);
+    // The overnight power-cycle brings the member back.
+    e.rearrange_for_next_day(0);
+    assert_eq!(e.health().n_dead(), 0);
+}

@@ -1,0 +1,85 @@
+//! The tentpole guarantee: an N=1 striped volume reduces EXACTLY to
+//! the single-disk harness. Both stacks run the same workload from the
+//! same seed and their per-day metrics must serialize to identical
+//! bytes — not merely "close", identical.
+
+use abr_array::{ArrayConfig, ArrayExperiment, StripePolicy};
+use abr_core::{Experiment, ExperimentConfig};
+use abr_disk::models;
+use abr_sim::SimDuration;
+use abr_workload::WorkloadProfile;
+
+fn tiny_config() -> ExperimentConfig {
+    let mut profile = WorkloadProfile::tiny_test();
+    profile.day_length = SimDuration::from_mins(20);
+    let mut cfg = ExperimentConfig::new(models::toshiba_mk156f(), profile);
+    cfg.cache_blocks = 192;
+    cfg.seed = 12345;
+    cfg
+}
+
+#[test]
+fn n1_striped_volume_is_byte_identical_to_single_disk() {
+    let single: Vec<String> = Experiment::new(tiny_config())
+        .run_on_off(1, 40)
+        .iter()
+        .map(|m| serde_json::to_string(m).expect("day metrics serialize"))
+        .collect();
+
+    let array_cfg = ArrayConfig::new(tiny_config(), 1, StripePolicy::Striped { chunk_blocks: 8 });
+    let array: Vec<String> = ArrayExperiment::new(array_cfg)
+        .run_on_off(1, 40)
+        .iter()
+        .map(|m| serde_json::to_string(&m.volume).expect("day metrics serialize"))
+        .collect();
+
+    assert_eq!(single.len(), array.len());
+    for (day, (s, a)) in single.iter().zip(&array).enumerate() {
+        assert_eq!(s, a, "day {day} diverged between single-disk and N=1 array");
+    }
+}
+
+#[test]
+fn n1_volume_per_disk_view_matches_its_own_rollup() {
+    let array_cfg = ArrayConfig::new(tiny_config(), 1, StripePolicy::Concat);
+    let days = ArrayExperiment::new(array_cfg).run_on_off(1, 40);
+    for m in &days {
+        assert_eq!(m.per_disk.len(), 1);
+        assert_eq!(
+            serde_json::to_string(&m.volume).unwrap(),
+            serde_json::to_string(&m.per_disk[0]).unwrap(),
+            "one-disk roll-up must equal the member's own metrics"
+        );
+    }
+}
+
+#[test]
+fn array_runs_are_deterministic() {
+    let run = || {
+        let cfg = ArrayConfig::new(tiny_config(), 2, StripePolicy::Striped { chunk_blocks: 8 });
+        let days = ArrayExperiment::new(cfg).run_on_off(1, 40);
+        days.iter()
+            .map(|m| serde_json::to_string(m).unwrap())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn multi_disk_rearrangement_places_per_spindle() {
+    let cfg = ArrayConfig::new(tiny_config(), 2, StripePolicy::Striped { chunk_blocks: 8 });
+    let mut e = ArrayExperiment::new(cfg);
+    e.run_day();
+    e.rearrange_for_next_day(40);
+    let per_disk: Vec<u32> = (0..2)
+        .map(|i| e.volume().disk(i).block_table().len() as u32)
+        .collect();
+    assert!(
+        per_disk.iter().all(|&n| n > 0),
+        "every member should place hot blocks, got {per_disk:?}"
+    );
+    assert_eq!(e.placed(), per_disk.iter().sum::<u32>());
+    let on = e.run_day();
+    assert!(on.volume.rearranged);
+    assert!(on.per_disk.iter().all(|d| d.rearranged));
+}

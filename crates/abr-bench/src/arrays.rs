@@ -1,0 +1,230 @@
+//! Array scale-out experiments (extension; `experiments array`).
+//!
+//! The paper measures one spindle. The `abr-array` volume layer runs
+//! the same workloads over N spindles with per-disk adaptive
+//! rearrangement, so this family sweeps the array shape:
+//!
+//! * scale-out: N ∈ {1, 2, 4, 8} striped volumes under both the
+//!   `system` and `users` workloads;
+//! * stripe chunk size: 1, 8, and 32 blocks at N = 4;
+//! * striping policy: striped vs concatenated vs hash-sharded at N = 4.
+//!
+//! Every cell runs the paper's on/off protocol with each member disk
+//! placing its share of the paper's 1018 hot blocks. The `array-n2` id
+//! is a single N = 2 cell, small enough for the CI smoke job's
+//! serial-vs-parallel byte-identity gate.
+
+use crate::engine::UnknownId;
+use crate::report::Report;
+use abr_array::{ArrayConfig, ArrayDayMetrics, ArrayExperiment, StripePolicy};
+use abr_core::ExperimentConfig;
+use abr_disk::models;
+use abr_sim::{jsn, JsonValue, SimDuration};
+use abr_workload::WorkloadProfile;
+
+/// Array experiment ids, in listing order.
+pub fn array_ids() -> &'static [&'static str] {
+    &["array", "array-n2"]
+}
+
+/// Blocks the paper rearranged on the Toshiba, split across members.
+const PAPER_BLOCKS: usize = 1018;
+
+/// One array cell: shape + workload.
+struct Cell {
+    n: usize,
+    workload: &'static str,
+    stripe: StripePolicy,
+}
+
+impl Cell {
+    fn profile(&self) -> WorkloadProfile {
+        let mut p = match self.workload {
+            "system" => WorkloadProfile::system_fs(),
+            _ => WorkloadProfile::users_fs(),
+        };
+        // A 2-hour day keeps the 12-cell sweep tractable while still
+        // giving the monitor dozens of read periods per day.
+        p.day_length = SimDuration::from_hours(2);
+        p
+    }
+
+    fn config(&self) -> ArrayConfig {
+        let mut base = ExperimentConfig::new(models::toshiba_mk156f(), self.profile());
+        // One seed lane per cell shape, mixed like the single-disk runs.
+        base.seed = 0xA77A
+            ^ (self.n as u64) << 8
+            ^ (self.stripe.chunk_blocks()) << 16
+            ^ ((self.workload.len() as u64) << 24);
+        ArrayConfig::new(base, self.n, self.stripe)
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "N={} {} {}/{}",
+            self.n,
+            self.workload,
+            self.stripe.name(),
+            self.stripe.chunk_blocks()
+        )
+    }
+}
+
+/// Run one cell's on/off pair and append its row.
+fn run_cell(cell: &Cell, r: &mut Report) -> JsonValue {
+    eprintln!("  running array cell {}...", cell.label());
+    let mut e = ArrayExperiment::new(cell.config());
+    let per_disk_blocks = PAPER_BLOCKS.div_ceil(cell.n);
+    let days = e.run_on_off(1, per_disk_blocks);
+    let (off, on) = (&days[0], &days[1]);
+    let seek_cut = (1.0 - on.volume.all.seek_ms / off.volume.all.seek_ms) * 100.0;
+    let requests = |d: &ArrayDayMetrics| d.per_disk.iter().map(|m| m.all.n).collect::<Vec<u64>>();
+    let off_per_disk = requests(off);
+    r.line(format!(
+        "{:22} | off seek {:5.2} svc {:5.2} | on seek {:5.2} svc {:5.2} | seek cut {:5.1}% | req/disk {:?}",
+        cell.label(),
+        off.volume.all.seek_ms,
+        off.volume.all.service_ms,
+        on.volume.all.seek_ms,
+        on.volume.all.service_ms,
+        seek_cut,
+        off_per_disk,
+    ));
+    jsn!({
+        "n_disks": cell.n,
+        "workload": cell.workload,
+        "policy": cell.stripe.name(),
+        "chunk_blocks": cell.stripe.chunk_blocks(),
+        "blocks_per_disk": per_disk_blocks,
+        "off_seek_ms": off.volume.all.seek_ms,
+        "on_seek_ms": on.volume.all.seek_ms,
+        "off_service_ms": off.volume.all.service_ms,
+        "on_service_ms": on.volume.all.service_ms,
+        "off_waiting_ms": off.volume.all.waiting_ms,
+        "on_waiting_ms": on.volume.all.waiting_ms,
+        "seek_cut_pct": seek_cut,
+        "requests_per_disk_off": off_per_disk,
+        "requests_per_disk_on": requests(on),
+    })
+}
+
+/// The cells of the full `array` sweep.
+fn sweep_cells() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    // Scale-out: striped, chunk 8, both workloads.
+    for workload in ["system", "users"] {
+        for n in [1usize, 2, 4, 8] {
+            cells.push(Cell {
+                n,
+                workload,
+                stripe: StripePolicy::Striped { chunk_blocks: 8 },
+            });
+        }
+    }
+    // Chunk-size sweep at N = 4 (chunk 8 already covered above).
+    for chunk_blocks in [1u64, 32] {
+        cells.push(Cell {
+            n: 4,
+            workload: "system",
+            stripe: StripePolicy::Striped { chunk_blocks },
+        });
+    }
+    // Policy comparison at N = 4.
+    cells.push(Cell {
+        n: 4,
+        workload: "system",
+        stripe: StripePolicy::Concat,
+    });
+    cells.push(Cell {
+        n: 4,
+        workload: "system",
+        stripe: StripePolicy::HashShard { chunk_blocks: 8 },
+    });
+    cells
+}
+
+/// Run an array experiment by id.
+pub fn run_array(id: &str) -> Result<Report, UnknownId> {
+    let (cells, report): (Vec<Cell>, Report) = match id {
+        "array" => (
+            sweep_cells(),
+            Report::new(
+                "array",
+                "Array scale-out: N-disk striped volumes, per-disk rearrangement (extension)",
+            ),
+        ),
+        "array-n2" => (
+            vec![Cell {
+                n: 2,
+                workload: "system",
+                stripe: StripePolicy::Striped { chunk_blocks: 8 },
+            }],
+            Report::new(
+                "array-n2",
+                "Array smoke cell: N=2 striped volume (CI determinism gate)",
+            ),
+        ),
+        other => return Err(UnknownId::new(other)),
+    };
+    let mut r = report;
+    r.line(format!(
+        "{:22} | {:^31} | {:^31} | {:^14}",
+        "cell", "off day", "on day", "rearrangement"
+    ));
+    let mut rows = Vec::new();
+    for cell in &cells {
+        rows.push(run_cell(cell, &mut r));
+    }
+    if id == "array" {
+        r.blank();
+        r.line("expected shape: per-disk seek cuts persist at every N (each spindle organ-pipes its own traffic);");
+        r.line(
+            "per-disk request counts stay balanced for striped/hash policies and skew for concat",
+        );
+        let mut csv = String::from(
+            "n_disks,workload,policy,chunk_blocks,off_seek_ms,on_seek_ms,seek_cut_pct\n",
+        );
+        for row in &rows {
+            csv.push_str(&format!(
+                "{},{},{},{},{:.4},{:.4},{:.2}\n",
+                row["n_disks"],
+                row["workload"].as_str().unwrap_or(""),
+                row["policy"].as_str().unwrap_or(""),
+                row["chunk_blocks"],
+                row["off_seek_ms"].as_f64().unwrap_or(0.0),
+                row["on_seek_ms"].as_f64().unwrap_or(0.0),
+                row["seek_cut_pct"].as_f64().unwrap_or(0.0),
+            ));
+        }
+        r.attach_csv("array_scaleout.csv".to_string(), csv);
+    }
+    r.json = jsn!({ "rows": rows });
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_registered() {
+        assert_eq!(array_ids(), &["array", "array-n2"]);
+    }
+
+    #[test]
+    fn unknown_array_id_is_typed() {
+        assert_eq!(run_array("array-n99").unwrap_err().id, "array-n99");
+    }
+
+    #[test]
+    fn sweep_covers_every_policy_and_requested_n() {
+        let cells = sweep_cells();
+        let ns: std::collections::HashSet<usize> = cells.iter().map(|c| c.n).collect();
+        assert!(ns.contains(&1) && ns.contains(&2) && ns.contains(&4) && ns.contains(&8));
+        let policies: std::collections::HashSet<&str> =
+            cells.iter().map(|c| c.stripe.name()).collect();
+        assert_eq!(policies.len(), 3, "all three striping policies swept");
+        let workloads: std::collections::HashSet<&str> = cells.iter().map(|c| c.workload).collect();
+        assert!(workloads.contains("system") && workloads.contains("users"));
+    }
+}

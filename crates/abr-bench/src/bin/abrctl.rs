@@ -18,6 +18,7 @@
 //! abrctl monitor-dump disk.img
 //! abrctl replay  disk.img trace.jsonl [--blocks N]
 //! abrctl trace   spans.jsonl [--top N]
+//! abrctl array   disk0.img disk1.img ...
 //! ```
 //!
 //! Two different "traces" exist: `workload --trace` writes a *workload*
@@ -81,6 +82,7 @@ fn run(args: &[String]) -> Result<(), Error> {
         "monitor-dump" => monitor_dump(rest),
         "replay" => replay_cmd(rest),
         "trace" => trace_summary(rest),
+        "array" => array_status(rest),
         "help" | "--help" | "-h" => {
             eprintln!("{}", usage());
             Ok(())
@@ -90,7 +92,7 @@ fn run(args: &[String]) -> Result<(), Error> {
 }
 
 fn usage() -> Box<dyn std::error::Error> {
-    "usage: abrctl <create|info|workload|analyze|rearrange|clean|stats|monitor-dump|replay|trace|help> <image|file> [options]"
+    "usage: abrctl <create|info|workload|analyze|rearrange|clean|stats|monitor-dump|replay|trace|array|help> <image|file>... [options]"
         .into()
 }
 
@@ -752,6 +754,61 @@ fn trace_summary(args: &[String]) -> Result<(), Error> {
                 String::new()
             },
         );
+    }
+    Ok(())
+}
+
+/// Array-level health roll-up over a set of member images — the view a
+/// volume manager would print for an `abr-array` volume whose members
+/// are these disks. A member that cannot be loaded at all is reported
+/// as FAILED rather than aborting the whole report: that is exactly the
+/// degraded-array situation the roll-up exists for.
+fn array_status(args: &[String]) -> Result<(), Error> {
+    let images: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if images.is_empty() {
+        return Err("array needs at least one member disk image".into());
+    }
+    let n = images.len();
+    let mut healthy = 0usize;
+    let mut total_lost = 0usize;
+    let mut total_placed = 0usize;
+    for (i, img) in images.iter().enumerate() {
+        match load_driver(Path::new(img.as_str())) {
+            Ok(driver) => {
+                let degraded = driver.is_degraded();
+                let quarantined = driver.quarantined_slots().count();
+                let lost = driver.lost_blocks().count();
+                let placed = driver.block_table().len();
+                total_lost += lost;
+                total_placed += placed;
+                let ok = !degraded && lost == 0;
+                if ok {
+                    healthy += 1;
+                }
+                println!(
+                    "disk {i:2} {}: {} | {} placed | {} quarantined | {} lost{}",
+                    img,
+                    if ok { "healthy" } else { "DEGRADED" },
+                    placed,
+                    quarantined,
+                    lost,
+                    if degraded {
+                        " | table unreadable, pass-through"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            Err(e) => {
+                println!("disk {i:2} {img}: FAILED to load ({e})");
+            }
+        }
+    }
+    println!(
+        "array: {healthy}/{n} disks healthy | {total_placed} blocks placed | {total_lost} blocks lost"
+    );
+    if healthy < n {
+        println!("array: DEGRADED — requests mapping to impaired members may fail");
     }
     Ok(())
 }

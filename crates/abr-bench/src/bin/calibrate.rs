@@ -9,6 +9,14 @@ use abr_core::{Experiment, ExperimentConfig};
 use abr_disk::models;
 use abr_workload::WorkloadProfile;
 
+/// The configs this scratchpad knows, in listing order.
+const CONFIGS: [&str; 4] = [
+    "toshiba-system",
+    "fujitsu-system",
+    "toshiba-users",
+    "fujitsu-users",
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let which = args.get(1).map(String::as_str).unwrap_or("toshiba-system");
@@ -17,7 +25,13 @@ fn main() {
         "fujitsu-system" => (models::fujitsu_m2266(), WorkloadProfile::system_fs(), 3500),
         "toshiba-users" => (models::toshiba_mk156f(), WorkloadProfile::users_fs(), 1018),
         "fujitsu-users" => (models::fujitsu_m2266(), WorkloadProfile::users_fs(), 3500),
-        other => panic!("unknown config {other}"),
+        other => {
+            eprintln!("calibrate: unknown config `{other}`; valid configs:");
+            for c in CONFIGS {
+                eprintln!("  {c}");
+            }
+            std::process::exit(2);
+        }
     };
     let cfg = ExperimentConfig::new(disk, profile);
     eprintln!("building {which} ...");

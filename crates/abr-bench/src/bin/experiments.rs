@@ -24,6 +24,7 @@
 //! Inspect the file with `abrctl trace FILE`.
 
 use abr_bench::ablations;
+use abr_bench::arrays;
 use abr_bench::engine::{bench_compare, detected_parallelism, RunBatch};
 use abr_bench::runs::Campaign;
 use std::path::{Path, PathBuf};
@@ -49,6 +50,9 @@ fn main() -> ExitCode {
             println!("{id}");
         }
         println!("faults");
+        for id in arrays::array_ids() {
+            println!("{id}");
+        }
         return ExitCode::SUCCESS;
     }
 

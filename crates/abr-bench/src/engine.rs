@@ -19,6 +19,7 @@
 //! `BENCH_experiments.json` reports per run and for the whole batch.
 
 use crate::ablations::{ablation_ids, run_ablation};
+use crate::arrays::{array_ids, run_array};
 use crate::faults::run_faults;
 use crate::report::Report;
 use crate::runs::{Campaign, DayCache};
@@ -54,6 +55,7 @@ impl UnknownId {
         let mut ids: Vec<&'static str> = Campaign::all_ids().to_vec();
         ids.extend_from_slice(ablation_ids());
         ids.push("faults");
+        ids.extend_from_slice(array_ids());
         ids
     }
 }
@@ -79,6 +81,8 @@ pub enum RunKind {
     Ablation,
     /// The fault-injection sweep (`faults`).
     Faults,
+    /// An array scale-out run (`array`, `array-n2`).
+    Array,
 }
 
 impl RunKind {
@@ -88,6 +92,7 @@ impl RunKind {
             RunKind::Experiment => "experiment",
             RunKind::Ablation => "ablation",
             RunKind::Faults => "faults",
+            RunKind::Array => "array",
         }
     }
 }
@@ -111,6 +116,8 @@ impl RunSpec {
             RunKind::Ablation
         } else if id == "faults" {
             RunKind::Faults
+        } else if array_ids().contains(&id) {
+            RunKind::Array
         } else {
             return Err(UnknownId::new(id));
         };
@@ -394,6 +401,7 @@ impl RunBatch {
             RunKind::Experiment => campaign.run(&spec.id),
             RunKind::Ablation => run_ablation(&spec.id),
             RunKind::Faults => Ok(run_faults()),
+            RunKind::Array => run_array(&spec.id),
         }));
         let wall = t0.elapsed();
         // Always harvest, even after a panic: worker threads are reused
@@ -547,6 +555,8 @@ mod tests {
             RunKind::Ablation
         );
         assert_eq!(RunSpec::resolve("faults").unwrap().kind, RunKind::Faults);
+        assert_eq!(RunSpec::resolve("array").unwrap().kind, RunKind::Array);
+        assert_eq!(RunSpec::resolve("array-n2").unwrap().kind, RunKind::Array);
         assert_eq!(RunSpec::resolve("nope").unwrap_err().id, "nope");
     }
 

@@ -20,6 +20,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ablations;
+pub mod arrays;
 pub mod engine;
 pub mod faults;
 pub mod report;

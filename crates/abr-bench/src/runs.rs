@@ -164,11 +164,11 @@ impl Campaign {
     pub fn run(&self, id: &str) -> Result<Report, UnknownId> {
         Ok(match id {
             "table1" => table1(),
-            "table2" => self.table2_or_4_or_5_or_6("table2"),
+            "table2" => self.table2_or_4_or_5_or_6("table2")?,
             "table3" => self.table3(),
-            "table4" => self.table2_or_4_or_5_or_6("table4"),
-            "table5" => self.table2_or_4_or_5_or_6("table5"),
-            "table6" => self.table2_or_4_or_5_or_6("table6"),
+            "table4" => self.table2_or_4_or_5_or_6("table4")?,
+            "table5" => self.table2_or_4_or_5_or_6("table5")?,
+            "table6" => self.table2_or_4_or_5_or_6("table6")?,
             "fig4" => self.fig_cdf("fig4"),
             "fig6" => self.fig_cdf("fig6"),
             "fig5" => self.fig_dist("fig5"),
@@ -208,7 +208,7 @@ impl Campaign {
         })
     }
 
-    fn table2_or_4_or_5_or_6(&self, id: &'static str) -> Report {
+    fn table2_or_4_or_5_or_6(&self, id: &'static str) -> Result<Report, UnknownId> {
         let (fs, reads_only, title, paper): (_, _, _, &[[f64; 9]]) = match id {
             "table2" => (
                 FsKind::System,
@@ -257,7 +257,10 @@ impl Campaign {
                     [2.05, 2.44, 2.74, 13.12, 13.84, 14.51, 0.99, 2.04, 4.05],
                 ],
             ),
-            other => panic!("bad id {other}"),
+            // Defensive: `run` only routes the four ids above here, but
+            // a library caller reaching in gets a typed error, not a
+            // panic.
+            other => return Err(UnknownId::new(other)),
         };
         let mut r = Report::new(id, title);
         r.line(format!(
@@ -300,7 +303,7 @@ impl Campaign {
             }
         }
         r.json = jsn!({ "rows": json_rows });
-        r
+        Ok(r)
     }
 
     fn table3(&self) -> Report {
@@ -807,6 +810,14 @@ mod tests {
         assert!(msg.contains("table2"));
         assert!(msg.contains("ablate-"));
         assert!(msg.contains("faults"));
+    }
+
+    #[test]
+    fn summary_table_helper_rejects_foreign_ids_without_panicking() {
+        // Library callers reaching past `run` get the same typed error
+        // the CLI does, not a panic.
+        let err = Campaign::new().table2_or_4_or_5_or_6("fig4").unwrap_err();
+        assert_eq!(err.id, "fig4");
     }
 
     #[test]

@@ -57,7 +57,11 @@ pub fn run_meter() -> RunMeter {
     RUN_METER.with(|m| m.get())
 }
 
-fn run_meter_add(sim: SimDuration) {
+/// Credit one completed day of `sim` simulated time to the current
+/// thread's [`RunMeter`] (and the registry's `engine.*` counters).
+/// Called by [`Experiment::run_day`]; exposed so alternative harnesses
+/// (the `abr-array` volume experiment) meter their days identically.
+pub fn run_meter_add(sim: SimDuration) {
     RUN_METER.with(|m| {
         let mut v = m.get();
         v.sim += sim;
@@ -177,8 +181,9 @@ pub struct OnlineConfig {
 }
 
 /// Overnight gap between measured days (7am–10pm measured, then 9 hours
-/// of quiet during which the arranger runs).
-const OVERNIGHT: SimDuration = SimDuration::from_hours(9);
+/// of quiet during which the arranger runs). Public so the array
+/// harness advances its clock by exactly the same gap.
+pub const OVERNIGHT: SimDuration = SimDuration::from_hours(9);
 
 /// The assembled simulated file server.
 pub struct Experiment {

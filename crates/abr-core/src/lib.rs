@@ -38,7 +38,9 @@ pub mod replay;
 pub use analyzer::{BoundedAnalyzer, DecayingAnalyzer, FullAnalyzer, HotBlock, ReferenceAnalyzer};
 pub use arranger::BlockArranger;
 pub use daemon::RearrangementDaemon;
-pub use experiment::{run_meter, run_meter_reset, Experiment, ExperimentConfig, RunMeter};
+pub use experiment::{
+    run_meter, run_meter_add, run_meter_reset, Experiment, ExperimentConfig, RunMeter, OVERNIGHT,
+};
 pub use metrics::{DayMetrics, DirMetrics};
 pub use placement::{Interleaved, OrganPipe, PlacementPolicy, PolicyKind, Serial, SlotMap};
 pub use replay::{replay, ReplayConfig};

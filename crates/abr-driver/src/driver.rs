@@ -378,6 +378,10 @@ pub struct AdaptiveDriver {
     /// Retries absorbed while servicing the current foreground request
     /// (zeroed at dispatch; copied into the span at completion).
     retry_scratch: u32,
+    /// Position of this driver within a multi-disk array (0 for a
+    /// standalone disk). Stamped onto every emitted request span so
+    /// array traces carry a per-disk label dimension.
+    disk_index: u32,
     /// Unified-registry counter handles.
     obs: DriverObs,
 }
@@ -472,9 +476,22 @@ impl AdaptiveDriver {
             quarantined: BTreeSet::new(),
             lost: BTreeSet::new(),
             retry_scratch: 0,
+            disk_index: 0,
             obs: DriverObs::resolve(),
             config,
         })
+    }
+
+    /// Label this driver with its position in a multi-disk array; the
+    /// index is stamped onto every request span it emits. Standalone
+    /// drivers keep the default of 0 (omitted from serialized spans).
+    pub fn set_disk_index(&mut self, index: u32) {
+        self.disk_index = index;
+    }
+
+    /// This driver's position within its array (0 when standalone).
+    pub fn disk_index(&self) -> u32 {
+        self.disk_index
     }
 
     /// The request monitor (diagnostics like `abrctl monitor-dump`; the
@@ -905,6 +922,7 @@ impl AdaptiveDriver {
                 in_reserved: a.in_reserved,
                 retries: a.retries,
                 error: a.error.as_ref().map(|e| e.to_string()),
+                disk: self.disk_index,
             })
         });
         let completion = Completion {

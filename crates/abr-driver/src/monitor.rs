@@ -178,7 +178,9 @@ impl DirStats {
         self.reserved_dispatches = 0;
     }
 
-    fn merge(&mut self, other: &DirStats) {
+    /// Accumulate another window's statistics into this one (used to
+    /// combine read+write views, and per-disk views across an array).
+    pub fn merge(&mut self, other: &DirStats) {
         self.arrival_seek.merge(&other.arrival_seek);
         self.sched_seek.merge(&other.sched_seek);
         self.service.merge(&other.service);
@@ -219,6 +221,16 @@ impl FaultStats {
     pub fn any(&self) -> bool {
         *self != FaultStats::default()
     }
+
+    /// Accumulate another window's fault counters into this one.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.retries += other.retries;
+        self.read_failures += other.read_failures;
+        self.write_failures += other.write_failures;
+        self.quarantines += other.quarantines;
+        self.lost_blocks += other.lost_blocks;
+        self.table_write_failures += other.table_write_failures;
+    }
 }
 
 /// A point-in-time copy of the monitor contents, as returned by the
@@ -245,6 +257,17 @@ impl PerfSnapshot {
     /// Requests measured in total.
     pub fn count(&self) -> u64 {
         self.reads.service.count() + self.writes.service.count()
+    }
+
+    /// Accumulate another snapshot into this one — how an array folds N
+    /// per-disk measurement windows into one volume-level window. All
+    /// fields are sums or histogram merges, so the fold is
+    /// order-insensitive: volume metrics cannot depend on how disk
+    /// completions interleaved.
+    pub fn merge(&mut self, other: &PerfSnapshot) {
+        self.reads.merge(&other.reads);
+        self.writes.merge(&other.writes);
+        self.faults.merge(&other.faults);
     }
 }
 

@@ -1,0 +1,144 @@
+//! Property tests for the cylinder-level address maps: the
+//! [`CylinderMap`] organ-pipe permutation and the label's
+//! virtual↔physical sector mapping around the reserved-region
+//! discontinuity, over randomized geometries.
+
+use abr_disk::{DiskLabel, Geometry, Partition, ReservedArea};
+use abr_driver::cylmap::CylinderMap;
+use proptest::prelude::*;
+
+/// Build a rearranged label for an arbitrary geometry, or `None` when no
+/// block-aligned reserved placement exists for it.
+// dead_code: with the offline proptest stand-in the property bodies are
+// typechecked but not registered as tests, so helpers look unused.
+#[allow(dead_code)]
+fn rearranged_label(g: Geometry, n_reserved: u32, spb: u32) -> Option<DiskLabel> {
+    let reserved = ReservedArea::centered_aligned(&g, n_reserved, spb)?;
+    let virtual_geometry = g.with_cylinders(g.cylinders - n_reserved);
+    Some(DiskLabel {
+        physical: g,
+        partitions: vec![Partition {
+            start_sector: 0,
+            n_sectors: virtual_geometry.total_sectors(),
+        }],
+        reserved: Some(reserved),
+    })
+}
+
+/// Virtual sectors worth probing: the ends of the virtual disk plus
+/// every sector adjacent to a reserved-region boundary cylinder.
+#[allow(dead_code)]
+fn boundary_sectors(label: &DiskLabel) -> Vec<u64> {
+    let g = &label.physical;
+    let spc = g.sectors_per_cylinder();
+    let r = label.reserved.expect("rearranged label");
+    let boundary = u64::from(r.start_cylinder) * spc;
+    let vtotal = label.virtual_geometry().total_sectors();
+    let mut probes = vec![0, vtotal - 1, vtotal / 2];
+    for s in [
+        boundary.saturating_sub(spc),
+        boundary.saturating_sub(1),
+        boundary,
+        boundary + 1,
+        boundary + spc - 1,
+    ] {
+        probes.push(s);
+    }
+    probes.retain(|&s| s < vtotal);
+    probes.sort_unstable();
+    probes.dedup();
+    probes
+}
+
+proptest! {
+    /// virtual→physical→virtual is the identity for every virtual
+    /// sector, including the sectors hugging the reserved boundary,
+    /// and the physical image never lands inside the reserved region.
+    fn label_round_trips_virtual_sectors(
+        (cylinders, tracks, sectors, n_reserved) in (10u32..200, 1u32..9, 16u32..64, 1u32..40),
+    ) {
+        prop_assume!(n_reserved < cylinders / 2);
+        let g = Geometry {
+            cylinders,
+            tracks_per_cylinder: tracks,
+            sectors_per_track: sectors,
+            rpm: 3600,
+        };
+        let Some(label) = rearranged_label(g, n_reserved, 16) else {
+            // No aligned placement for this geometry: nothing to test.
+            return Ok(());
+        };
+        let r = label.reserved.expect("rearranged label");
+        for vsector in boundary_sectors(&label) {
+            let psector = label.virtual_to_physical(vsector);
+            prop_assert!(
+                !r.contains_cylinder(g.cylinder_of(psector)),
+                "virtual sector {vsector} mapped into the reserved region (physical {psector})"
+            );
+            prop_assert!(psector < g.total_sectors());
+            prop_assert_eq!(label.physical_to_virtual(psector), Some(vsector));
+        }
+    }
+
+    /// physical→virtual is `None` exactly on the reserved cylinders and
+    /// round-trips everywhere else.
+    fn label_round_trips_physical_sectors(
+        (cylinders, tracks, sectors, n_reserved) in (10u32..200, 1u32..9, 16u32..64, 1u32..40),
+    ) {
+        prop_assume!(n_reserved < cylinders / 2);
+        let g = Geometry {
+            cylinders,
+            tracks_per_cylinder: tracks,
+            sectors_per_track: sectors,
+            rpm: 3600,
+        };
+        let Some(label) = rearranged_label(g, n_reserved, 16) else {
+            return Ok(());
+        };
+        let r = label.reserved.expect("rearranged label");
+        let spc = g.sectors_per_cylinder();
+        let res_start = u64::from(r.start_cylinder) * spc;
+        let res_end = res_start + u64::from(r.n_cylinders) * spc;
+        // Probe both boundary cylinders of the reserved region and the
+        // disk's ends.
+        for psector in [
+            0,
+            res_start.saturating_sub(1),
+            res_start,
+            res_end - 1,
+            res_end,
+            g.total_sectors() - 1,
+        ] {
+            prop_assume!(psector < g.total_sectors());
+            let inside = psector >= res_start && psector < res_end;
+            match label.physical_to_virtual(psector) {
+                None => prop_assert!(inside, "physical {psector} outside the reserved region mapped to None"),
+                Some(v) => {
+                    prop_assert!(!inside, "reserved physical {psector} got virtual address {v}");
+                    prop_assert_eq!(label.virtual_to_physical(v), psector);
+                }
+            }
+        }
+    }
+
+    /// The organ-pipe cylinder permutation is a bijection that pins the
+    /// label cylinder and sends the uniquely hottest cylinder to the
+    /// middle of the disk.
+    fn organ_pipe_is_a_permutation(
+        (mut counts, hot_idx) in (proptest::collection::vec(0u64..1000, 2..40), 1usize..40),
+    ) {
+        let n = counts.len();
+        let hot = 1 + hot_idx % (n - 1); // any cylinder but the pinned label
+        let max = counts.iter().copied().max().unwrap_or(0);
+        counts[hot] = max + 1; // uniquely hottest
+        let m = CylinderMap::organ_pipe(&counts);
+        prop_assert_eq!(m.len() as usize, n);
+        prop_assert_eq!(m.physical(0), 0, "label cylinder must stay pinned");
+        prop_assert_eq!(m.physical(hot as u32), n as u32 / 2, "hottest cylinder must go to the middle");
+        let mut image: Vec<u32> = (0..n as u32).map(|v| m.physical(v)).collect();
+        image.sort_unstable();
+        prop_assert_eq!(image, (0..n as u32).collect::<Vec<_>>());
+        // Determinism: the same counts always produce the same map.
+        prop_assert_eq!(m, CylinderMap::organ_pipe(&counts));
+    }
+}

@@ -54,6 +54,9 @@ pub struct RequestSpan {
     pub retries: u32,
     /// Terminal error string for failed requests (PR-1 fault path).
     pub error: Option<String>,
+    /// Index of the disk that served the request within its array
+    /// (always 0 on a single-disk run; see `abr-array`).
+    pub disk: u32,
 }
 
 impl RequestSpan {
@@ -180,6 +183,9 @@ impl ObsEvent {
                     "qdepth": s.queue_depth,
                     "reserved": s.in_reserved,
                 });
+                if s.disk > 0 {
+                    v.insert("disk", s.disk);
+                }
                 if s.retries > 0 {
                     v.insert("retries", s.retries);
                 }
@@ -260,6 +266,7 @@ impl ObsEvent {
                 in_reserved: v["reserved"].as_bool()?,
                 retries: v["retries"].as_u64().unwrap_or(0) as u32,
                 error: v["error"].as_str().map(str::to_string),
+                disk: v["disk"].as_u64().unwrap_or(0) as u32,
             })),
             "move" => Some(ObsEvent::Move {
                 kind: MoveKind::from_tag(v["kind"].as_str()?)?,
@@ -311,6 +318,7 @@ mod tests {
             in_reserved: false,
             retries: 2,
             error: Some("media error".to_string()),
+            disk: 0,
         }
     }
 
@@ -328,6 +336,21 @@ mod tests {
         let ev = ObsEvent::Request(sample_span());
         let back = ObsEvent::from_json(&ev.to_json()).expect("parses");
         assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn disk_index_roundtrips_and_is_omitted_for_disk_zero() {
+        let mut s = sample_span();
+        s.disk = 3;
+        let ev = ObsEvent::Request(s.clone());
+        assert!(ev.to_json().to_string().contains("\"disk\":3"));
+        assert_eq!(ObsEvent::from_json(&ev.to_json()).expect("parses"), ev);
+        // Disk 0 (single-disk runs) serializes exactly as before the
+        // array layer existed, keeping old traces byte-comparable.
+        s.disk = 0;
+        let ev = ObsEvent::Request(s);
+        assert!(!ev.to_json().to_string().contains("disk"));
+        assert_eq!(ObsEvent::from_json(&ev.to_json()).expect("parses"), ev);
     }
 
     #[test]
