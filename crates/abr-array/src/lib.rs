@@ -24,8 +24,8 @@
 //! byte-identical to the single-disk harness — the experiment loop is
 //! a line-for-line mirror of `abr_core::Experiment`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
 
 pub mod experiment;
 pub mod stripe;

@@ -145,7 +145,7 @@ impl StripeMap {
                         while fill[d] == chunks_per_disk {
                             d = (d + 1) % n_disks;
                         }
-                        map.shard_disk.push(d as u32);
+                        map.shard_disk.push(abr_sim::narrow::u32_from_usize(d));
                         map.shard_slot.push(fill[d]);
                         fill[d] += 1;
                     }
@@ -200,6 +200,27 @@ impl StripeMap {
                 (disk, slot * self.chunk_blocks + within)
             }
         }
+    }
+
+    /// Check that the map sends the volume's chunks onto the member
+    /// disks' chunk slots as a permutation — every `(disk, slot)` pair
+    /// hit exactly once, none out of bounds. Sanitize builds only.
+    #[cfg(feature = "sanitize")]
+    pub fn check_chunk_permutation(&self) -> Result<(), String> {
+        if self.n_disks == 1 {
+            return Ok(()); // identity by construction
+        }
+        let chunks_per_disk = match self.policy {
+            StripePolicy::Concat => self.per_disk_blocks,
+            _ => self.per_disk_blocks / self.chunk_blocks,
+        };
+        let vol_chunks = self.vol_sectors / (self.chunk_blocks * self.sectors_per_block);
+        let ids = (0..vol_chunks).map(|chunk| {
+            let (disk, dblock) = self.map_block(chunk * self.chunk_blocks);
+            let slot = dblock / self.chunk_blocks;
+            disk as u64 * chunks_per_disk + slot
+        });
+        abr_lint::sanitize::check_permutation(ids, self.n_disks as u64 * chunks_per_disk)
     }
 
     /// Map a volume sector to `(disk index, disk sector)`. The

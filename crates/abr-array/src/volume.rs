@@ -17,7 +17,7 @@ use abr_driver::request::IoDir;
 use abr_driver::{AdaptiveDriver, DriverError, IoRequest, RequestId};
 use abr_obs::{with_registry, CounterId, GaugeId};
 use abr_sim::SimTime;
-use std::collections::HashMap;
+use std::collections::HashMap; // abr-lint: allow(D001, request bookkeeping; keyed insert/remove only, completion order is driven by sorted member queues)
 
 /// Opaque identifier of a volume-level request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -164,8 +164,8 @@ pub struct ArrayVolume {
     disks: Vec<AdaptiveDriver>,
     map: StripeMap,
     next_id: u64,
-    subs: HashMap<(usize, RequestId), u64>,
-    inflight: HashMap<u64, Inflight>,
+    subs: HashMap<(usize, RequestId), u64>, // abr-lint: allow(D001, keyed lookup only; never iterated)
+    inflight: HashMap<u64, Inflight>, // abr-lint: allow(D001, keyed lookup only; never iterated)
     io_counts: Vec<DiskIoCounts>,
     obs: ArrayObs,
 }
@@ -203,14 +203,18 @@ impl ArrayVolume {
             d.set_disk_index(i as u32);
         }
         let map = StripeMap::new(policy, disks.len(), per_disk_sectors, spb);
+        #[cfg(feature = "sanitize")]
+        if let Err(e) = map.check_chunk_permutation() {
+            panic!("stripe map is not a chunk permutation: {e}");
+        }
         let obs = ArrayObs::resolve(disks.len());
         let n = disks.len();
         ArrayVolume {
             disks,
             map,
             next_id: 0,
-            subs: HashMap::new(),
-            inflight: HashMap::new(),
+            subs: HashMap::new(), // abr-lint: allow(D001, keyed lookup only; never iterated)
+            inflight: HashMap::new(), // abr-lint: allow(D001, keyed lookup only; never iterated)
             io_counts: vec![DiskIoCounts::default(); n],
             obs,
         }

@@ -22,7 +22,7 @@ use abr_core::analyzer::HotBlock;
 use abr_core::Experiment;
 use abr_driver::SchedulerKind;
 use abr_sim::jsn;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// All ablation ids.
 pub fn ablation_ids() -> &'static [&'static str] {
@@ -233,7 +233,7 @@ fn granularity() -> Report {
     let g = e.config().disk.geometry;
     let spb = 16u64;
     let blocks_per_cyl = g.sectors_per_cylinder() / spb; // truncated
-    let mut cyl_counts: HashMap<u64, u64> = HashMap::new();
+    let mut cyl_counts: BTreeMap<u64, u64> = BTreeMap::new();
     for h in &all {
         *cyl_counts.entry(h.block / blocks_per_cyl).or_insert(0) += h.count;
     }

@@ -9,6 +9,7 @@
 //! experiments --list                 # list ids
 //! experiments --ablations            # the ablation suite
 //! experiments bench-compare OLD NEW [--threshold-pct P]
+//! experiments lint                   # static-analysis gate (abr-lint)
 //! ```
 //!
 //! Every suite invocation writes `results/<id>.{txt,json}` plus a
@@ -32,7 +33,8 @@ use std::process::ExitCode;
 
 fn usage() -> &'static str {
     "usage: experiments [--jobs N] [--trace FILE] [--list | --ablations | <id>...]\n\
-     \x20      experiments bench-compare <old.json> <new.json> [--threshold-pct P]"
+     \x20      experiments bench-compare <old.json> <new.json> [--threshold-pct P]\n\
+     \x20      experiments lint"
 }
 
 fn main() -> ExitCode {
@@ -40,6 +42,10 @@ fn main() -> ExitCode {
 
     if args.first().map(String::as_str) == Some("bench-compare") {
         return compare_main(&args[1..]);
+    }
+
+    if args.first().map(String::as_str) == Some("lint") {
+        return lint_main();
     }
 
     if args.iter().any(|a| a == "--list") {
@@ -179,6 +185,30 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// The determinism/panic-safety gate, wired in next to the perf gates so
+/// one binary can drive all of CI. Same behaviour as
+/// `cargo run -p abr-lint -- --workspace`: sorted `file:line` findings,
+/// nonzero exit on any violation.
+fn lint_main() -> ExitCode {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let Some(root) = abr_lint::find_root(&cwd) else {
+        eprintln!(
+            "error: could not find the workspace root above {}",
+            cwd.display()
+        );
+        return ExitCode::FAILURE;
+    };
+    let report = abr_lint::lint_workspace(&root);
+    print!("{}", report.render());
+    if report.diags.is_empty() {
+        eprintln!("abr-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("abr-lint: {} violation(s)", report.diags.len());
+        ExitCode::FAILURE
     }
 }
 

@@ -346,6 +346,7 @@ impl RunBatch {
     /// pulls specs off an atomic index; a panicking run is caught and
     /// recorded as a failed outcome without taking down its worker.
     pub fn execute(&self) -> BatchResult {
+        #[allow(clippy::disallowed_methods)] // batch wall time; reported, never a result input
         let t0 = Instant::now();
         let workers = self.jobs.min(self.specs.len()).max(1);
         let mut outcomes: Vec<Option<RunOutcome>> = Vec::new();
@@ -391,6 +392,7 @@ impl RunBatch {
         if self.trace {
             trace_start(DEFAULT_TRACE_CAPACITY);
         }
+        #[allow(clippy::disallowed_methods)] // per-run wall time; reported, never a result input
         let t0 = Instant::now();
         let campaign = if self.trace {
             Campaign::new()

@@ -16,8 +16,8 @@
 //!
 //! Criterion micro-benchmarks for the hot paths live in `benches/`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
 
 pub mod ablations;
 pub mod arrays;

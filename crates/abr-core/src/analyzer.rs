@@ -17,7 +17,7 @@
 //!   list is full, the minimum-count entry is replaced and the new entry
 //!   inherits its count plus one (an upper bound with bounded error).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A block and its (estimated) reference count, as produced in a hot
 /// list (descending count order).
@@ -68,7 +68,7 @@ pub trait ReferenceAnalyzer: Send {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct FullAnalyzer {
-    counts: HashMap<u64, u64>,
+    counts: BTreeMap<u64, u64>,
     total: u64,
 }
 
@@ -131,7 +131,7 @@ impl ReferenceAnalyzer for FullAnalyzer {
 #[derive(Debug, Clone)]
 pub struct BoundedAnalyzer {
     capacity: usize,
-    counts: HashMap<u64, u64>,
+    counts: BTreeMap<u64, u64>,
     /// (count, block) index for O(log n) minimum lookup.
     by_count: BTreeSet<(u64, u64)>,
     total: u64,
@@ -147,7 +147,7 @@ impl BoundedAnalyzer {
         assert!(capacity > 0, "zero-capacity analyzer");
         BoundedAnalyzer {
             capacity,
-            counts: HashMap::with_capacity(capacity + 1),
+            counts: BTreeMap::new(),
             by_count: BTreeSet::new(),
             total: 0,
             replacements: 0,
@@ -228,7 +228,7 @@ impl ReferenceAnalyzer for BoundedAnalyzer {
 /// trade-off `ablate-decay` measures.
 #[derive(Debug, Clone)]
 pub struct DecayingAnalyzer {
-    counts: HashMap<u64, f64>,
+    counts: BTreeMap<u64, f64>,
     decay: f64,
     total: u64,
 }
@@ -242,7 +242,7 @@ impl DecayingAnalyzer {
     pub fn new(decay: f64) -> Self {
         assert!(decay > 0.0 && decay < 1.0, "decay must be in (0,1)");
         DecayingAnalyzer {
-            counts: HashMap::new(),
+            counts: BTreeMap::new(),
             decay,
             total: 0,
         }

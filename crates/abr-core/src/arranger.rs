@@ -113,6 +113,10 @@ impl BlockArranger {
                 Err(e) => return Err(e),
             }
         }
+        // Sanitize builds verify the whole pass left the redirect map a
+        // bijection, including after partially failed placements.
+        #[cfg(feature = "sanitize")]
+        driver.block_table().assert_bijection();
         Ok(report)
     }
 
@@ -143,7 +147,7 @@ impl BlockArranger {
             .iter()
             .map(|h| (h.block, label.virtual_to_physical(h.block * spb)))
             .collect();
-        let wanted_set: std::collections::HashSet<u64> =
+        let wanted_set: std::collections::BTreeSet<u64> =
             wanted.iter().map(|&(_, orig)| orig).collect();
 
         let mut report = RearrangeReport::default();
@@ -172,7 +176,7 @@ impl BlockArranger {
         }
         // Newcomers take the freed slots in organ-pipe fill order
         // (hottest newcomer gets the most central free slot).
-        let quarantined: std::collections::HashSet<u32> = driver.quarantined_slots().collect();
+        let quarantined: std::collections::BTreeSet<u32> = driver.quarantined_slots().collect();
         let free_slots: Vec<u32> = slots
             .fill_order()
             .filter(|&s| driver.block_table().occupant(s).is_none() && !quarantined.contains(&s))
@@ -202,6 +206,10 @@ impl BlockArranger {
                 Err(e) => return Err(e),
             }
         }
+        // Sanitize builds verify the whole pass left the redirect map a
+        // bijection, including after partially failed placements.
+        #[cfg(feature = "sanitize")]
+        driver.block_table().assert_bijection();
         Ok(report)
     }
 }

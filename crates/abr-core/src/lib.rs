@@ -24,8 +24,8 @@
 //!   paper's methodology): record a day's block-level stream, replay it
 //!   against differently-configured drivers with zero workload variance.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
 
 pub mod analyzer;
 pub mod arranger;

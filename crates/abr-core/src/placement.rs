@@ -18,7 +18,7 @@ use crate::analyzer::HotBlock;
 use abr_disk::Geometry;
 use abr_driver::ReservedLayout;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Selectable policy kinds (for configs and reports).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -75,7 +75,7 @@ pub struct SlotMap {
 impl SlotMap {
     /// Build from the driver's reserved layout and the disk geometry.
     pub fn new(layout: &ReservedLayout, geometry: &Geometry) -> Self {
-        let mut by_cyl: HashMap<u32, Vec<u32>> = HashMap::new();
+        let mut by_cyl: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
         for slot in 0..layout.n_slots {
             by_cyl
                 .entry(layout.slot_cylinder(geometry, slot))
@@ -206,8 +206,8 @@ impl PlacementPolicy for Interleaved {
     }
 
     fn place(&self, hot: &[HotBlock], slots: &SlotMap) -> Vec<(u64, u32)> {
-        let counts: HashMap<u64, u64> = hot.iter().map(|h| (h.block, h.count)).collect();
-        let mut placed: HashMap<u64, u32> = HashMap::new();
+        let counts: BTreeMap<u64, u64> = hot.iter().map(|h| (h.block, h.count)).collect();
+        let mut placed: BTreeMap<u64, u32> = BTreeMap::new();
         let mut todo: std::collections::VecDeque<HotBlock> = hot.iter().copied().collect();
 
         for cyl_slots in slots.cylinders() {
@@ -465,14 +465,14 @@ mod tests {
         assert_eq!(il.len(), 4);
         assert_eq!(se.len(), 4);
         // Serial: ascending block order = ascending slots.
-        let se_map: HashMap<u64, u32> = se.into_iter().collect();
+        let se_map: std::collections::HashMap<u64, u32> = se.into_iter().collect();
         assert!(se_map[&10] < se_map[&12]);
         assert!(se_map[&12] < se_map[&40]);
         assert!(se_map[&40] < se_map[&42]);
         // Interleaved: the chain 10 -> 12 keeps the gap; 40 is not close
         // to 42 (3 < 12/2), so 40 starts a fresh chain in the first gap
         // hole and 42 independently takes the next free position.
-        let il_map: HashMap<u64, u32> = il.into_iter().collect();
+        let il_map: std::collections::HashMap<u64, u32> = il.into_iter().collect();
         assert_eq!(il_map[&12], il_map[&10] + 2);
         assert_eq!(il_map[&40], il_map[&10] + 1);
         assert_eq!(il_map[&42], il_map[&10] + 3);

@@ -71,7 +71,7 @@ impl Geometry {
     #[inline]
     pub fn cylinder_of(&self, sector: u64) -> u32 {
         debug_assert!(sector < self.total_sectors(), "sector off disk");
-        (sector / self.sectors_per_cylinder()) as u32
+        abr_sim::narrow::u32_from_u64(sector / self.sectors_per_cylinder())
     }
 
     /// Decompose a flat sector number.
@@ -79,12 +79,12 @@ impl Geometry {
     pub fn decompose(&self, sector: u64) -> SectorAddr {
         debug_assert!(sector < self.total_sectors(), "sector off disk");
         let spc = self.sectors_per_cylinder();
-        let cylinder = (sector / spc) as u32;
+        let cylinder = abr_sim::narrow::u32_from_u64(sector / spc);
         let within = sector % spc;
         SectorAddr {
             cylinder,
-            track: (within / u64::from(self.sectors_per_track)) as u32,
-            sector: (within % u64::from(self.sectors_per_track)) as u32,
+            track: abr_sim::narrow::u32_from_u64(within / u64::from(self.sectors_per_track)),
+            sector: abr_sim::narrow::u32_from_u64(within % u64::from(self.sectors_per_track)),
         }
     }
 

@@ -22,8 +22,8 @@
 //! * [`fault`] — deterministic fault injection: transient errors, hard
 //!   media errors (a growing defect list), torn writes, power cuts.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
 
 pub mod disk;
 pub mod fault;
@@ -44,3 +44,7 @@ pub use store::SectorStore;
 
 /// Bytes per sector, fixed at the SCSI-classic 512.
 pub const SECTOR_SIZE: usize = 512;
+
+/// [`SECTOR_SIZE`] as `u32`, for sector arithmetic done in 32-bit
+/// fields (lint rule C001 bans bare narrowing casts in those modules).
+pub const SECTOR_SIZE_U32: u32 = 512;

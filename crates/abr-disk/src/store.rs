@@ -7,12 +7,12 @@
 //! Unwritten sectors read as zeroes, like a freshly formatted disk.
 
 use crate::SECTOR_SIZE;
-use std::collections::HashMap;
+use std::collections::HashMap; // abr-lint: allow(D001, hot sector store; keyed access only, never iterated)
 
 /// A sparse array of 512-byte sectors.
 #[derive(Debug, Default, Clone)]
 pub struct SectorStore {
-    sectors: HashMap<u64, Box<[u8; SECTOR_SIZE]>>,
+    sectors: HashMap<u64, Box<[u8; SECTOR_SIZE]>>, // abr-lint: allow(D001, keyed lookup only; image serialization sorts)
 }
 
 impl SectorStore {

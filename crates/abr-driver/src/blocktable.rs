@@ -17,7 +17,7 @@
 
 use crate::layout::ReservedLayout;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::HashMap; // abr-lint: allow(D001, lookup-only; every ordered emission goes through entries_by_slot which sorts)
 
 /// One block-table entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -61,9 +61,9 @@ const TABLE_MAGIC: u64 = 0x4142_5254_4142_4c45; // "ABRTABLE"
 /// The block table: original physical block address → reserved slot.
 #[derive(Debug, Clone, Default)]
 pub struct BlockTable {
-    map: HashMap<u64, Entry>,
+    map: HashMap<u64, Entry>, // abr-lint: allow(D001, keyed lookup only; never iterated for output)
     /// Which slots are occupied, and by which original block.
-    slots: HashMap<u32, u64>,
+    slots: HashMap<u32, u64>, // abr-lint: allow(D001, keyed lookup only; never iterated for output)
 }
 
 impl BlockTable {
@@ -141,6 +141,33 @@ impl BlockTable {
         let mut v: Vec<_> = self.iter().collect();
         v.sort_by_key(|(_, e)| e.slot);
         v
+    }
+
+    /// Check that the forward (block → slot) and reverse (slot → block)
+    /// maps are mutually inverse — the bijection the whole redirect
+    /// path depends on. Sanitize builds only.
+    #[cfg(feature = "sanitize")]
+    pub fn check_bijection(&self) -> Result<(), String> {
+        abr_lint::sanitize::check_bijection(
+            self.map.iter().map(|(&b, e)| (b, u64::from(e.slot))),
+            self.slots.iter().map(|(&s, &b)| (u64::from(s), b)),
+        )
+    }
+
+    /// Panic if the table is not a bijection. Sanitize builds only.
+    #[cfg(feature = "sanitize")]
+    #[track_caller]
+    pub fn assert_bijection(&self) {
+        if let Err(e) = self.check_bijection() {
+            panic!("block table bijection violated: {e}");
+        }
+    }
+
+    /// Deliberately desynchronize the reverse map — a test hook proving
+    /// the sanitizer trips. Sanitize builds only.
+    #[cfg(feature = "sanitize")]
+    pub fn corrupt_slot_for_sanitizer_test(&mut self, slot: u32, orig_sector: u64) {
+        self.slots.insert(slot, orig_sector);
     }
 
     /// The raw on-disk record: magic, count, entries, checksum — no

@@ -46,12 +46,22 @@ impl CylinderMap {
             );
             seen[m as usize] = true;
         }
+        // Sanitize builds cross-check with the shared helper so the
+        // permutation invariant is enforced by the same code the other
+        // maps use.
+        #[cfg(feature = "sanitize")]
+        if let Err(e) = abr_lint::sanitize::check_permutation(
+            map.iter().map(|&m| u64::from(m)),
+            map.len() as u64,
+        ) {
+            panic!("cylinder map is not a permutation: {e}");
+        }
         CylinderMap { map }
     }
 
     /// Number of cylinders covered.
     pub fn len(&self) -> u32 {
-        self.map.len() as u32
+        abr_sim::narrow::u32_from_usize(self.map.len())
     }
 
     /// Whether the map is empty.
@@ -71,7 +81,7 @@ impl CylinderMap {
 
     /// Whether this is the identity permutation.
     pub fn is_identity(&self) -> bool {
-        self.map.iter().enumerate().all(|(i, &m)| i as u32 == m)
+        self.map.iter().enumerate().all(|(i, &m)| i == m as usize)
     }
 
     /// Cylinders whose physical home differs between `self` and `next`
@@ -89,7 +99,7 @@ impl CylinderMap {
     /// Vongsathorn & Carson's daily arrangement. Cylinder 0 is pinned in
     /// place (it holds the disk label).
     pub fn organ_pipe(counts: &[u64]) -> Self {
-        let n = counts.len() as u32;
+        let n = abr_sim::narrow::u32_from_usize(counts.len());
         if n <= 1 {
             return CylinderMap::identity(n);
         }

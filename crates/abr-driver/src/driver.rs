@@ -953,7 +953,15 @@ impl AdaptiveDriver {
     /// an idle device ("requests for a block that is being moved are
     /// delayed" — we model the daily arranger running in a quiet period).
     pub fn ioctl(&mut self, op: Ioctl, now: SimTime) -> Result<IoctlReply, DriverError> {
-        match op {
+        #[cfg(feature = "sanitize")]
+        let is_move = matches!(
+            op,
+            Ioctl::BCopy { .. }
+                | Ioctl::Clean
+                | Ioctl::BEvict { .. }
+                | Ioctl::ShuffleCylinders { .. }
+        );
+        let reply = match op {
             Ioctl::BCopy { block, slot } => {
                 let res = self.bcopy(block, slot, now);
                 self.note_move(MoveKind::BCopy, now, block, u64::from(slot), &res);
@@ -986,7 +994,16 @@ impl AdaptiveDriver {
             }
             Ioctl::ReadStats => Ok(IoctlReply::Stats(Box::new(self.perf.read_and_clear()))),
             Ioctl::PeekStats => Ok(IoctlReply::Stats(Box::new(self.perf.snapshot()))),
+        };
+        // Sanitize builds re-verify the redirect map after every block
+        // movement: any rollback or error path that left the forward and
+        // reverse maps out of sync aborts here, not wherever the stale
+        // entry is eventually dereferenced.
+        #[cfg(feature = "sanitize")]
+        if is_move {
+            self.table.assert_bijection();
         }
+        reply
     }
 
     /// Publish one block-movement outcome to the trace and the registry.

@@ -62,10 +62,10 @@ impl ReservedLayout {
         max_entries: u32,
     ) -> Self {
         assert!(
-            block_size > 0 && block_size.is_multiple_of(abr_disk::SECTOR_SIZE as u32),
+            block_size > 0 && block_size.is_multiple_of(abr_disk::SECTOR_SIZE_U32),
             "block size must be a positive multiple of the sector size"
         );
-        let sectors_per_block = block_size / abr_disk::SECTOR_SIZE as u32;
+        let sectors_per_block = block_size / abr_disk::SECTOR_SIZE_U32;
         let start_sector = reserved.start_sector(geometry);
         let total_sectors = reserved.n_sectors(geometry);
         // Header (16 bytes) + 17 bytes per entry, rounded up to whole
@@ -74,7 +74,7 @@ impl ReservedLayout {
         let table_blocks = table_bytes.div_ceil(u64::from(block_size));
         let table_sectors = table_blocks * u64::from(sectors_per_block);
         let usable = total_sectors.saturating_sub(table_sectors);
-        let n_slots = (usable / u64::from(sectors_per_block)) as u32;
+        let n_slots = abr_sim::narrow::u32_from_u64(usable / u64::from(sectors_per_block));
         ReservedLayout {
             start_sector,
             total_sectors,
@@ -107,7 +107,7 @@ impl ReservedLayout {
             return None;
         }
         let idx = (sector - slots_start) / u64::from(self.sectors_per_block);
-        (idx < u64::from(self.n_slots)).then_some(idx as u32)
+        (idx < u64::from(self.n_slots)).then_some(abr_sim::narrow::u32_from_u64(idx))
     }
 
     /// Iterator over slot indices ordered by distance of their cylinder

@@ -21,8 +21,8 @@
 //! * [`physio`] — the raw (character) interface, splitting large requests
 //!   into block-sized subrequests (§4.1.2).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
 
 pub mod blocktable;
 pub mod cylmap;

@@ -1,0 +1,73 @@
+//! Sanitize-feature tests: prove the invariant checks actually trip on
+//! corrupted state (a sanitizer that never fires is worse than none).
+//!
+//! Run with `cargo test -p abr-driver --features sanitize`; the whole
+//! file compiles away otherwise.
+
+#![cfg(feature = "sanitize")]
+
+use abr_driver::blocktable::BlockTable;
+
+fn table() -> BlockTable {
+    let mut t = BlockTable::new();
+    t.insert(100, 0);
+    t.insert(200, 1);
+    t.insert(300, 2);
+    t
+}
+
+#[test]
+fn intact_table_passes() {
+    let t = table();
+    assert!(t.check_bijection().is_ok());
+    t.assert_bijection(); // must not panic
+    assert!(
+        BlockTable::new().check_bijection().is_ok(),
+        "empty table is a (trivial) bijection"
+    );
+}
+
+#[test]
+fn dangling_reverse_entry_is_caught() {
+    // Reverse map claims slot 3 holds sector 400, but the forward map
+    // has no entry for sector 400.
+    let mut t = table();
+    t.corrupt_slot_for_sanitizer_test(3, 400);
+    assert!(t.check_bijection().is_err());
+}
+
+#[test]
+fn two_slots_claiming_one_sector_is_caught() {
+    // Reverse map says slots 1 and 3 both hold sector 200.
+    let mut t = table();
+    t.corrupt_slot_for_sanitizer_test(3, 200);
+    assert!(t.check_bijection().is_err());
+}
+
+#[test]
+fn mismatched_forward_and_reverse_is_caught() {
+    // Slot 1's occupant overwritten: forward says 200 -> slot 1, reverse
+    // now says slot 1 -> 999.
+    let mut t = table();
+    t.corrupt_slot_for_sanitizer_test(1, 999);
+    assert!(t.check_bijection().is_err());
+}
+
+#[test]
+#[should_panic(expected = "block table bijection")]
+fn assert_bijection_panics_on_corruption() {
+    let mut t = table();
+    t.corrupt_slot_for_sanitizer_test(3, 400);
+    t.assert_bijection();
+}
+
+#[test]
+fn normal_operations_preserve_the_invariant() {
+    let mut t = table();
+    t.mark_dirty(200);
+    t.assert_bijection();
+    t.remove(100);
+    t.assert_bijection();
+    t.insert(400, 0);
+    t.assert_bijection();
+}

@@ -12,7 +12,7 @@
 //! block emits an immediate writeback.
 
 use crate::payload::PayloadTag;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap}; // abr-lint: allow(D001, cache map is keyed lookup; eviction order comes from the lru BTreeMap)
 
 /// A block due to be written to disk: which block, what it holds, and how
 /// many sectors of it are valid (fragment-tail writes are sub-block).
@@ -36,8 +36,8 @@ struct Entry {
 #[derive(Debug)]
 pub struct BufferCache {
     capacity: usize,
-    map: HashMap<u64, Entry>,
-    lru: BTreeMap<u64, u64>, // tick -> block
+    map: HashMap<u64, Entry>, // abr-lint: allow(D001, keyed lookup only; victims picked via lru BTreeMap)
+    lru: BTreeMap<u64, u64>,  // tick -> block
     next_tick: u64,
     hits: u64,
     misses: u64,
@@ -57,7 +57,7 @@ impl BufferCache {
         assert!(capacity > 0, "zero-capacity cache");
         BufferCache {
             capacity,
-            map: HashMap::new(),
+            map: HashMap::new(), // abr-lint: allow(D001, keyed lookup only; victims picked via lru BTreeMap)
             lru: BTreeMap::new(),
             next_tick: 0,
             hits: 0,

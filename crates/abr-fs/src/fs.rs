@@ -13,7 +13,7 @@ use crate::cache::{BufferCache, Writeback};
 use crate::layout::FsLayout;
 use crate::payload::PayloadTag;
 use abr_driver::request::IoRequest;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Number of direct block pointers in an i-node (classic UFS: 12).
@@ -145,11 +145,11 @@ pub struct FileSystem {
     layout: FsLayout,
     alloc: Allocator,
     cache: BufferCache,
-    inodes: HashMap<u64, Inode>,
-    dirs: HashMap<u64, Dir>,
+    inodes: BTreeMap<u64, Inode>,
+    dirs: BTreeMap<u64, Dir>,
     next_dir_id: u64,
     /// Update generation per i-node region block.
-    inode_block_gen: HashMap<u64, u32>,
+    inode_block_gen: BTreeMap<u64, u32>,
 }
 
 impl fmt::Debug for FileSystem {
@@ -177,10 +177,10 @@ impl FileSystem {
         FileSystem {
             alloc: Allocator::new(layout),
             cache: BufferCache::new(cfg.cache_blocks),
-            inodes: HashMap::new(),
-            dirs: HashMap::new(),
+            inodes: BTreeMap::new(),
+            dirs: BTreeMap::new(),
             next_dir_id: 0,
-            inode_block_gen: HashMap::new(),
+            inode_block_gen: BTreeMap::new(),
             layout,
             cfg,
         }

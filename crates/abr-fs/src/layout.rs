@@ -71,12 +71,12 @@ impl FsLayout {
 
     /// Sectors per file-system block.
     pub fn sectors_per_block(&self) -> u32 {
-        self.block_size / abr_disk::SECTOR_SIZE as u32
+        self.block_size / abr_disk::SECTOR_SIZE_U32
     }
 
     /// Sectors per fragment.
     pub fn sectors_per_fragment(&self) -> u32 {
-        self.fragment_size / abr_disk::SECTOR_SIZE as u32
+        self.fragment_size / abr_disk::SECTOR_SIZE_U32
     }
 
     /// Fragments per block.

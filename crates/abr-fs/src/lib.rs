@@ -25,8 +25,8 @@
 //! ([`payload`]), so end-to-end integrity can be verified without holding
 //! file contents in memory.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
 
 pub mod alloc;
 pub mod cache;

@@ -1,0 +1,278 @@
+//! `abr-lint`: the workspace determinism & panic-safety analyzer.
+//!
+//! Two halves live here:
+//!
+//! * a **static analyzer** ([`lint_workspace`]) — a dependency-free
+//!   Rust tokenizer ([`lexer`]) plus a small rule catalogue ([`rules`])
+//!   enforcing the repo's determinism contracts (no randomized-order
+//!   containers on the result path, no wall-clock reads outside the
+//!   allowlist, no unseeded randomness, narrow-cast bans in geometry
+//!   arithmetic) and a ratcheted `unwrap()`/`expect()` budget;
+//! * a **runtime sanitizer** ([`sanitize`]) — invariant checks the
+//!   product crates call behind their `sanitize` cargo feature
+//!   (block-table bijection, stripe/cylinder permutations, monotone
+//!   counters).
+//!
+//! See `DESIGN.md` §11 for the rule catalogue and annotation syntax.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+pub mod sanitize;
+
+use rules::{lint_file, FileCtx};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Repo-relative path of the P001 budget file.
+pub const BUDGET_PATH: &str = "crates/abr-lint/p001_budget.txt";
+
+/// One finding, ordered for deterministic output.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Repo-relative file path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (`D001`, ..., `L001`).
+    pub rule: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic.
+    pub fn new(rule: &str, file: &str, line: u32, message: String) -> Self {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            rule: rule.to_string(),
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Outcome of a workspace lint.
+pub struct LintReport {
+    /// All findings, sorted by (file, line, rule, message).
+    pub diags: Vec<Diagnostic>,
+    /// Per-file unannotated `unwrap()`/`expect()` counts in non-test
+    /// library code (the reality side of the P001 ratchet).
+    pub p001_counts: BTreeMap<String, usize>,
+}
+
+impl LintReport {
+    /// Render the sorted findings, one per line.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for d in &self.diags {
+            s.push_str(&d.to_string());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Render the reality-side budget file content (sorted, one
+    /// `path count` pair per line) for `--update-budget`.
+    pub fn render_budget(&self) -> String {
+        let mut s = String::from(
+            "# P001 unwrap()/expect() debt per file — ratchet DOWN only.\n\
+             # Regenerate with: cargo run -p abr-lint -- --workspace --update-budget\n",
+        );
+        for (file, n) in &self.p001_counts {
+            if *n > 0 {
+                s.push_str(&format!("{file} {n}\n"));
+            }
+        }
+        s
+    }
+}
+
+/// Parse the budget file into `path -> allowed count`. Unknown or
+/// malformed lines become diagnostics rather than being ignored.
+pub fn parse_budget(text: &str, diags: &mut Vec<Diagnostic>) -> BTreeMap<String, usize> {
+    let mut budget = BTreeMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let entry = (|| {
+            let path = it.next()?;
+            let n: usize = it.next()?.parse().ok()?;
+            if it.next().is_some() {
+                return None;
+            }
+            Some((path.to_string(), n))
+        })();
+        match entry {
+            Some((path, n)) => {
+                budget.insert(path, n);
+            }
+            None => diags.push(Diagnostic::new(
+                "P001",
+                BUDGET_PATH,
+                (idx + 1) as u32,
+                format!("malformed budget line `{line}`"),
+            )),
+        }
+    }
+    budget
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for determinism.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = fs::read_dir(dir) else { return };
+    let mut entries: Vec<PathBuf> = rd.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            rs_files(&p, out);
+        } else if p.extension().map(|e| e == "rs").unwrap_or(false) {
+            out.push(p);
+        }
+    }
+}
+
+/// Enumerate `(crate_name, rel_path, abs_path)` for every library
+/// source file in the workspace: `crates/*/src/**/*.rs` plus the root
+/// package's `src/`.
+pub fn workspace_sources(root: &Path) -> Vec<(String, String, PathBuf)> {
+    let mut out = Vec::new();
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(root.join("crates"))
+        .map(|rd| {
+            rd.filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.is_dir())
+                .collect()
+        })
+        .unwrap_or_default();
+    crate_dirs.sort();
+    // The root package `abr` participates too (its crate name is not on
+    // the D001 result-path list, but D002/D003/P001 still apply).
+    crate_dirs.push(root.to_path_buf());
+    for dir in crate_dirs {
+        let crate_name = if dir == *root {
+            "abr".to_string()
+        } else {
+            dir.file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default()
+        };
+        let mut files = Vec::new();
+        rs_files(&dir.join("src"), &mut files);
+        for f in files {
+            let rel = f
+                .strip_prefix(root)
+                .unwrap_or(&f)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((crate_name.clone(), rel, f));
+        }
+    }
+    out
+}
+
+/// Lint every workspace source file against the full rule catalogue and
+/// the P001 budget at `root/crates/abr-lint/p001_budget.txt`.
+pub fn lint_workspace(root: &Path) -> LintReport {
+    let mut diags = Vec::new();
+    let mut p001_counts = BTreeMap::new();
+
+    let mut p001_lines: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+    for (crate_name, rel_path, abs) in workspace_sources(root) {
+        let Ok(source) = fs::read_to_string(&abs) else {
+            diags.push(Diagnostic::new(
+                "L001",
+                &rel_path,
+                0,
+                "file is not valid UTF-8 or could not be read".to_string(),
+            ));
+            continue;
+        };
+        let lexed = lexer::lex(&source);
+        let lint = lint_file(&FileCtx {
+            crate_name: &crate_name,
+            rel_path: &rel_path,
+            lexed: &lexed,
+        });
+        diags.extend(lint.diags);
+        if !lint.p001_lines.is_empty() {
+            p001_counts.insert(rel_path.clone(), lint.p001_lines.len());
+            p001_lines.insert(rel_path, lint.p001_lines);
+        }
+    }
+
+    // P001 budget arithmetic: over budget -> diagnostics at the excess
+    // call sites; under budget -> stale-budget diagnostic so debt only
+    // ratchets down (the file must be regenerated to the lower count).
+    let budget_text = fs::read_to_string(root.join(BUDGET_PATH)).unwrap_or_default();
+    let budget = parse_budget(&budget_text, &mut diags);
+    for (file, lines) in &p001_lines {
+        let allowed = budget.get(file).copied().unwrap_or(0);
+        if lines.len() > allowed {
+            for line in &lines[allowed..] {
+                diags.push(Diagnostic::new(
+                    "P001",
+                    file,
+                    *line,
+                    format!(
+                        "unwrap()/expect() count {} exceeds budget {allowed}; handle the error or annotate allow(P001, reason)",
+                        lines.len()
+                    ),
+                ));
+            }
+        } else if lines.len() < allowed {
+            diags.push(Diagnostic::new(
+                "P001",
+                file,
+                0,
+                format!(
+                    "budget {allowed} is stale (actual {}); ratchet down via --update-budget",
+                    lines.len()
+                ),
+            ));
+        }
+    }
+    for (file, allowed) in &budget {
+        if *allowed > 0 && !p001_lines.contains_key(file) {
+            diags.push(Diagnostic::new(
+                "P001",
+                file,
+                0,
+                format!("budget {allowed} is stale (actual 0); ratchet down via --update-budget"),
+            ));
+        }
+    }
+
+    diags.sort();
+    diags.dedup();
+    LintReport { diags, p001_counts }
+}
+
+/// Find the workspace root by walking up from `start` until a directory
+/// containing both `Cargo.toml` and `crates/` appears.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

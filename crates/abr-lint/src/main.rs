@@ -1,0 +1,107 @@
+//! CLI for the workspace analyzer: `cargo run -p abr-lint -- --workspace`.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage error.
+
+#![forbid(unsafe_code)]
+
+use abr_lint::{find_root, lint_workspace, BUDGET_PATH};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+abr-lint: workspace determinism & panic-safety analyzer
+
+USAGE:
+    abr-lint [--workspace] [--root <dir>] [--update-budget] [--list-rules]
+
+OPTIONS:
+    --workspace        Lint the enclosing workspace (default; kept for
+                       symmetry with cargo's flag)
+    --root <dir>       Lint the workspace rooted at <dir> instead of
+                       searching upward from the current directory
+    --update-budget    Rewrite crates/abr-lint/p001_budget.txt to the
+                       current unwrap()/expect() reality (ratchet down)
+    --list-rules       Print the rule catalogue and exit
+";
+
+const RULES: &str = "\
+D001  no HashMap/HashSet in result-path crates (abr-core, abr-driver,
+      abr-disk, abr-array, abr-workload, abr-fs)
+D002  no Instant::now / SystemTime / env reads outside the allowlist
+      (abr-bench engine.rs, abr-obs timer.rs)
+D003  no unseeded randomness (thread_rng, rand::random, OsRng,
+      from_entropy) anywhere
+P001  unwrap()/expect() in non-test library code must stay within the
+      ratcheted per-file budget (crates/abr-lint/p001_budget.txt)
+C001  no narrowing `as` casts (u8/u16/u32/i8/i16/i32) in geometry.rs,
+      layout.rs, cylmap.rs, stripe.rs
+L001  abr-lint annotations must name a known rule and give a reason
+
+Escape hatch: `// abr-lint: allow(RULE, reason)` — trailing on the
+offending line, or alone on the line above it.
+";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut update_budget = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => {}
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a directory\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--update-budget" => update_budget = true,
+            "--list-rules" => {
+                print!("{RULES}");
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(|| std::env::current_dir().ok().and_then(|d| find_root(&d))) {
+        Some(r) => r,
+        None => {
+            eprintln!("abr-lint: could not find a workspace root (Cargo.toml + crates/)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = lint_workspace(&root);
+
+    if update_budget {
+        let path = root.join(BUDGET_PATH);
+        if let Err(e) = std::fs::write(&path, report.render_budget()) {
+            eprintln!("abr-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("abr-lint: wrote {}", path.display());
+        // Re-lint so the exit code reflects the refreshed budget.
+        let report = lint_workspace(&root);
+        return finish(&report);
+    }
+    finish(&report)
+}
+
+fn finish(report: &abr_lint::LintReport) -> ExitCode {
+    print!("{}", report.render());
+    if report.diags.is_empty() {
+        println!("abr-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("abr-lint: {} violation(s)", report.diags.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture for C001: narrowing casts. Linted under the rel_path of a
+// geometry file (the rule is file-name scoped).
+pub fn naughty(sector: u64, cyl: usize) -> (u32, u16) {
+    let a = sector as u32;
+    let b = cyl as u16;
+    (a, b)
+}
+
+pub fn fine(sector: u32) -> u64 {
+    sector as u64
+}

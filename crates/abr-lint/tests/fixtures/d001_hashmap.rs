@@ -1,0 +1,18 @@
+// Fixture for D001: randomized-order containers on the result path.
+// Linted as crate `abr-core`, so the rule applies.
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+pub struct Counts {
+    fine: BTreeMap<u64, u64>,
+    bad: HashMap<u64, u64>,
+    excused: HashMap<u64, u64>, // abr-lint: allow(D001, fixture: order never leaves this struct)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let _scratch: std::collections::HashMap<u8, u8> = Default::default();
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture for D002: wall-clock and environment reads.
+use std::time::{Instant, SystemTime};
+
+pub fn naughty() {
+    let t = Instant::now();
+    let s = SystemTime::now();
+    let e = std::env::var("HOME");
+    let _ = (t, s, e);
+}
+
+pub fn excused() -> (Instant, Instant) {
+    // abr-lint: allow(D002, fixture: annotation-only line excuses the next line)
+    let a = Instant::now();
+    let b = Instant::now(); // abr-lint: allow(D002, fixture: trailing annotation)
+    (a, b)
+}

@@ -1,0 +1,7 @@
+// Fixture for D003: unseeded randomness (banned in every crate).
+pub fn naughty() -> u64 {
+    let mut rng = thread_rng();
+    let x: u64 = rand::random();
+    let _ = &mut rng;
+    x
+}

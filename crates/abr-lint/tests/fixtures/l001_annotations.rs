@@ -1,0 +1,8 @@
+// Fixture for L001: malformed annotations.
+pub fn f(v: Option<u32>) -> u32 {
+    v.unwrap() // abr-lint: allow(D999, no such rule)
+}
+
+pub fn g(v: Option<u32>) -> u32 {
+    v.unwrap() // abr-lint: allow(P001,)
+}

@@ -1,0 +1,18 @@
+// Fixture for P001: unwrap()/expect() in non-test library code.
+pub fn naughty(v: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = v.unwrap();
+    let b = r.expect("fixture");
+    a + b
+}
+
+pub fn excused(v: Option<u32>) -> u32 {
+    v.unwrap() // abr-lint: allow(P001, fixture: caller guarantees Some)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let _ = Some(1u32).unwrap();
+    }
+}

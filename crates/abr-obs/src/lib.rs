@@ -30,8 +30,8 @@
 //! on this split: `experiments --jobs 4 --trace` must produce the same
 //! trace bytes as `--jobs 1`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
 
 pub mod recorder;
 pub mod registry;

@@ -109,6 +109,11 @@ pub struct Registry {
     counters: Vec<(String, u64)>,
     gauges: Vec<(String, i64)>,
     histograms: Vec<(String, FixedHistogram)>,
+    /// Counter values at the previous snapshot — sanitize builds verify
+    /// counters are monotone between snapshots (a counter running
+    /// backwards means someone wrote through a stale handle).
+    #[cfg(feature = "sanitize")]
+    monotone_baseline: RefCell<Vec<(String, u64)>>,
 }
 
 impl Registry {
@@ -180,6 +185,10 @@ impl Registry {
     /// Zero all values, **keeping definitions** so existing handles
     /// remain valid (day boundaries, engine resets).
     pub fn reset(&mut self) {
+        // Counters legitimately return to zero here; drop the baseline
+        // so the next snapshot starts a fresh monotone epoch.
+        #[cfg(feature = "sanitize")]
+        self.monotone_baseline.borrow_mut().clear();
         self.counters.iter_mut().for_each(|(_, v)| *v = 0);
         self.gauges.iter_mut().for_each(|(_, v)| *v = 0);
         self.histograms.iter_mut().for_each(|(_, h)| h.reset());
@@ -189,6 +198,18 @@ impl Registry {
     /// deterministic JSON object:
     /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
     pub fn snapshot(&self) -> JsonValue {
+        #[cfg(feature = "sanitize")]
+        {
+            let mut base = self.monotone_baseline.borrow_mut();
+            for (name, v) in &self.counters {
+                if let Some((_, prev)) = base.iter().find(|(n, _)| n == name) {
+                    if let Err(e) = abr_lint::sanitize::check_monotone(name, *prev, *v) {
+                        panic!("registry sanitizer: {e}");
+                    }
+                }
+            }
+            *base = self.counters.clone();
+        }
         let mut counters: Vec<&(String, u64)> = self.counters.iter().collect();
         counters.sort_by(|a, b| a.0.cmp(&b.0));
         let mut c = JsonValue::object();

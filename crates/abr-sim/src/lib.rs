@@ -24,14 +24,15 @@
 //!   deterministic serialization, for the machine-readable experiment and
 //!   benchmark artifacts (`results/*.json`, `BENCH_*.json`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
 
 pub mod arrival;
 pub mod dist;
 pub mod event;
 pub mod hist;
 pub mod json;
+pub mod narrow;
 pub mod rng;
 pub mod stats;
 pub mod time;

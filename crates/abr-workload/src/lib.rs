@@ -20,8 +20,8 @@
 //! harness drives op by op; [`trace`] provides a serializable block-level
 //! trace format for record/replay.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
 
 pub mod profile;
 pub mod state;

@@ -25,6 +25,8 @@
 //!
 //! See `README.md` for a tour and `examples/` for runnable entry points.
 
+#![forbid(unsafe_code)]
+
 pub use abr_core as core;
 pub use abr_disk as disk;
 pub use abr_driver as driver;
