@@ -14,11 +14,12 @@
 //! into *each spindle's* reserved region based on the traffic that
 //! spindle saw.
 
-use crate::stripe::StripePolicy;
+use crate::stripe::{Redundancy, StripePolicy};
 use crate::volume::{ArrayHealth, ArrayVolume};
 use abr_core::analyzer::{BoundedAnalyzer, DecayingAnalyzer, FullAnalyzer, ReferenceAnalyzer};
 use abr_core::arranger::{BlockArranger, RearrangeReport};
 use abr_core::daemon::RearrangementDaemon;
+use abr_core::recovery::MaintenanceConfig;
 use abr_core::{run_meter_add, DayMetrics, ExperimentConfig, OVERNIGHT};
 use abr_disk::fault::{FaultInjector, FaultPlan};
 use abr_disk::{Disk, DiskLabel};
@@ -43,11 +44,28 @@ pub struct ArrayConfig {
     /// mean no injector on that disk. Installed after setup and
     /// warm-up, exactly like the single-disk harness.
     pub fault_plans: Vec<Option<FaultPlan>>,
+    /// The redundancy scheme woven into the stripe map.
+    pub redundancy: Redundancy,
+    /// Rebuild/scrub pacing (only consulted when `redundancy` is a
+    /// redundant scheme).
+    pub maintenance: MaintenanceConfig,
 }
 
 impl ArrayConfig {
-    /// An array of `n_disks` members each configured like `base`.
+    /// An array of `n_disks` members each configured like `base`,
+    /// without redundancy.
     pub fn new(base: ExperimentConfig, n_disks: usize, stripe: StripePolicy) -> Self {
+        Self::redundant(base, n_disks, stripe, Redundancy::None)
+    }
+
+    /// An array with an explicit redundancy scheme; redundant schemes
+    /// run the background rebuild/scrub engine with default pacing.
+    pub fn redundant(
+        base: ExperimentConfig,
+        n_disks: usize,
+        stripe: StripePolicy,
+        redundancy: Redundancy,
+    ) -> Self {
         assert!(n_disks >= 1, "an array needs at least one disk");
         assert!(
             base.online.is_none(),
@@ -58,6 +76,8 @@ impl ArrayConfig {
             n_disks,
             stripe,
             fault_plans: Vec::new(),
+            redundancy,
+            maintenance: MaintenanceConfig::default(),
         }
     }
 }
@@ -87,6 +107,11 @@ pub struct ArrayExperiment {
     /// Overnight per-disk rearrangement passes that failed and were
     /// skipped (the disk kept its previous placement).
     rearrange_failures: u64,
+    /// The member format, kept to build hot-spare replacement drives.
+    label: DiskLabel,
+    driver_cfg: DriverConfig,
+    /// Whether disk `i`'s scheduled replacement has been installed.
+    replaced: Vec<bool>,
 }
 
 impl std::fmt::Debug for ArrayExperiment {
@@ -135,7 +160,12 @@ impl ArrayExperiment {
             })
             .collect();
         let spc = members[0].label().physical.sectors_per_cylinder();
-        let mut volume = ArrayVolume::new(members, config.stripe);
+        let mut volume = ArrayVolume::with_redundancy(
+            members,
+            config.stripe,
+            config.redundancy,
+            config.maintenance,
+        );
 
         let fs_cfg = FsConfig {
             partition: 0,
@@ -198,6 +228,7 @@ impl ArrayExperiment {
                 .expect("table read");
         }
 
+        let n_disks = config.n_disks;
         let mut e = ArrayExperiment {
             config,
             volume,
@@ -208,6 +239,9 @@ impl ArrayExperiment {
             day_index: 0,
             placed: 0,
             rearrange_failures: 0,
+            label,
+            driver_cfg,
+            replaced: vec![false; n_disks],
         };
         for _ in 0..e.config.base.warmup_days {
             e.run_day();
@@ -237,6 +271,32 @@ impl ArrayExperiment {
     /// The configuration.
     pub fn config(&self) -> &ArrayConfig {
         &self.config
+    }
+
+    /// The current simulated clock (start of the next day).
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Install (or replace) disk `i`'s fault plan after construction —
+    /// for scenarios whose fault times are expressed relative to the
+    /// post-setup clock (e.g. "dies halfway through day 1"). Uses the
+    /// same per-disk seeded substreams as construction-time plans, and
+    /// registers the plan so the replacement schedule is honored.
+    pub fn install_fault_plan(&mut self, i: usize, plan: FaultPlan) {
+        if self.config.fault_plans.len() <= i {
+            self.config.fault_plans.resize(i + 1, None);
+        }
+        self.config.fault_plans[i] = Some(plan);
+        let rng = if i == 0 {
+            SimRng::new(self.config.base.seed).substream("faults")
+        } else {
+            SimRng::new(self.config.base.seed).substream_idx("faults", i as u64)
+        };
+        self.volume
+            .disk_mut(i)
+            .disk_mut()
+            .set_injector(Some(FaultInjector::new(plan, rng)));
     }
 
     /// Blocks currently placed across all reserved areas.
@@ -270,6 +330,42 @@ impl ArrayExperiment {
         self.volume.health()
     }
 
+    /// Install scheduled hot-spare replacements: once a member's
+    /// spindle has died, its replacement has arrived, and its queue has
+    /// drained, swap in a freshly formatted drive and queue its
+    /// contents for re-silvering.
+    fn install_replacements(&mut self, now: SimTime) {
+        if !self.volume.redundancy().is_redundant() {
+            return;
+        }
+        for i in 0..self.config.n_disks {
+            if self.replaced[i] {
+                continue;
+            }
+            let Some(plan) = self.config.fault_plans.get(i).copied().flatten() else {
+                continue;
+            };
+            let Some(at) = plan.replacement_at() else {
+                continue;
+            };
+            if now < at || !self.volume.disk(i).is_idle() {
+                continue;
+            }
+            let died = self.volume.disk(i).disk().injector().is_some_and(|inj| {
+                inj.is_failed() || inj.plan().disk_death_at.is_some_and(|t| now >= t)
+            });
+            if !died {
+                continue;
+            }
+            let mut disk = Disk::new(self.config.base.disk.clone());
+            AdaptiveDriver::format(&mut disk, &self.label, &self.driver_cfg);
+            let fresh =
+                AdaptiveDriver::attach(disk, self.driver_cfg).expect("fresh format attaches");
+            self.volume.replace_disk(i, fresh);
+            self.replaced[i] = true;
+        }
+    }
+
     /// Read every member's request table into its daemon.
     fn collect_all(&mut self, now: SimTime) {
         for i in 0..self.config.n_disks {
@@ -284,6 +380,15 @@ impl ArrayExperiment {
         let day_end = day_start + self.config.base.profile.day_length;
         let mut next_sync = day_start + self.config.base.sync_period;
         let mut next_monitor = day_start + self.config.base.monitor_period;
+        // Redundant volumes run a maintenance window (replacement
+        // arrival, rebuild, scrub) on its own period; `SimTime::MAX`
+        // keeps the plain-volume event sequence byte-identical.
+        let maint_period = self.config.maintenance.period;
+        let mut next_maint = if self.volume.has_maintenance() {
+            day_start + maint_period
+        } else {
+            SimTime::MAX
+        };
         let (mut op_at, mut op) = self.workload.next_op(day_start, &self.fs);
         let mut pending: abr_sim::EventQueue<abr_driver::IoRequest> = abr_sim::EventQueue::new();
 
@@ -294,12 +399,17 @@ impl ArrayExperiment {
                 .min(next_sync)
                 .min(next_monitor)
                 .min(next_completion)
-                .min(next_pending);
+                .min(next_pending)
+                .min(next_maint);
             if t > day_end && pending.is_empty() {
                 break;
             }
             if t == next_completion {
                 self.volume.complete_next(t);
+            } else if t == next_maint {
+                self.install_replacements(t);
+                self.volume.maintenance_tick(t);
+                next_maint = t + maint_period;
             } else if t == next_pending {
                 let (_, r) = pending.pop().expect("non-empty");
                 self.volume.submit(r, t).expect("workload request valid");
@@ -405,6 +515,14 @@ impl ArrayExperiment {
     pub fn rearrange_for_next_day(&mut self, n_blocks_per_disk: usize) -> RearrangeReport {
         let mut total = RearrangeReport::default();
         for i in 0..self.config.n_disks {
+            // A member that is still re-silvering defers its overnight
+            // pass: rearrangement I/O would compete with the rebuild,
+            // and moving blocks under an incomplete redundancy window
+            // is exactly when placement churn is least affordable.
+            if self.volume.stale_blocks(i) > 0 {
+                self.daemons[i].end_day_keep_placement();
+                continue;
+            }
             let hot = self.daemons[i].hot_list(n_blocks_per_disk);
             let report = match self.daemons[i].end_day_with(
                 self.volume.disk_mut(i),
@@ -446,7 +564,7 @@ impl ArrayExperiment {
             self.volume
                 .disk_mut(i)
                 .ioctl(Ioctl::ReadStats, self.clock)
-                .expect("stats clear");
+                .expect("stats clear"); // abr-lint: allow(P001, ReadStats on a healthy member cannot fail)
         }
         total
     }

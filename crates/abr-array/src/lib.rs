@@ -9,11 +9,20 @@
 //!   configurable chunk size, concatenation, and hash-sharding.
 //! * [`volume`] — the dispatcher: splits requests into per-disk
 //!   sub-requests, merges completions in simulated-time order, tracks
-//!   per-disk health (dead / degraded / lost blocks), and publishes
-//!   the `array.*` registry metrics.
+//!   per-disk health (dead / failed / rebuilding / degraded / lost
+//!   blocks), and publishes the `array.*` registry metrics.
 //! * [`experiment`] — the measured-day harness over a volume, with one
 //!   rearrangement daemon *per member disk* so hot blocks migrate into
 //!   each spindle's own reserved region.
+//!
+//! ## Redundancy
+//!
+//! A volume can carry a [`stripe::Redundancy`] scheme — mirroring
+//! (striped over half the members, copied to the other half) or
+//! rotated block parity. Redundant volumes serve reads through
+//! whole-disk failures, re-silver hot-spare replacements under a
+//! windowed I/O budget, and background-scrub for latent defects. See
+//! the [`volume`] module docs for the full model.
 //!
 //! ## Determinism invariants
 //!
@@ -32,5 +41,5 @@ pub mod stripe;
 pub mod volume;
 
 pub use experiment::{ArrayConfig, ArrayDayMetrics, ArrayExperiment};
-pub use stripe::{StripeMap, StripePolicy};
+pub use stripe::{Redundancy, StripeMap, StripePolicy};
 pub use volume::{ArrayHealth, ArrayVolume, DiskHealth, DiskIoCounts, VolCompletion, VolRequestId};

@@ -8,9 +8,14 @@
 //! sub-block offsets are preserved, so a request never straddles two
 //! disks.
 //!
-//! The map is fully determined by `(policy, n_disks, per-disk size)` at
-//! construction — no state updates on the I/O path — which is what
-//! makes array runs byte-identical across thread counts.
+//! On top of a policy, an optional [`Redundancy`] scheme carves the
+//! member set into data and redundancy capacity: mirroring pairs each
+//! data disk with a copy disk, and rotated parity interleaves one
+//! parity chunk per stripe row across all members (the RAID-5 layout).
+//!
+//! The map is fully determined by `(policy, redundancy, n_disks,
+//! per-disk size)` at construction — no state updates on the I/O path —
+//! which is what makes array runs byte-identical across thread counts.
 
 use serde::{Deserialize, Serialize};
 
@@ -58,6 +63,41 @@ impl StripePolicy {
     }
 }
 
+/// The redundancy scheme layered over a striping policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Redundancy {
+    /// No redundancy: every member disk is data, a lost block is lost.
+    None,
+    /// RAID-1-like mirroring: the member set splits into a data half
+    /// (disks `0..N/2`, laid out by the stripe policy) and a copy half
+    /// (disk `d`'s copy lives on disk `d + N/2`). Requires an even
+    /// member count of at least 2.
+    Mirror,
+    /// RAID-5-like rotated parity: each stripe row of `N-1` data
+    /// chunks carries one parity chunk, and the parity position
+    /// rotates (row `r`'s parity lives on disk `r mod N`) so parity
+    /// writes spread over all members. Requires at least 3 members and
+    /// the `Striped` policy (parity rows need the rigid round-robin
+    /// phase).
+    RotParity,
+}
+
+impl Redundancy {
+    /// Short scheme name for reports and metric labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Redundancy::None => "none",
+            Redundancy::Mirror => "mirror",
+            Redundancy::RotParity => "rotparity",
+        }
+    }
+
+    /// Whether the scheme stores any redundant copies or parity.
+    pub fn is_redundant(&self) -> bool {
+        !matches!(self, Redundancy::None)
+    }
+}
+
 /// SplitMix64 finalizer — the same fixed integer hash `SimRng` uses for
 /// substream derivation, reused here to shard chunks.
 fn splitmix64(mut x: u64) -> u64 {
@@ -74,10 +114,19 @@ fn splitmix64(mut x: u64) -> u64 {
 /// partial block — so a one-disk volume is byte-identical to driving
 /// the disk directly. For `n_disks > 1` the volume exposes only whole
 /// chunks (each disk's tail blocks that don't fill a chunk are unused).
+///
+/// With redundancy the exposed capacity shrinks accordingly: mirroring
+/// stripes over the data half only, and rotated parity gives up one
+/// chunk per stripe row.
 #[derive(Debug, Clone)]
 pub struct StripeMap {
     policy: StripePolicy,
+    redundancy: Redundancy,
     n_disks: usize,
+    /// Disks the base stripe layout addresses: `n_disks` for
+    /// `None`/`RotParity` (rotated parity touches every member), the
+    /// data half for `Mirror`.
+    n_data: usize,
     sectors_per_block: u64,
     per_disk_blocks: u64,
     vol_sectors: u64,
@@ -86,11 +135,14 @@ pub struct StripeMap {
     shard_disk: Vec<u32>,
     /// `HashShard` only: chunk index → chunk slot on its home disk.
     shard_slot: Vec<u64>,
+    /// `HashShard` only: `disk * chunks_per_disk + slot` → chunk index
+    /// (the inverse of the two vectors above, for resilvering).
+    shard_rev: Vec<u64>,
 }
 
 impl StripeMap {
-    /// Build the map for `n_disks` identical members, each exposing
-    /// `per_disk_sectors` sectors of partition 0.
+    /// Build a redundancy-free map for `n_disks` identical members,
+    /// each exposing `per_disk_sectors` sectors of partition 0.
     ///
     /// # Panics
     /// If `n_disks == 0`, the chunk size is 0, or a disk is too small
@@ -101,32 +153,88 @@ impl StripeMap {
         per_disk_sectors: u64,
         sectors_per_block: u32,
     ) -> Self {
+        Self::new_redundant(
+            policy,
+            Redundancy::None,
+            n_disks,
+            per_disk_sectors,
+            sectors_per_block,
+        )
+    }
+
+    /// Build the map with an explicit redundancy scheme.
+    ///
+    /// # Panics
+    /// On the constraints of [`Self::new`], plus: `Mirror` needs an
+    /// even `n_disks >= 2`; `RotParity` needs `n_disks >= 3` and the
+    /// `Striped` policy.
+    pub fn new_redundant(
+        policy: StripePolicy,
+        redundancy: Redundancy,
+        n_disks: usize,
+        per_disk_sectors: u64,
+        sectors_per_block: u32,
+    ) -> Self {
         assert!(n_disks >= 1, "a volume needs at least one disk");
         let spb = u64::from(sectors_per_block);
         assert!(spb >= 1);
         let per_disk_blocks = per_disk_sectors / spb;
         let chunk_blocks = policy.chunk_blocks();
         assert!(chunk_blocks >= 1, "chunk size must be at least one block");
+        let n_data = match redundancy {
+            Redundancy::None | Redundancy::RotParity => n_disks,
+            Redundancy::Mirror => {
+                assert!(
+                    n_disks >= 2 && n_disks.is_multiple_of(2),
+                    "mirroring needs an even member count of at least 2, got {n_disks}"
+                );
+                n_disks / 2
+            }
+        };
+        if redundancy == Redundancy::RotParity {
+            assert!(
+                n_disks >= 3,
+                "rotated parity needs at least 3 members, got {n_disks}"
+            );
+            assert!(
+                matches!(policy, StripePolicy::Striped { .. }),
+                "rotated parity requires the striped policy"
+            );
+        }
 
         let mut map = StripeMap {
             policy,
+            redundancy,
             n_disks,
+            n_data,
             sectors_per_block: spb,
             per_disk_blocks,
             vol_sectors: 0,
             chunk_blocks,
             shard_disk: Vec::new(),
             shard_slot: Vec::new(),
+            shard_rev: Vec::new(),
         };
-        if n_disks == 1 {
-            // Identity: expose the partition exactly, trailing partial
-            // block included.
+        if redundancy == Redundancy::RotParity {
+            // Each stripe row holds one chunk per member, N-1 data and
+            // one parity; a row exists only if every disk has the slot.
+            let rows = per_disk_blocks / chunk_blocks;
+            assert!(
+                rows >= 1,
+                "chunk of {chunk_blocks} blocks does not fit a {per_disk_blocks}-block disk"
+            );
+            map.vol_sectors = rows * (n_disks as u64 - 1) * chunk_blocks * spb;
+            return map;
+        }
+        if n_data == 1 {
+            // Identity over the single data disk: expose the partition
+            // exactly, trailing partial block included.
             map.vol_sectors = per_disk_sectors;
             return map;
         }
         match policy {
             StripePolicy::Concat => {
-                map.vol_sectors = n_disks as u64 * per_disk_blocks * spb;
+                map.vol_sectors = n_data as u64 * per_disk_blocks * spb;
             }
             StripePolicy::Striped { .. } | StripePolicy::HashShard { .. } => {
                 let chunks_per_disk = per_disk_blocks / chunk_blocks;
@@ -134,19 +242,21 @@ impl StripeMap {
                     chunks_per_disk >= 1,
                     "chunk of {chunk_blocks} blocks does not fit a {per_disk_blocks}-block disk"
                 );
-                let total_chunks = n_disks as u64 * chunks_per_disk;
+                let total_chunks = n_data as u64 * chunks_per_disk;
                 map.vol_sectors = total_chunks * chunk_blocks * spb;
                 if matches!(policy, StripePolicy::HashShard { .. }) {
-                    let mut fill = vec![0u64; n_disks];
+                    let mut fill = vec![0u64; n_data];
                     map.shard_disk.reserve(total_chunks as usize);
                     map.shard_slot.reserve(total_chunks as usize);
+                    map.shard_rev = vec![0u64; total_chunks as usize];
                     for chunk in 0..total_chunks {
-                        let mut d = (splitmix64(chunk) % n_disks as u64) as usize;
+                        let mut d = (splitmix64(chunk) % n_data as u64) as usize;
                         while fill[d] == chunks_per_disk {
-                            d = (d + 1) % n_disks;
+                            d = (d + 1) % n_data;
                         }
                         map.shard_disk.push(abr_sim::narrow::u32_from_usize(d));
                         map.shard_slot.push(fill[d]);
+                        map.shard_rev[d * chunks_per_disk as usize + fill[d] as usize] = chunk;
                         fill[d] += 1;
                     }
                 }
@@ -160,9 +270,20 @@ impl StripeMap {
         self.policy
     }
 
+    /// The redundancy scheme layered over the policy.
+    pub fn redundancy(&self) -> Redundancy {
+        self.redundancy
+    }
+
     /// Number of member disks.
     pub fn n_disks(&self) -> usize {
         self.n_disks
+    }
+
+    /// Disks the base stripe layout addresses: all members for
+    /// `None`/`RotParity`, the data half for `Mirror`.
+    pub fn data_disks(&self) -> usize {
+        self.n_data
     }
 
     /// Total sectors the volume exposes.
@@ -175,17 +296,40 @@ impl StripeMap {
         self.sectors_per_block
     }
 
+    /// Mirroring only: the disk holding the other copy of everything on
+    /// `disk` (an involution — data disk ↔ copy disk).
+    ///
+    /// # Panics
+    /// If the map is not mirrored or `disk` is out of range.
+    pub fn mirror_partner(&self, disk: usize) -> usize {
+        assert_eq!(self.redundancy, Redundancy::Mirror, "not a mirrored map");
+        assert!(disk < self.n_disks);
+        (disk + self.n_disks / 2) % self.n_disks
+    }
+
     /// Map a volume block index to `(disk index, disk block index)`.
+    /// With mirroring this is the *primary* (data-half) location; with
+    /// rotated parity it is the data chunk's home.
     pub fn map_block(&self, vblock: u64) -> (usize, u64) {
-        if self.n_disks == 1 {
+        if self.redundancy == Redundancy::RotParity {
+            let chunk = vblock / self.chunk_blocks;
+            let within = vblock % self.chunk_blocks;
+            let data_per_row = self.n_disks as u64 - 1;
+            let row = chunk / data_per_row;
+            let pos = chunk % data_per_row;
+            let parity = row % self.n_disks as u64;
+            let disk = if pos < parity { pos } else { pos + 1 } as usize;
+            return (disk, row * self.chunk_blocks + within);
+        }
+        if self.n_data == 1 {
             return (0, vblock);
         }
         match self.policy {
             StripePolicy::Striped { .. } => {
                 let chunk = vblock / self.chunk_blocks;
                 let within = vblock % self.chunk_blocks;
-                let disk = (chunk % self.n_disks as u64) as usize;
-                let slot = chunk / self.n_disks as u64;
+                let disk = (chunk % self.n_data as u64) as usize;
+                let slot = chunk / self.n_data as u64;
                 (disk, slot * self.chunk_blocks + within)
             }
             StripePolicy::Concat => (
@@ -202,12 +346,147 @@ impl StripeMap {
         }
     }
 
+    /// Rotated parity only: the `(disk, disk block)` holding the parity
+    /// that covers volume block `vblock` (same within-chunk offset).
+    ///
+    /// # Panics
+    /// If the map is not parity-redundant.
+    pub fn parity_location(&self, vblock: u64) -> (usize, u64) {
+        assert_eq!(self.redundancy, Redundancy::RotParity, "not a parity map");
+        let within = vblock % self.chunk_blocks;
+        let row = (vblock / self.chunk_blocks) / (self.n_disks as u64 - 1);
+        let parity = (row % self.n_disks as u64) as usize;
+        (parity, row * self.chunk_blocks + within)
+    }
+
+    /// Rotated parity only: the other data locations XOR-ed into the
+    /// parity that covers `vblock` (same within-chunk offset, excludes
+    /// `vblock`'s own location and the parity chunk). Together with
+    /// `vblock`'s location these are the row's full XOR group.
+    ///
+    /// # Panics
+    /// If the map is not parity-redundant.
+    pub fn data_peers_of_block(&self, vblock: u64) -> Vec<(usize, u64)> {
+        assert_eq!(self.redundancy, Redundancy::RotParity, "not a parity map");
+        let within = vblock % self.chunk_blocks;
+        let chunk = vblock / self.chunk_blocks;
+        let data_per_row = self.n_disks as u64 - 1;
+        let row = chunk / data_per_row;
+        let own_pos = chunk % data_per_row;
+        let parity = row % self.n_disks as u64;
+        let mut peers = Vec::with_capacity(self.n_disks - 2);
+        for pos in 0..data_per_row {
+            if pos == own_pos {
+                continue;
+            }
+            let disk = if pos < parity { pos } else { pos + 1 } as usize;
+            peers.push((disk, row * self.chunk_blocks + within));
+        }
+        peers
+    }
+
+    /// Rotated parity only: the volume blocks whose data lives in the
+    /// stripe row containing disk block `dblock` of any member (the
+    /// blocks a parity chunk at that row protects), at the same
+    /// within-chunk offset.
+    pub fn row_blocks_at(&self, dblock: u64) -> Vec<u64> {
+        assert_eq!(self.redundancy, Redundancy::RotParity, "not a parity map");
+        let row = dblock / self.chunk_blocks;
+        let within = dblock % self.chunk_blocks;
+        let data_per_row = self.n_disks as u64 - 1;
+        (0..data_per_row)
+            .map(|pos| (row * data_per_row + pos) * self.chunk_blocks + within)
+            .collect()
+    }
+
+    /// Inverse of [`Self::map_block`] over the base layout: the volume
+    /// block whose *data* home is `(disk, dblock)`, or `None` when the
+    /// slot is unused tail or holds parity. For mirrored maps the
+    /// inverse is defined over the data half — pass the data disk (the
+    /// copy disk's content is its partner's at the same `dblock`).
+    pub fn vblock_at(&self, disk: usize, dblock: u64) -> Option<u64> {
+        let spb = self.sectors_per_block;
+        if self.redundancy == Redundancy::RotParity {
+            let row = dblock / self.chunk_blocks;
+            let within = dblock % self.chunk_blocks;
+            let parity = (row % self.n_disks as u64) as usize;
+            if disk == parity {
+                return None; // the row's parity chunk, not data
+            }
+            let pos = if disk < parity {
+                disk as u64
+            } else {
+                disk as u64 - 1
+            };
+            let data_per_row = self.n_disks as u64 - 1;
+            let vb = (row * data_per_row + pos) * self.chunk_blocks + within;
+            return (vb * spb < self.vol_sectors).then_some(vb);
+        }
+        if disk >= self.n_data {
+            return None; // a mirror copy disk — content lives at the partner
+        }
+        if self.n_data == 1 {
+            return (dblock * spb < self.vol_sectors).then_some(dblock);
+        }
+        let vb = match self.policy {
+            StripePolicy::Striped { .. } => {
+                let slot = dblock / self.chunk_blocks;
+                let within = dblock % self.chunk_blocks;
+                let chunk = slot * self.n_data as u64 + disk as u64;
+                chunk * self.chunk_blocks + within
+            }
+            StripePolicy::Concat => {
+                if dblock >= self.per_disk_blocks {
+                    return None;
+                }
+                disk as u64 * self.per_disk_blocks + dblock
+            }
+            StripePolicy::HashShard { .. } => {
+                let chunks_per_disk = self.per_disk_blocks / self.chunk_blocks;
+                let slot = dblock / self.chunk_blocks;
+                let within = dblock % self.chunk_blocks;
+                if slot >= chunks_per_disk {
+                    return None;
+                }
+                let chunk = self.shard_rev[disk * chunks_per_disk as usize + slot as usize];
+                chunk * self.chunk_blocks + within
+            }
+        };
+        (vb * spb < self.vol_sectors).then_some(vb)
+    }
+
+    /// Rotated parity only: whether `(disk, dblock)` is a parity slot
+    /// (content is the XOR of its row, not a volume block).
+    pub fn is_parity_slot(&self, disk: usize, dblock: u64) -> bool {
+        self.redundancy == Redundancy::RotParity
+            && (dblock / self.chunk_blocks % self.n_disks as u64) as usize == disk
+    }
+
     /// Check that the map sends the volume's chunks onto the member
     /// disks' chunk slots as a permutation — every `(disk, slot)` pair
-    /// hit exactly once, none out of bounds. Sanitize builds only.
+    /// hit exactly once, none out of bounds. With rotated parity the
+    /// data chunks plus each row's parity chunk must jointly cover
+    /// every member's rows. Sanitize builds only.
     #[cfg(feature = "sanitize")]
     pub fn check_chunk_permutation(&self) -> Result<(), String> {
-        if self.n_disks == 1 {
+        if self.redundancy == Redundancy::RotParity {
+            let rows = self.per_disk_blocks / self.chunk_blocks;
+            let data_per_row = self.n_disks as u64 - 1;
+            let vol_chunks = rows * data_per_row;
+            let data_ids = (0..vol_chunks).map(|chunk| {
+                let (disk, dblock) = self.map_block(chunk * self.chunk_blocks);
+                disk as u64 * rows + dblock / self.chunk_blocks
+            });
+            let parity_ids = (0..rows).map(|row| {
+                let (disk, dblock) = self.parity_location(row * data_per_row * self.chunk_blocks);
+                disk as u64 * rows + dblock / self.chunk_blocks
+            });
+            return abr_lint::sanitize::check_permutation(
+                data_ids.chain(parity_ids),
+                self.n_disks as u64 * rows,
+            );
+        }
+        if self.n_data == 1 {
             return Ok(()); // identity by construction
         }
         let chunks_per_disk = match self.policy {
@@ -220,7 +499,7 @@ impl StripeMap {
             let slot = dblock / self.chunk_blocks;
             disk as u64 * chunks_per_disk + slot
         });
-        abr_lint::sanitize::check_permutation(ids, self.n_disks as u64 * chunks_per_disk)
+        abr_lint::sanitize::check_permutation(ids, self.n_data as u64 * chunks_per_disk)
     }
 
     /// Map a volume sector to `(disk index, disk sector)`. The
@@ -343,5 +622,221 @@ mod tests {
         let m = StripeMap::new(StripePolicy::Striped { chunk_blocks: 1 }, 2, 8 * 16, SPB);
         let (d, s) = m.map_sector(16 + 5);
         assert_eq!((d, s % u64::from(SPB)), (1, 5));
+    }
+
+    #[test]
+    fn mirror_stripes_over_data_half_only() {
+        let per_disk = 24 * u64::from(SPB);
+        for p in policies() {
+            let m = StripeMap::new_redundant(p, Redundancy::Mirror, 4, per_disk, SPB);
+            assert_eq!(m.data_disks(), 2, "{p:?}");
+            // Same exposed capacity as a 2-disk plain volume.
+            let plain = StripeMap::new(p, 2, per_disk, SPB);
+            assert_eq!(m.vol_sectors(), plain.vol_sectors(), "{p:?}");
+            let vol_blocks = m.vol_sectors() / u64::from(SPB);
+            for vb in 0..vol_blocks {
+                let (d, db) = m.map_block(vb);
+                assert!(d < 2, "{p:?}: primary on copy disk {d}");
+                assert_eq!((d, db), plain.map_block(vb), "{p:?} block {vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn mirror_partner_is_an_involution() {
+        let m = StripeMap::new_redundant(
+            StripePolicy::Striped { chunk_blocks: 2 },
+            Redundancy::Mirror,
+            6,
+            24 * u64::from(SPB),
+            SPB,
+        );
+        for d in 0..6 {
+            let p = m.mirror_partner(d);
+            assert_ne!(p, d);
+            assert_eq!(m.mirror_partner(p), d);
+        }
+        assert_eq!(m.mirror_partner(0), 3);
+        assert_eq!(m.mirror_partner(5), 2);
+    }
+
+    #[test]
+    fn mirror_of_two_is_one_data_disk_identity() {
+        let per_disk = 10 * u64::from(SPB) + 3;
+        let m =
+            StripeMap::new_redundant(StripePolicy::Concat, Redundancy::Mirror, 2, per_disk, SPB);
+        assert_eq!(m.vol_sectors(), per_disk);
+        assert_eq!(m.map_sector(17), (0, 17));
+        assert_eq!(m.mirror_partner(0), 1);
+    }
+
+    #[test]
+    fn rotparity_rotates_parity_and_skips_it() {
+        // N=3, chunk 1 block: row r parity on disk r%3, two data
+        // chunks per row on the other disks in index order.
+        let m = StripeMap::new_redundant(
+            StripePolicy::Striped { chunk_blocks: 1 },
+            Redundancy::RotParity,
+            3,
+            6 * u64::from(SPB),
+            SPB,
+        );
+        assert_eq!(m.vol_sectors(), 12 * u64::from(SPB)); // 6 rows × 2 data
+                                                          // Row 0: parity disk 0, data on 1 and 2.
+        assert_eq!(m.map_block(0), (1, 0));
+        assert_eq!(m.map_block(1), (2, 0));
+        assert_eq!(m.parity_location(0), (0, 0));
+        assert_eq!(m.parity_location(1), (0, 0));
+        // Row 1: parity disk 1, data on 0 and 2.
+        assert_eq!(m.map_block(2), (0, 1));
+        assert_eq!(m.map_block(3), (2, 1));
+        assert_eq!(m.parity_location(2), (1, 1));
+        // Row 3 wraps: parity back on disk 0.
+        assert_eq!(m.parity_location(6), (0, 3));
+    }
+
+    #[test]
+    fn rotparity_peers_close_the_xor_group() {
+        let m = StripeMap::new_redundant(
+            StripePolicy::Striped { chunk_blocks: 2 },
+            Redundancy::RotParity,
+            4,
+            16 * u64::from(SPB),
+            SPB,
+        );
+        let vol_blocks = m.vol_sectors() / u64::from(SPB);
+        for vb in 0..vol_blocks {
+            let own = m.map_block(vb);
+            let parity = m.parity_location(vb);
+            let peers = m.data_peers_of_block(vb);
+            assert_eq!(peers.len(), 2, "N-2 peers");
+            // Own + peers + parity live on 4 distinct disks, same row.
+            let mut disks: Vec<usize> = peers.iter().map(|&(d, _)| d).collect();
+            disks.push(own.0);
+            disks.push(parity.0);
+            disks.sort_unstable();
+            assert_eq!(disks, vec![0, 1, 2, 3], "block {vb}");
+            for &(_, db) in &peers {
+                assert_eq!(db, own.1, "peers share the row offset");
+            }
+            assert_eq!(parity.1, own.1, "parity shares the row offset");
+        }
+    }
+
+    #[test]
+    fn rotparity_row_blocks_round_trip() {
+        let m = StripeMap::new_redundant(
+            StripePolicy::Striped { chunk_blocks: 2 },
+            Redundancy::RotParity,
+            4,
+            16 * u64::from(SPB),
+            SPB,
+        );
+        let vol_blocks = m.vol_sectors() / u64::from(SPB);
+        for vb in 0..vol_blocks {
+            let (_, db) = m.map_block(vb);
+            let row = m.row_blocks_at(db);
+            assert_eq!(row.len(), 3, "N-1 data blocks per row");
+            assert!(row.contains(&vb), "block {vb} missing from its own row");
+            for &peer in &row {
+                assert_eq!(m.map_block(peer).1, db, "row offset mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn rotparity_is_a_bijection_over_all_members() {
+        let per_disk = 24 * u64::from(SPB);
+        for n in [3usize, 4, 5] {
+            let m = StripeMap::new_redundant(
+                StripePolicy::Striped { chunk_blocks: 4 },
+                Redundancy::RotParity,
+                n,
+                per_disk,
+                SPB,
+            );
+            let vol_blocks = m.vol_sectors() / u64::from(SPB);
+            let mut seen = std::collections::HashSet::new();
+            for vb in 0..vol_blocks {
+                let (d, db) = m.map_block(vb);
+                assert!(d < n);
+                assert!(db < per_disk / u64::from(SPB));
+                assert!(seen.insert((d, db)), "N={n}: ({d},{db}) mapped twice");
+                let (pd, pdb) = m.parity_location(vb);
+                assert!(pd < n);
+                assert_ne!(pd, d, "parity on the data disk");
+                assert_eq!(pdb, db, "parity at a different row offset");
+            }
+        }
+    }
+
+    #[test]
+    fn vblock_at_inverts_map_block() {
+        let per_disk = 24 * u64::from(SPB);
+        for p in policies() {
+            for n in [2usize, 3, 4] {
+                let m = StripeMap::new(p, n, per_disk, SPB);
+                let vol_blocks = m.vol_sectors() / u64::from(SPB);
+                for vb in 0..vol_blocks {
+                    let (d, db) = m.map_block(vb);
+                    assert_eq!(m.vblock_at(d, db), Some(vb), "{p:?} N={n} vb={vb}");
+                }
+            }
+        }
+        // Redundant maps too; parity slots are not data.
+        let m = StripeMap::new_redundant(
+            StripePolicy::Striped { chunk_blocks: 2 },
+            Redundancy::RotParity,
+            4,
+            16 * u64::from(SPB),
+            SPB,
+        );
+        let vol_blocks = m.vol_sectors() / u64::from(SPB);
+        for vb in 0..vol_blocks {
+            let (d, db) = m.map_block(vb);
+            assert_eq!(m.vblock_at(d, db), Some(vb));
+            assert!(!m.is_parity_slot(d, db));
+            let (pd, pdb) = m.parity_location(vb);
+            assert!(m.is_parity_slot(pd, pdb));
+            assert_eq!(m.vblock_at(pd, pdb), None, "parity slot is not data");
+        }
+        // Mirror: the inverse is over the data half; copy disks map to None.
+        let m = StripeMap::new_redundant(
+            StripePolicy::Striped { chunk_blocks: 2 },
+            Redundancy::Mirror,
+            4,
+            per_disk,
+            SPB,
+        );
+        let vol_blocks = m.vol_sectors() / u64::from(SPB);
+        for vb in 0..vol_blocks {
+            let (d, db) = m.map_block(vb);
+            assert_eq!(m.vblock_at(d, db), Some(vb));
+            assert_eq!(m.vblock_at(m.mirror_partner(d), db), None);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even member count")]
+    fn mirror_rejects_odd_member_counts() {
+        let _ = StripeMap::new_redundant(
+            StripePolicy::Concat,
+            Redundancy::Mirror,
+            3,
+            24 * u64::from(SPB),
+            SPB,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "striped policy")]
+    fn rotparity_rejects_non_striped_policies() {
+        let _ = StripeMap::new_redundant(
+            StripePolicy::Concat,
+            Redundancy::RotParity,
+            3,
+            24 * u64::from(SPB),
+            SPB,
+        );
     }
 }

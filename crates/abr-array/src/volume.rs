@@ -7,17 +7,50 @@
 //! multi-block transfers into per-disk sub-requests), and completions
 //! are merged back in simulated-time order.
 //!
+//! # Redundancy
+//!
+//! With a [`Redundancy`] scheme the volume also maintains copies
+//! (mirror) or rotated parity (rotparity) and survives one whole-disk
+//! failure without losing a block:
+//!
+//! * **Writes** fan out at submit time with *computed payloads*: the
+//!   mirror copy carries the same bytes, the parity update carries
+//!   `parity ⊕ old ⊕ new` (old data and old parity come from
+//!   [`AdaptiveDriver::peek`], the simulator's stand-in for cache-
+//!   resident data). The data write is issued first, then the
+//!   copy/parity write — on a crash the scrub repairs toward the data
+//!   copy, so the ordering is the crash-consistency contract.
+//! * **Reads** route around unavailable members at submit time (dead
+//!   or failed disk, un-resilvered block, lost block, latent defect)
+//!   and fail over at completion time if the member died with the read
+//!   in flight: a mirror read retries on the partner, a parity read
+//!   becomes reconstruction reads over the surviving row.
+//! * **Resilvering** is tracked per disk as a `stale` set of disk
+//!   blocks whose on-disk bytes no longer match the volume's logical
+//!   contents (writes redirected while the member was down, or a blank
+//!   replacement drive). The rebuild engine drains stale sets under a
+//!   windowed [`IoBudget`], lowest disk first, lowest block first.
+//! * **Scrubbing** sweeps redundancy groups during idle maintenance
+//!   windows, remaps latent media defects, rewrites lost blocks from
+//!   the surviving copy, and repairs mirror/parity mismatches.
+//!
 //! Determinism invariant: when several disks complete at the same
 //! simulated instant, [`ArrayVolume::complete_next`] always retires the
-//! lowest disk index first. Combined with the stateless stripe map this
-//! keeps every array run byte-identical regardless of host threading.
+//! lowest disk index first. Combined with the stateless stripe map and
+//! pure sim-time maintenance scheduling this keeps every array run
+//! byte-identical regardless of host threading. A volume with
+//! `Redundancy::None` takes exactly the pre-redundancy code paths.
 
-use crate::stripe::{StripeMap, StripePolicy};
+use crate::stripe::{Redundancy, StripeMap, StripePolicy};
+use abr_core::recovery::{IoBudget, MaintenanceConfig};
+use abr_disk::SECTOR_SIZE;
 use abr_driver::request::IoDir;
 use abr_driver::{AdaptiveDriver, DriverError, IoRequest, RequestId};
 use abr_obs::{with_registry, CounterId, GaugeId};
 use abr_sim::SimTime;
+use bytes::Bytes;
 use std::collections::HashMap; // abr-lint: allow(D001, request bookkeeping; keyed insert/remove only, completion order is driven by sorted member queues)
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Opaque identifier of a volume-level request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -35,7 +68,10 @@ pub struct VolCompletion {
     pub completed: SimTime,
     /// How many per-disk sub-requests the request was split into.
     pub n_subs: u32,
-    /// First error any sub-request reported, if any.
+    /// The logical outcome. For redundant volumes a request only
+    /// reports an error when the data itself was unserveable: a failed
+    /// copy/parity write (or a failed-over read that a survivor
+    /// served) completes clean and is repaired in the background.
     pub error: Option<DriverError>,
 }
 
@@ -46,22 +82,30 @@ pub struct DiskHealth {
     pub disk: u32,
     /// The disk is powered off (a `FaultPlan` power cut fired).
     pub dead: bool,
+    /// The spindle died for good (whole-disk death); only replacement
+    /// brings the slot back.
+    pub failed: bool,
     /// The driver is in degraded pass-through mode (block table
     /// unreadable); rearrangement is disabled but I/O still flows.
     pub degraded: bool,
+    /// The disk is serving but still re-silvering: redundancy has not
+    /// yet been restored for `stale` of its blocks.
+    pub rebuilding: bool,
     /// Quarantined reserved-area slots.
     pub quarantined: u32,
     /// Blocks whose freshest copy was lost to a hard error.
     pub lost: u32,
     /// Blocks currently placed in this disk's reserved area.
     pub placed: u32,
+    /// Blocks whose on-disk bytes await re-silvering.
+    pub stale: u32,
 }
 
 impl DiskHealth {
-    /// A disk that needs operator attention: dead, degraded, or with
-    /// data loss.
+    /// A disk that needs operator attention: dead, failed, degraded,
+    /// mid-rebuild, or with data loss.
     pub fn impaired(&self) -> bool {
-        self.dead || self.degraded || self.lost > 0
+        self.dead || self.failed || self.degraded || self.rebuilding || self.lost > 0
     }
 }
 
@@ -83,6 +127,16 @@ impl ArrayHealth {
         self.disks.iter().filter(|d| d.dead).count()
     }
 
+    /// Disks whose spindle died for good (replacement required).
+    pub fn n_failed(&self) -> usize {
+        self.disks.iter().filter(|d| d.failed).count()
+    }
+
+    /// Disks serving but still re-silvering.
+    pub fn n_rebuilding(&self) -> usize {
+        self.disks.iter().filter(|d| d.rebuilding).count()
+    }
+
     /// Disks in degraded pass-through mode.
     pub fn n_degraded(&self) -> usize {
         self.disks.iter().filter(|d| d.degraded).count()
@@ -93,10 +147,65 @@ impl ArrayHealth {
         self.disks.iter().map(|d| u64::from(d.lost)).sum()
     }
 
+    /// Total blocks awaiting re-silvering across the array.
+    pub fn total_stale(&self) -> u64 {
+        self.disks.iter().map(|d| u64::from(d.stale)).sum()
+    }
+
     /// Whether every disk is serving normally with no data loss.
     pub fn is_fully_healthy(&self) -> bool {
         self.disks.iter().all(|d| !d.impaired())
     }
+}
+
+/// Why a redundancy-aware sub-request was issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SubRole {
+    /// Serves the user's data directly: its failure (after one
+    /// failover attempt for reads) fails the request.
+    Primary,
+    /// Mirror copy write; failure marks the block stale, not the
+    /// request.
+    Copy,
+    /// Parity update write; failure marks the parity chunk stale.
+    Parity,
+}
+
+/// Redundancy bookkeeping carried by each user sub-request.
+#[derive(Debug, Clone, Copy)]
+struct RedSub {
+    role: SubRole,
+    dir: IoDir,
+    /// Volume sector of the piece (for completion-time failover).
+    vsector: u64,
+    n_sectors: u32,
+    /// Disk block the sub targets on its member.
+    dblock: u64,
+    /// No further failover: already the second attempt, or a
+    /// reconstruction read.
+    retried: bool,
+}
+
+/// Why a background-maintenance sub-request was issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MaintRole {
+    /// Survivor read feeding a re-silver write.
+    RebuildRead,
+    /// Re-silver write of the named disk block.
+    RebuildWrite(u64),
+    /// Scrub verification read.
+    ScrubRead,
+    /// Scrub repair write of the named disk block.
+    ScrubWrite(u64),
+}
+
+/// One sub-request's routing decision, ready to submit.
+struct Routed {
+    disk: usize,
+    req: IoRequest,
+    red: Option<RedSub>,
+    /// Full-block image to record as in-flight once submitted.
+    pending_img: Option<Vec<u8>>,
 }
 
 /// Per-request bookkeeping while sub-requests are outstanding.
@@ -106,6 +215,12 @@ struct Inflight {
     n_subs: u32,
     arrived: SimTime,
     error: Option<DriverError>,
+    /// Redundant writes: at least one replica/parity write landed, so
+    /// the data is durable even if the primary write failed.
+    red_write_ok: bool,
+    /// First error among a redundant request's write subs (surfaced
+    /// only if *no* write sub landed).
+    red_write_err: Option<DriverError>,
 }
 
 /// Registry handles for the `array.*` metric family.
@@ -147,6 +262,52 @@ impl ArrayObs {
     }
 }
 
+/// Registry handles for the redundancy metric families
+/// (`array.rebuild.*`, `array.scrub.*`); resolved only for redundant
+/// volumes so plain arrays register exactly the pre-redundancy ids.
+struct RedObs {
+    reads_degraded: CounterId,
+    read_failovers: CounterId,
+    writes_redirected: CounterId,
+    rebuild_blocks: CounterId,
+    rebuild_ops: CounterId,
+    rebuild_errors: CounterId,
+    rebuild_pending: GaugeId,
+    disks_rebuilding: GaugeId,
+    scrub_groups: CounterId,
+    scrub_repairs: CounterId,
+    scrub_defects: CounterId,
+    scrub_mismatches: CounterId,
+}
+
+impl RedObs {
+    fn resolve() -> Self {
+        with_registry(|r| RedObs {
+            reads_degraded: r.counter("array.reads.degraded"),
+            read_failovers: r.counter("array.reads.failover"),
+            writes_redirected: r.counter("array.writes.redirected"),
+            rebuild_blocks: r.counter("array.rebuild.blocks"),
+            rebuild_ops: r.counter("array.rebuild.ops"),
+            rebuild_errors: r.counter("array.rebuild.errors"),
+            rebuild_pending: r.gauge("array.rebuild.pending"),
+            disks_rebuilding: r.gauge("array.disks.rebuilding"),
+            scrub_groups: r.counter("array.scrub.groups"),
+            scrub_repairs: r.counter("array.scrub.repairs"),
+            scrub_defects: r.counter("array.scrub.defects"),
+            scrub_mismatches: r.counter("array.scrub.mismatches"),
+        })
+    }
+}
+
+/// Background-maintenance state for a redundant volume.
+struct MaintState {
+    cfg: MaintenanceConfig,
+    budget: IoBudget,
+    /// Scrub sweep position (group index, wraps).
+    scrub_cursor: u64,
+    obs: RedObs,
+}
+
 /// Plain per-disk I/O tallies, independent of the registry, for tests
 /// and reports that need exact counts from a specific volume instance.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
@@ -159,6 +320,20 @@ pub struct DiskIoCounts {
     pub failed: u64,
 }
 
+/// XOR `src` into `acc` (parity accumulation).
+fn xor_into(acc: &mut [u8], src: &[u8]) {
+    debug_assert_eq!(acc.len(), src.len());
+    for (a, s) in acc.iter_mut().zip(src) {
+        *a ^= s;
+    }
+}
+
+/// Overlay `data` onto `img` starting `off_sectors` into the block.
+fn overlay(img: &mut [u8], off_sectors: u64, data: &[u8]) {
+    let off = off_sectors as usize * SECTOR_SIZE;
+    img[off..off + data.len()].copy_from_slice(data);
+}
+
 /// N adaptive drivers behind one block address space.
 pub struct ArrayVolume {
     disks: Vec<AdaptiveDriver>,
@@ -166,7 +341,22 @@ pub struct ArrayVolume {
     next_id: u64,
     subs: HashMap<(usize, RequestId), u64>, // abr-lint: allow(D001, keyed lookup only; never iterated)
     inflight: HashMap<u64, Inflight>, // abr-lint: allow(D001, keyed lookup only; never iterated)
+    /// Redundancy bookkeeping per user sub (empty for plain volumes).
+    red_subs: BTreeMap<(usize, RequestId), RedSub>,
+    /// Maintenance subs (rebuild/scrub I/O); never surface to the user.
+    maint_subs: BTreeMap<(usize, RequestId), MaintRole>,
+    /// Per disk: blocks whose on-disk bytes await re-silvering.
+    stale: Vec<BTreeSet<u64>>,
+    /// Submitted-but-not-yet-dispatched write images, keyed by
+    /// `(disk, dblock)`: the bytes the block will hold once the tagged
+    /// request dispatches. Parity math and scrubbing read through this
+    /// so queued writes are never double-counted.
+    pending: BTreeMap<(usize, u64), (RequestId, Vec<u8>)>,
+    maint: Option<MaintState>,
     io_counts: Vec<DiskIoCounts>,
+    /// Volume-level requests that finished clean / with an error.
+    req_ok: u64,
+    req_failed: u64,
     obs: ArrayObs,
 }
 
@@ -175,13 +365,15 @@ impl std::fmt::Debug for ArrayVolume {
         f.debug_struct("ArrayVolume")
             .field("n_disks", &self.disks.len())
             .field("policy", &self.map.policy())
+            .field("redundancy", &self.map.redundancy())
             .field("vol_sectors", &self.map.vol_sectors())
             .finish_non_exhaustive()
     }
 }
 
 impl ArrayVolume {
-    /// Assemble a volume from identically-formatted member drivers.
+    /// Assemble a redundancy-free volume from identically-formatted
+    /// member drivers.
     ///
     /// Each driver's disk index is stamped so its request spans and
     /// metrics carry the per-disk label dimension.
@@ -189,7 +381,27 @@ impl ArrayVolume {
     /// # Panics
     /// If `disks` is empty or the members disagree on partition size or
     /// block size (heterogeneous arrays are out of scope).
-    pub fn new(mut disks: Vec<AdaptiveDriver>, policy: StripePolicy) -> Self {
+    pub fn new(disks: Vec<AdaptiveDriver>, policy: StripePolicy) -> Self {
+        Self::with_redundancy(
+            disks,
+            policy,
+            Redundancy::None,
+            MaintenanceConfig::default(),
+        )
+    }
+
+    /// Assemble a volume with an explicit redundancy scheme and
+    /// maintenance knobs (ignored for `Redundancy::None`).
+    ///
+    /// # Panics
+    /// On the constraints of [`Self::new`] plus the scheme's member
+    /// count requirements (see [`StripeMap::new_redundant`]).
+    pub fn with_redundancy(
+        mut disks: Vec<AdaptiveDriver>,
+        policy: StripePolicy,
+        redundancy: Redundancy,
+        maint_cfg: MaintenanceConfig,
+    ) -> Self {
         assert!(!disks.is_empty(), "a volume needs at least one disk");
         let per_disk_sectors = disks[0].label().partitions[0].n_sectors;
         let spb = disks[0].sectors_per_block();
@@ -202,27 +414,89 @@ impl ArrayVolume {
             assert_eq!(d.sectors_per_block(), spb, "disk {i} block size differs");
             d.set_disk_index(i as u32);
         }
-        let map = StripeMap::new(policy, disks.len(), per_disk_sectors, spb);
+        let map = StripeMap::new_redundant(policy, redundancy, disks.len(), per_disk_sectors, spb);
         #[cfg(feature = "sanitize")]
         if let Err(e) = map.check_chunk_permutation() {
             panic!("stripe map is not a chunk permutation: {e}");
         }
         let obs = ArrayObs::resolve(disks.len());
         let n = disks.len();
-        ArrayVolume {
+        let maint = redundancy.is_redundant().then(|| MaintState {
+            cfg: maint_cfg,
+            budget: IoBudget::new(maint_cfg.period, maint_cfg.rebuild_ops_per_window),
+            scrub_cursor: 0,
+            obs: RedObs::resolve(),
+        });
+        let mut vol = ArrayVolume {
             disks,
             map,
             next_id: 0,
             subs: HashMap::new(), // abr-lint: allow(D001, keyed lookup only; never iterated)
             inflight: HashMap::new(), // abr-lint: allow(D001, keyed lookup only; never iterated)
+            red_subs: BTreeMap::new(),
+            maint_subs: BTreeMap::new(),
+            stale: vec![BTreeSet::new(); n],
+            pending: BTreeMap::new(),
+            maint,
             io_counts: vec![DiskIoCounts::default(); n],
+            req_ok: 0,
+            req_failed: 0,
             obs,
+        };
+        vol.init_parity();
+        vol
+    }
+
+    /// Array creation: materialize consistent parity for every row —
+    /// the simulator's stand-in for the parity build a real array does
+    /// at `mkraid` time. Untimed store writes, exactly like formatting;
+    /// freshly formatted members carry identical metadata in their
+    /// content blocks, so without this step the parity identity would
+    /// start out violated.
+    fn init_parity(&mut self) {
+        if self.redundancy() != Redundancy::RotParity {
+            return;
+        }
+        let spb = self.map.sectors_per_block();
+        let n = self.disks.len() as u64;
+        let cb = self.map.policy().chunk_blocks();
+        let rows = self.map.vol_sectors() / (spb * cb * (n - 1));
+        for row in 0..rows {
+            let pd = (row % n) as usize;
+            for i in 0..cb {
+                let pdb = row * cb + i;
+                let mut acc = vec![0u8; spb as usize * SECTOR_SIZE];
+                for vb in self.map.row_blocks_at(pdb) {
+                    let (d, db) = self.map.map_block(vb);
+                    let img = self.disks[d]
+                        .peek(0, db * spb, spb as u32)
+                        .expect("fresh member has no lost blocks");
+                    xor_into(&mut acc, &img);
+                }
+                let segs = self.disks[pd]
+                    .physical_segments(0, pdb * spb, spb as u32)
+                    .expect("parity block in range");
+                let mut off = 0usize;
+                for (s, len) in segs {
+                    let bytes = len as usize * SECTOR_SIZE;
+                    self.disks[pd]
+                        .disk_mut()
+                        .store_mut()
+                        .write(s, &acc[off..off + bytes]);
+                    off += bytes;
+                }
+            }
         }
     }
 
     /// The stripe map in force.
     pub fn map(&self) -> &StripeMap {
         &self.map
+    }
+
+    /// The redundancy scheme in force.
+    pub fn redundancy(&self) -> Redundancy {
+        self.map.redundancy()
     }
 
     /// Number of member disks.
@@ -251,10 +525,465 @@ impl ArrayVolume {
         self.io_counts[i]
     }
 
+    /// Whether member `i` cannot serve timed I/O at `now`: its spindle
+    /// failed, its power is cut, or a scheduled death/cut time has
+    /// passed (the injector flag flips lazily on the next op, so the
+    /// schedule is consulted directly to keep routing deterministic).
+    pub fn disk_down(&self, i: usize, now: SimTime) -> bool {
+        self.disks[i].disk().injector().is_some_and(|inj| {
+            inj.is_dead()
+                || inj.is_failed()
+                || inj.plan().disk_death_at.is_some_and(|t| now >= t)
+                || inj.plan().power_cut_at.is_some_and(|t| now >= t)
+        })
+    }
+
+    /// Blocks still awaiting re-silvering on member `i`.
+    pub fn stale_blocks(&self, i: usize) -> usize {
+        self.stale[i].len()
+    }
+
+    /// Total blocks awaiting re-silvering across the array.
+    pub fn rebuild_pending(&self) -> usize {
+        self.stale.iter().map(|s| s.len()).sum()
+    }
+
+    /// Lifetime `(completed_clean, completed_with_error)` volume
+    /// request tallies — the user-visible availability figure.
+    pub fn request_outcomes(&self) -> (u64, u64) {
+        (self.req_ok, self.req_failed)
+    }
+
+    /// The transfer length of disk block `dblock` (a full block, or
+    /// the partition's partial tail on an identity-mapped member).
+    fn block_span(&self, disk: usize, dblock: u64) -> u32 {
+        let spb = self.map.sectors_per_block();
+        let part = self.disks[disk].label().partitions[0].n_sectors;
+        ((part - dblock * spb).min(spb)) as u32
+    }
+
+    /// The block's current bytes on one member: the queued write image
+    /// if one is in flight, else the backing store (fails for a lost
+    /// block). *Not* redundancy-aware — see [`Self::logical_block`].
+    fn block_bytes(&self, disk: usize, dblock: u64) -> Result<Vec<u8>, DriverError> {
+        if let Some((_, img)) = self.pending.get(&(disk, dblock)) {
+            return Ok(img.clone());
+        }
+        let spb = self.map.sectors_per_block();
+        let span = self.block_span(disk, dblock);
+        self.disks[disk]
+            .peek(0, dblock * spb, span)
+            .map(|b| b.to_vec())
+    }
+
+    /// The *logical* bytes of volume block `vblock`, resolved through
+    /// the redundancy scheme: the primary copy when current, else the
+    /// mirror partner, else parity reconstruction. Fails only when
+    /// redundancy cannot cover the block (multiple failures).
+    fn logical_block(&self, vblock: u64) -> Result<Vec<u8>, DriverError> {
+        let (d, db) = self.map.map_block(vblock);
+        match self.map.redundancy() {
+            Redundancy::None => self.block_bytes(d, db),
+            Redundancy::Mirror => {
+                if !self.stale[d].contains(&db) {
+                    if let Ok(b) = self.block_bytes(d, db) {
+                        return Ok(b);
+                    }
+                }
+                let p = self.map.mirror_partner(d);
+                if self.stale[p].contains(&db) {
+                    return Err(DriverError::DataLoss);
+                }
+                self.block_bytes(p, db)
+            }
+            Redundancy::RotParity => {
+                if !self.stale[d].contains(&db) {
+                    if let Ok(b) = self.block_bytes(d, db) {
+                        return Ok(b);
+                    }
+                }
+                self.reconstruct_block(vblock)
+            }
+        }
+    }
+
+    /// Rebuild a data block's bytes from its row's parity and peers.
+    fn reconstruct_block(&self, vblock: u64) -> Result<Vec<u8>, DriverError> {
+        let (pd, pdb) = self.map.parity_location(vblock);
+        if self.stale[pd].contains(&pdb) {
+            return Err(DriverError::DataLoss);
+        }
+        let mut acc = self.block_bytes(pd, pdb)?;
+        for (peer_d, peer_db) in self.map.data_peers_of_block(vblock) {
+            if self.stale[peer_d].contains(&peer_db) {
+                return Err(DriverError::DataLoss);
+            }
+            xor_into(&mut acc, &self.block_bytes(peer_d, peer_db)?);
+        }
+        Ok(acc)
+    }
+
+    /// Whether a timed read of `[sector, sector+n)` on member `disk`
+    /// would serve the volume's current data: the member is up, the
+    /// block is resilvered, not lost, and its physical home has no
+    /// latent defect.
+    fn read_usable(&self, disk: usize, sector: u64, n: u32, now: SimTime) -> bool {
+        if self.disk_down(disk, now) {
+            return false;
+        }
+        let dblock = sector / self.map.sectors_per_block();
+        if self.stale[disk].contains(&dblock) {
+            return false;
+        }
+        let drv = &self.disks[disk];
+        if drv.block_is_lost(0, sector) {
+            return false;
+        }
+        if let (Ok(segs), Some(inj)) = (drv.physical_segments(0, sector, n), drv.disk().injector())
+        {
+            if segs.iter().any(|&(s, len)| inj.overlaps_defect(s, len)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Route one block-contained piece into member sub-requests.
+    /// Plain volumes produce exactly the historical single sub.
+    fn route_piece(&mut self, req: &IoRequest, now: SimTime) -> Vec<Routed> {
+        let (disk, sector) = self.map.map_sector(req.sector_in_partition);
+        if !self.redundancy().is_redundant() {
+            return vec![Routed {
+                disk,
+                req: IoRequest {
+                    sector_in_partition: sector,
+                    ..req.clone()
+                },
+                red: None,
+                pending_img: None,
+            }];
+        }
+        match req.dir {
+            IoDir::Read => self.route_read(req, disk, sector, now),
+            IoDir::Write => self.route_write(req, disk, sector, now),
+        }
+    }
+
+    fn route_read(
+        &mut self,
+        req: &IoRequest,
+        disk: usize,
+        sector: u64,
+        now: SimTime,
+    ) -> Vec<Routed> {
+        let spb = self.map.sectors_per_block();
+        let dblock = sector / spb;
+        let off = sector % spb;
+        let n = req.n_sectors;
+        let vsector = req.sector_in_partition;
+        let sub = |disk: usize, sector: u64, dblock: u64, retried: bool| Routed {
+            disk,
+            req: IoRequest::read(0, sector, n),
+            red: Some(RedSub {
+                role: SubRole::Primary,
+                dir: IoDir::Read,
+                vsector,
+                n_sectors: n,
+                dblock,
+                retried,
+            }),
+            pending_img: None,
+        };
+        if self.read_usable(disk, sector, n, now) {
+            return vec![sub(disk, sector, dblock, false)];
+        }
+        if let Some(m) = &self.maint {
+            with_registry(|r| r.inc(m.obs.reads_degraded, 1));
+        }
+        match self.redundancy() {
+            Redundancy::Mirror => {
+                let p = self.map.mirror_partner(disk);
+                if self.read_usable(p, sector, n, now) {
+                    vec![sub(p, sector, dblock, true)]
+                } else {
+                    // No survivor: surface the failure on the primary.
+                    vec![sub(disk, sector, dblock, true)]
+                }
+            }
+            Redundancy::RotParity => {
+                // Reconstruction: read the surviving row (peers +
+                // parity) instead; the request completes when the whole
+                // row is in.
+                let vblock = vsector / spb;
+                let (pd, pdb) = self.map.parity_location(vblock);
+                let mut locs = self.map.data_peers_of_block(vblock);
+                locs.push((pd, pdb));
+                if locs
+                    .iter()
+                    .any(|&(d, db)| self.disk_down(d, now) || self.stale[d].contains(&db))
+                {
+                    return vec![sub(disk, sector, dblock, true)];
+                }
+                locs.into_iter()
+                    .map(|(d, db)| sub(d, db * spb + off, db, true))
+                    .collect()
+            }
+            Redundancy::None => unreachable!("routed earlier"),
+        }
+    }
+
+    fn route_write(
+        &mut self,
+        req: &IoRequest,
+        disk: usize,
+        sector: u64,
+        now: SimTime,
+    ) -> Vec<Routed> {
+        let spb = self.map.sectors_per_block();
+        let dblock = sector / spb;
+        let off = sector % spb;
+        let n = req.n_sectors;
+        let vblock = req.sector_in_partition / spb;
+        let span = self.block_span(disk, dblock);
+        let full = off == 0 && n == span;
+        let mut out = Vec::new();
+        let mut redirected = 0u64;
+
+        // Write targets: the data home plus the scheme's redundancy
+        // location, each with its payload computed up front.
+        match self.redundancy() {
+            Redundancy::Mirror => {
+                let partner = self.map.mirror_partner(disk);
+                for (target, role) in [(disk, SubRole::Primary), (partner, SubRole::Copy)] {
+                    if self.disk_down(target, now) {
+                        self.stale[target].insert(dblock);
+                        redirected += 1;
+                        continue;
+                    }
+                    if let Some(r) =
+                        self.data_write_sub(target, dblock, off, full, &req.data, role, req)
+                    {
+                        out.push(r);
+                    } else {
+                        redirected += 1;
+                    }
+                }
+            }
+            Redundancy::RotParity => {
+                // Old data *logical* span, captured before any state
+                // changes (a redirected write below marks the block
+                // stale, which would flip this to the reconstruction
+                // path and double-apply the parity delta).
+                let old_block = self.logical_block(vblock);
+                if self.disk_down(disk, now) {
+                    self.stale[disk].insert(dblock);
+                    redirected += 1;
+                } else if let Some(r) =
+                    self.data_write_sub(disk, dblock, off, full, &req.data, SubRole::Primary, req)
+                {
+                    out.push(r);
+                } else {
+                    redirected += 1;
+                }
+                match self.parity_write_sub(vblock, off, n, &req.data, old_block, now) {
+                    Some(r) => out.push(r),
+                    None => redirected += 1,
+                }
+            }
+            Redundancy::None => unreachable!("routed earlier"),
+        }
+        if let (Some(m), true) = (&self.maint, redirected > 0) {
+            with_registry(|r| r.inc(m.obs.writes_redirected, redirected));
+        }
+        if out.is_empty() {
+            // Every target is down: submit to the data home anyway so
+            // the failure surfaces instead of silently vanishing.
+            out.push(Routed {
+                disk,
+                req: IoRequest {
+                    sector_in_partition: sector,
+                    ..req.clone()
+                },
+                red: Some(RedSub {
+                    role: SubRole::Primary,
+                    dir: IoDir::Write,
+                    vsector: req.sector_in_partition,
+                    n_sectors: n,
+                    dblock,
+                    retried: true,
+                }),
+                pending_img: None,
+            });
+        }
+        out
+    }
+
+    /// A data or mirror-copy write sub for `payload` at block `dblock`
+    /// of an *up* member. A partial write to a stale block is promoted
+    /// to a full-block write of the logical image (re-silvering it in
+    /// passing); returns `None` when the promotion source is
+    /// unavailable (block stays stale).
+    #[allow(clippy::too_many_arguments)]
+    fn data_write_sub(
+        &mut self,
+        target: usize,
+        dblock: u64,
+        off: u64,
+        full: bool,
+        payload: &Bytes,
+        role: SubRole,
+        req: &IoRequest,
+    ) -> Option<Routed> {
+        let spb = self.map.sectors_per_block();
+        let span = self.block_span(target, dblock);
+        let vblock = req.sector_in_partition / spb;
+        let red = RedSub {
+            role,
+            dir: IoDir::Write,
+            vsector: req.sector_in_partition,
+            n_sectors: req.n_sectors,
+            dblock,
+            retried: false,
+        };
+        if self.stale[target].contains(&dblock) && !full {
+            // Promote: overlay the payload on the logical image and
+            // rewrite the whole block.
+            let mut img = match self.logical_block(vblock) {
+                Ok(img) => img,
+                Err(_) => return None,
+            };
+            overlay(&mut img, off, payload);
+            self.stale[target].remove(&dblock);
+            return Some(Routed {
+                disk: target,
+                req: IoRequest::write(0, dblock * spb, span, Bytes::from(img.clone())),
+                red: Some(RedSub {
+                    n_sectors: span,
+                    ..red
+                }),
+                pending_img: Some(img),
+            });
+        }
+        if full {
+            self.stale[target].remove(&dblock);
+        }
+        // In-flight image: the current block bytes with the payload
+        // overlaid (whole payload for a full write).
+        let pending_img = if full {
+            Some(payload.to_vec())
+        } else {
+            match self.block_bytes(target, dblock) {
+                Ok(mut img) => {
+                    overlay(&mut img, off, payload);
+                    Some(img)
+                }
+                Err(_) => None, // partial write over a lost block: image unknowable
+            }
+        };
+        Some(Routed {
+            disk: target,
+            req: IoRequest::write(0, dblock * spb + off, req.n_sectors, payload.clone()),
+            red: Some(red),
+            pending_img,
+        })
+    }
+
+    /// The parity-update write for a data write to `vblock`:
+    /// `parity_new = parity_old ⊕ data_old ⊕ data_new` over the written
+    /// span, or a full parity rebuild when the old parity is stale or
+    /// unreadable. Returns `None` (parity marked stale) when the parity
+    /// member is down or the sources are unavailable.
+    fn parity_write_sub(
+        &mut self,
+        vblock: u64,
+        off: u64,
+        n: u32,
+        payload: &Bytes,
+        old_block: Result<Vec<u8>, DriverError>,
+        now: SimTime,
+    ) -> Option<Routed> {
+        let spb = self.map.sectors_per_block();
+        let (pd, pdb) = self.map.parity_location(vblock);
+        if self.disk_down(pd, now) {
+            self.stale[pd].insert(pdb);
+            return None;
+        }
+        let red = RedSub {
+            role: SubRole::Parity,
+            dir: IoDir::Write,
+            vsector: vblock * spb,
+            n_sectors: n,
+            dblock: pdb,
+            retried: false,
+        };
+        let delta = (|| {
+            if self.stale[pd].contains(&pdb) {
+                return None;
+            }
+            let old = old_block.as_ref().ok()?;
+            let parity_old = self.block_bytes(pd, pdb).ok()?;
+            let lo = off as usize * SECTOR_SIZE;
+            let hi = lo + n as usize * SECTOR_SIZE;
+            let mut span = parity_old[lo..hi].to_vec();
+            xor_into(&mut span, &old[lo..hi]);
+            xor_into(&mut span, payload);
+            // In-flight image of the whole parity block.
+            let mut img = parity_old;
+            overlay(&mut img, off, &span);
+            Some((span, img))
+        })();
+        if let Some((span, img)) = delta {
+            return Some(Routed {
+                disk: pd,
+                req: IoRequest::write(0, pdb * spb + off, n, Bytes::from(span)),
+                red: Some(red),
+                pending_img: Some(img),
+            });
+        }
+        // Full parity rebuild: XOR the whole row's logical data, with
+        // the new payload overlaid on its own block.
+        let mut own = match self.logical_block(vblock) {
+            Ok(img) => img,
+            Err(_) if off == 0 && u64::from(n) == spb => payload.to_vec(),
+            Err(_) => {
+                self.stale[pd].insert(pdb);
+                return None;
+            }
+        };
+        overlay(&mut own, off, payload);
+        let mut parity = own;
+        for (peer_d, peer_db) in self.map.data_peers_of_block(vblock) {
+            let peer_vb = match self.map.vblock_at(peer_d, peer_db) {
+                Some(vb) => vb,
+                None => {
+                    self.stale[pd].insert(pdb);
+                    return None;
+                }
+            };
+            match self.logical_block(peer_vb) {
+                Ok(b) => xor_into(&mut parity, &b),
+                Err(_) => {
+                    self.stale[pd].insert(pdb);
+                    return None;
+                }
+            }
+        }
+        self.stale[pd].remove(&pdb);
+        Some(Routed {
+            disk: pd,
+            req: IoRequest::write(0, pdb * spb, spb as u32, Bytes::from(parity.clone())),
+            red: Some(RedSub {
+                n_sectors: spb as u32,
+                ..red
+            }),
+            pending_img: Some(parity),
+        })
+    }
+
     /// Submit a block-interface request against the volume's address
     /// space. Like the single-disk driver, the request must not cross a
     /// file-system block boundary — which guarantees it maps onto
-    /// exactly one member disk.
+    /// exactly one member disk (its redundancy fan-out may touch more).
     pub fn submit(&mut self, req: IoRequest, now: SimTime) -> Result<VolRequestId, DriverError> {
         if req.partition != 0 {
             return Err(DriverError::BadPartition);
@@ -269,13 +998,40 @@ impl ArrayVolume {
         if end > self.map.vol_sectors() {
             return Err(DriverError::OutOfPartition);
         }
-        let (disk, sector) = self.map.map_sector(req.sector_in_partition);
-        let sub = IoRequest {
-            sector_in_partition: sector,
-            ..req
-        };
-        let sub_id = self.disks[disk].submit(sub, now)?;
-        Ok(self.admit(now, vec![(disk, sub_id)]))
+        let routed = self.route_piece(&req, now);
+        let placed = self.place(routed, now)?;
+        Ok(self.admit(now, placed))
+    }
+
+    /// Submit routed subs to their members, registering redundancy
+    /// bookkeeping and pending write images.
+    fn place(
+        &mut self,
+        routed: Vec<Routed>,
+        now: SimTime,
+    ) -> Result<Vec<(usize, RequestId)>, DriverError> {
+        let mut placed = Vec::with_capacity(routed.len());
+        for r in routed {
+            match self.disks[r.disk].submit(r.req, now) {
+                Ok(id) => {
+                    if let Some(red) = r.red {
+                        self.red_subs.insert((r.disk, id), red);
+                        if let Some(img) = r.pending_img {
+                            self.pending.insert((r.disk, red.dblock), (id, img));
+                        }
+                    }
+                    placed.push((r.disk, id));
+                }
+                Err(e) => {
+                    for (d, id) in placed {
+                        self.subs.remove(&(d, id));
+                        self.red_subs.remove(&(d, id));
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(placed)
     }
 
     /// Submit a raw transfer of `n_sectors` starting at `sector`,
@@ -301,19 +1057,20 @@ impl ArrayVolume {
         let spb = self.map.sectors_per_block() as u32;
         let mut placed: Vec<(usize, RequestId)> = Vec::new();
         for (s, n) in abr_driver::physio::split(sector, n_sectors, spb) {
-            let (disk, dsector) = self.map.map_sector(s);
-            let sub = match dir {
-                IoDir::Read => IoRequest::read(0, dsector, n),
-                IoDir::Write => IoRequest::write_zeroes(0, dsector, n),
+            let piece = match dir {
+                IoDir::Read => IoRequest::read(0, s, n),
+                IoDir::Write => IoRequest::write_zeroes(0, s, n),
             };
-            match self.disks[disk].submit(sub, now) {
-                Ok(id) => placed.push((disk, id)),
+            let routed = self.route_piece(&piece, now);
+            match self.place(routed, now) {
+                Ok(mut p) => placed.append(&mut p),
                 Err(e) => {
                     // Piece rejected up front (it never reached a
                     // queue): orphan the accepted pieces — they will
                     // complete and be dropped — and report the error.
                     for (d, id) in placed {
                         self.subs.remove(&(d, id));
+                        self.red_subs.remove(&(d, id));
                     }
                     return Err(e);
                 }
@@ -343,6 +1100,8 @@ impl ArrayVolume {
                 n_subs,
                 arrived: now,
                 error: None,
+                red_write_ok: false,
+                red_write_err: None,
             },
         );
         VolRequestId(vol)
@@ -360,7 +1119,8 @@ impl ArrayVolume {
 
     /// Retire the sub-request completing at `now` (ties broken by
     /// lowest disk index). Returns the volume-level completion if this
-    /// was its request's last outstanding piece.
+    /// was its request's last outstanding piece (maintenance I/O and
+    /// failed-over reads never surface here).
     ///
     /// # Panics
     /// If no disk has a completion at exactly `now` — same contract as
@@ -370,33 +1130,202 @@ impl ArrayVolume {
             .find(|&i| self.disks[i].next_completion() == Some(now))
             .expect("no completion at this time");
         let c = self.disks[disk].complete_next(now);
-        if c.is_ok() {
+        if c.error.is_none() {
             self.io_counts[disk].completed += 1;
             with_registry(|r| r.inc(self.obs.per_disk[disk].completed, 1));
         } else {
             self.io_counts[disk].failed += 1;
             with_registry(|r| r.inc(self.obs.per_disk[disk].failed, 1));
         }
-        let vol = self.subs.remove(&(disk, c.id))?;
+        let key = (disk, c.id);
+        if let Some(role) = self.maint_subs.remove(&key) {
+            self.finish_maint(disk, role, c.id, c.error);
+            return None;
+        }
+        let red = self.red_subs.remove(&key);
+        // Retire this sub's pending write image (unless a newer write
+        // to the same block superseded it).
+        if let Some(rs) = red {
+            if !rs.dir.is_read() {
+                if let Some(&(pid, _)) = self.pending.get(&(disk, rs.dblock)) {
+                    if pid == c.id {
+                        self.pending.remove(&(disk, rs.dblock));
+                    }
+                }
+            }
+        }
+        let vol = self.subs.remove(&key)?;
+        // Completion-time failover: the member died with a primary read
+        // in flight — re-issue on the survivor(s) before accounting.
+        let mut extra_subs: Vec<(usize, RequestId)> = Vec::new();
+        if let (Some(rs), Some(err)) = (red, c.error.clone()) {
+            match rs.role {
+                SubRole::Primary if rs.dir.is_read() && !rs.retried => {
+                    let piece = IoRequest::read(0, rs.vsector, rs.n_sectors);
+                    let routed = self.failover_read(&piece, disk, now);
+                    if routed.is_empty() {
+                        let inflight = self.inflight.get_mut(&vol).expect("live request"); // abr-lint: allow(P001, sub completion implies a live parent request)
+                        if inflight.error.is_none() {
+                            inflight.error = Some(err);
+                        }
+                    } else if let Ok(p) = self.place(routed, now) {
+                        if let Some(m) = &self.maint {
+                            with_registry(|r| r.inc(m.obs.read_failovers, 1));
+                        }
+                        extra_subs = p;
+                    }
+                }
+                SubRole::Primary if rs.dir.is_read() => {
+                    let inflight = self.inflight.get_mut(&vol).expect("live request"); // abr-lint: allow(P001, sub completion implies a live parent request)
+                    if inflight.error.is_none() {
+                        inflight.error = Some(err);
+                    }
+                }
+                SubRole::Primary | SubRole::Copy | SubRole::Parity => {
+                    // A write replica failed: the block's on-disk bytes
+                    // diverge from the volume's logical contents — mark
+                    // it for re-silvering instead of failing the
+                    // request (another replica may have landed).
+                    self.stale[disk].insert(rs.dblock);
+                    let inflight = self.inflight.get_mut(&vol).expect("live request"); // abr-lint: allow(P001, sub completion implies a live parent request)
+                    if inflight.red_write_err.is_none() {
+                        inflight.red_write_err = Some(err);
+                    }
+                }
+            }
+        } else if let Some(rs) = red {
+            if !rs.dir.is_read() {
+                self.inflight
+                    .get_mut(&vol)
+                    .expect("live request") // abr-lint: allow(P001, sub completion implies a live parent request)
+                    .red_write_ok = true;
+            }
+        } else if let Some(err) = c.error {
+            // Plain (non-redundant) volume: first error wins, as ever.
+            let inflight = self.inflight.get_mut(&vol).expect("live request"); // abr-lint: allow(P001, sub completion implies a live parent request)
+            if inflight.error.is_none() {
+                inflight.error = Some(err);
+            }
+        }
         let inflight = self
             .inflight
             .get_mut(&vol)
-            .expect("sub-request maps to a live request");
-        inflight.remaining -= 1;
-        if inflight.error.is_none() {
-            inflight.error = c.error;
+            .expect("sub-request maps to a live request"); // abr-lint: allow(P001, sub completion implies a live parent request)
+        for (d, id) in extra_subs {
+            self.subs.insert((d, id), vol);
+            inflight.remaining += 1;
+            inflight.n_subs += 1;
         }
+        let inflight = self.inflight.get_mut(&vol).expect("live request"); // abr-lint: allow(P001, sub completion implies a live parent request)
+        inflight.remaining -= 1;
         if inflight.remaining > 0 {
             return None;
         }
-        let done = self.inflight.remove(&vol).expect("checked above");
+        let done = self.inflight.remove(&vol).expect("checked above"); // abr-lint: allow(P001, remaining hit zero under this key)
+        let error = done.error.or(if done.red_write_ok {
+            None
+        } else {
+            done.red_write_err
+        });
+        if error.is_none() {
+            self.req_ok += 1;
+        } else {
+            self.req_failed += 1;
+        }
         Some(VolCompletion {
             id: VolRequestId(vol),
             arrived: done.arrived,
             completed: now,
             n_subs: done.n_subs,
-            error: done.error,
+            error,
         })
+    }
+
+    /// Survivor route for a read whose primary sub failed at
+    /// completion on `failed_disk`. Empty when no survivor can serve.
+    fn failover_read(
+        &mut self,
+        piece: &IoRequest,
+        failed_disk: usize,
+        now: SimTime,
+    ) -> Vec<Routed> {
+        let spb = self.map.sectors_per_block();
+        let (d, s) = self.map.map_sector(piece.sector_in_partition);
+        let off = s % spb;
+        let n = piece.n_sectors;
+        let mk = |disk: usize, sector: u64, dblock: u64| Routed {
+            disk,
+            req: IoRequest::read(0, sector, n),
+            red: Some(RedSub {
+                role: SubRole::Primary,
+                dir: IoDir::Read,
+                vsector: piece.sector_in_partition,
+                n_sectors: n,
+                dblock,
+                retried: true,
+            }),
+            pending_img: None,
+        };
+        match self.redundancy() {
+            Redundancy::Mirror => {
+                let p = self.map.mirror_partner(failed_disk);
+                if self.read_usable(p, s, n, now) {
+                    vec![mk(p, s, s / spb)]
+                } else {
+                    Vec::new()
+                }
+            }
+            Redundancy::RotParity => {
+                let vblock = piece.sector_in_partition / spb;
+                let (pd, pdb) = self.map.parity_location(vblock);
+                let mut locs = self.map.data_peers_of_block(vblock);
+                locs.push((pd, pdb));
+                if locs
+                    .iter()
+                    .any(|&(ld, ldb)| self.disk_down(ld, now) || self.stale[ld].contains(&ldb))
+                {
+                    return Vec::new();
+                }
+                let _ = d;
+                locs.into_iter()
+                    .map(|(ld, ldb)| mk(ld, ldb * spb + off, ldb))
+                    .collect()
+            }
+            Redundancy::None => Vec::new(),
+        }
+    }
+
+    /// Account a finished maintenance sub-request.
+    fn finish_maint(
+        &mut self,
+        disk: usize,
+        role: MaintRole,
+        id: RequestId,
+        err: Option<DriverError>,
+    ) {
+        let Some(m) = &self.maint else { return };
+        match role {
+            MaintRole::RebuildWrite(db) | MaintRole::ScrubWrite(db) => {
+                if let Some(&(pid, _)) = self.pending.get(&(disk, db)) {
+                    if pid == id {
+                        self.pending.remove(&(disk, db));
+                    }
+                }
+                let rebuild = matches!(role, MaintRole::RebuildWrite(_));
+                if let Some(e) = err {
+                    let _ = e;
+                    if rebuild {
+                        // The re-silver write itself failed: the block
+                        // is still stale; retry next window.
+                        self.stale[disk].insert(db);
+                        with_registry(|r| r.inc(m.obs.rebuild_errors, 1));
+                    }
+                } else if rebuild {
+                    with_registry(|r| r.inc(m.obs.rebuild_blocks, 1));
+                }
+            }
+            MaintRole::RebuildRead | MaintRole::ScrubRead => {}
+        }
     }
 
     /// Run every member to completion, returning merged volume
@@ -421,19 +1350,469 @@ impl ArrayVolume {
         self.disks.iter().all(|d| d.is_idle())
     }
 
+    /// Swap a failed member for a freshly formatted replacement drive
+    /// and queue its entire contents for re-silvering. The caller
+    /// formats the replacement exactly like the original members and
+    /// waits until the failed member has no in-flight sub-requests.
+    ///
+    /// # Panics
+    /// If the volume is not redundant, the member still has queued or
+    /// active requests, or the replacement's geometry differs.
+    pub fn replace_disk(&mut self, i: usize, mut fresh: AdaptiveDriver) {
+        assert!(
+            self.redundancy().is_redundant(),
+            "replacement without redundancy cannot be re-silvered"
+        );
+        assert!(
+            self.disks[i].is_idle(),
+            "drain the failed member before replacing it"
+        );
+        assert_eq!(
+            fresh.label().partitions[0].n_sectors,
+            self.disks[i].label().partitions[0].n_sectors,
+            "replacement partition size differs"
+        );
+        assert_eq!(
+            fresh.sectors_per_block(),
+            self.disks[i].sectors_per_block(),
+            "replacement block size differs"
+        );
+        fresh.set_disk_index(i as u32);
+        self.disks[i] = fresh;
+        // Queued write images aimed at the dead drive are void.
+        self.pending.retain(|&(d, _), _| d != i);
+        // Every block with volume content on this member is now stale.
+        let spb = self.map.sectors_per_block();
+        let vol_blocks = self.map.vol_sectors().div_ceil(spb);
+        let content_disk = match self.redundancy() {
+            Redundancy::Mirror => {
+                let half = self.disks.len() / 2;
+                if i < half {
+                    i
+                } else {
+                    i - half
+                }
+            }
+            _ => i,
+        };
+        let mut stale = BTreeSet::new();
+        for vb in 0..vol_blocks {
+            let (d, db) = self.map.map_block(vb);
+            if d == content_disk {
+                stale.insert(db);
+            }
+            if self.redundancy() == Redundancy::RotParity {
+                let (pd, pdb) = self.map.parity_location(vb);
+                if pd == i {
+                    stale.insert(pdb);
+                }
+            }
+        }
+        self.stale[i] = stale;
+    }
+
+    /// Whether the volume runs background maintenance (redundant
+    /// schemes only).
+    pub fn has_maintenance(&self) -> bool {
+        self.maint.is_some()
+    }
+
+    /// The maintenance configuration, if the volume is redundant.
+    pub fn maintenance_config(&self) -> Option<MaintenanceConfig> {
+        self.maint.as_ref().map(|m| m.cfg)
+    }
+
+    /// Peak rebuild ops consumed in any single budget window (the
+    /// "rebuild stayed within its budget" figure).
+    pub fn rebuild_peak_window_ops(&self) -> u32 {
+        self.maint.as_ref().map_or(0, |m| m.budget.peak_used())
+    }
+
+    /// One background-maintenance window: re-silver stale blocks under
+    /// the I/O budget, then (when the array is idle and fully
+    /// re-silvered) scrub the next few redundancy groups. Pure
+    /// sim-time work — byte-identical across host thread counts.
+    pub fn maintenance_tick(&mut self, now: SimTime) {
+        if self.maint.is_none() {
+            return;
+        }
+        self.rebuild_tick(now);
+        self.scrub_tick(now);
+        if let Some(m) = &self.maint {
+            let pending = self.stale.iter().map(|s| s.len() as i64).sum::<i64>();
+            let rebuilding = self
+                .stale
+                .iter()
+                .enumerate()
+                .filter(|(i, s)| !s.is_empty() && !self.disk_down(*i, now))
+                .count() as i64;
+            with_registry(|r| {
+                r.set_gauge(m.obs.rebuild_pending, pending);
+                r.set_gauge(m.obs.disks_rebuilding, rebuilding);
+            });
+        }
+    }
+
+    /// Re-silver plan for one stale block: the survivor reads to issue
+    /// and the bytes to write. `Ok(None)` = nothing stored there (drop
+    /// the stale entry); `Err(())` = sources unavailable right now.
+    #[allow(clippy::type_complexity)]
+    fn resilver_plan(
+        &self,
+        i: usize,
+        db: u64,
+        now: SimTime,
+    ) -> Result<Option<(Vec<(usize, u64, u32)>, Vec<u8>)>, ()> {
+        let spb = self.map.sectors_per_block();
+        match self.redundancy() {
+            Redundancy::Mirror => {
+                let half = self.disks.len() / 2;
+                let content_disk = if i < half { i } else { i - half };
+                if self.map.vblock_at(content_disk, db).is_none() {
+                    return Ok(None);
+                }
+                let survivor = self.map.mirror_partner(i);
+                if self.disk_down(survivor, now) || self.stale[survivor].contains(&db) {
+                    return Err(());
+                }
+                let bytes = self.block_bytes(survivor, db).map_err(|_| ())?;
+                let span = self.block_span(survivor, db);
+                Ok(Some((vec![(survivor, db * spb, span)], bytes)))
+            }
+            Redundancy::RotParity => {
+                let mut reads = Vec::new();
+                let bytes = if self.map.is_parity_slot(i, db) {
+                    // Recompute the row's parity from its data blocks.
+                    let row = self.map.row_blocks_at(db);
+                    if row.iter().any(|&vb| vb * spb >= self.map.vol_sectors()) {
+                        return Ok(None);
+                    }
+                    let mut acc = vec![0u8; spb as usize * SECTOR_SIZE];
+                    for &vb in &row {
+                        let (d, ddb) = self.map.map_block(vb);
+                        if self.disk_down(d, now) || self.stale[d].contains(&ddb) {
+                            return Err(());
+                        }
+                        xor_into(&mut acc, &self.block_bytes(d, ddb).map_err(|_| ())?);
+                        reads.push((d, ddb * spb, spb as u32));
+                    }
+                    acc
+                } else {
+                    let vb = match self.map.vblock_at(i, db) {
+                        Some(vb) => vb,
+                        None => return Ok(None),
+                    };
+                    let (pd, pdb) = self.map.parity_location(vb);
+                    let mut locs = self.map.data_peers_of_block(vb);
+                    locs.push((pd, pdb));
+                    if locs
+                        .iter()
+                        .any(|&(d, ddb)| self.disk_down(d, now) || self.stale[d].contains(&ddb))
+                    {
+                        return Err(());
+                    }
+                    let mut acc = vec![0u8; spb as usize * SECTOR_SIZE];
+                    for &(d, ddb) in &locs {
+                        xor_into(&mut acc, &self.block_bytes(d, ddb).map_err(|_| ())?);
+                        reads.push((d, ddb * spb, spb as u32));
+                    }
+                    acc
+                };
+                Ok(Some((reads, bytes)))
+            }
+            Redundancy::None => Ok(None),
+        }
+    }
+
+    /// Drain stale sets under the windowed budget, lowest serving disk
+    /// first, lowest block first.
+    fn rebuild_tick(&mut self, now: SimTime) {
+        let spb = self.map.sectors_per_block();
+        let Some(i) =
+            (0..self.disks.len()).find(|&i| !self.stale[i].is_empty() && !self.disk_down(i, now))
+        else {
+            return;
+        };
+        let ops_per_item = match self.redundancy() {
+            Redundancy::Mirror => 2u32,
+            Redundancy::RotParity => self.disks.len() as u32,
+            Redundancy::None => return,
+        };
+        let mut skipped: Vec<u64> = Vec::new();
+        while let Some(m) = &mut self.maint {
+            if m.budget.available(now) < ops_per_item {
+                break;
+            }
+            let Some(db) = self.stale[i].pop_first() else {
+                break;
+            };
+            match self.resilver_plan(i, db, now) {
+                Ok(None) => continue, // unused slot: nothing to restore
+                Err(()) => {
+                    skipped.push(db);
+                    continue;
+                }
+                Ok(Some((reads, bytes))) => {
+                    let span = bytes.len() / SECTOR_SIZE;
+                    let mut issued = 0u32;
+                    for (rd, rs, rn) in reads {
+                        if let Ok(id) = self.disks[rd].submit(IoRequest::read(0, rs, rn), now) {
+                            self.maint_subs.insert((rd, id), MaintRole::RebuildRead);
+                            issued += 1;
+                        }
+                    }
+                    let w = IoRequest::write(0, db * spb, span as u32, Bytes::from(bytes.clone()));
+                    match self.disks[i].submit(w, now) {
+                        Ok(id) => {
+                            self.pending.insert((i, db), (id, bytes));
+                            self.maint_subs.insert((i, id), MaintRole::RebuildWrite(db));
+                            issued += 1;
+                        }
+                        Err(_) => {
+                            skipped.push(db);
+                        }
+                    }
+                    let m = self.maint.as_mut().expect("redundant volume"); // abr-lint: allow(P001, rebuild_tick only runs on redundant volumes)
+                    m.budget.consume(now, issued.max(1).min(ops_per_item));
+                    with_registry(|r| r.inc(m.obs.rebuild_ops, u64::from(issued)));
+                }
+            }
+        }
+        for db in skipped {
+            self.stale[i].insert(db);
+        }
+    }
+
+    /// Scrub the next few redundancy groups when the array is idle and
+    /// fully re-silvered: verify copies/parity, remap latent defects,
+    /// rewrite lost or divergent blocks from the surviving redundancy.
+    fn scrub_tick(&mut self, now: SimTime) {
+        if !self.is_idle() || self.stale.iter().any(|s| !s.is_empty()) {
+            return;
+        }
+        let Some(m) = &self.maint else { return };
+        let groups = m.cfg.scrub_groups_per_window;
+        let spb = self.map.sectors_per_block();
+        let total = match self.redundancy() {
+            Redundancy::Mirror => self.map.vol_sectors().div_ceil(spb),
+            Redundancy::RotParity => {
+                // One group per (row, offset): every disk-block index
+                // shared across the members.
+                let vol_blocks = self.map.vol_sectors() / spb;
+                vol_blocks / (self.disks.len() as u64 - 1)
+            }
+            Redundancy::None => return,
+        };
+        if total == 0 {
+            return;
+        }
+        for _ in 0..groups {
+            let cursor = {
+                let m = self.maint.as_mut().expect("redundant volume"); // abr-lint: allow(P001, scrub_tick only runs on redundant volumes)
+                let c = m.scrub_cursor % total;
+                m.scrub_cursor = (m.scrub_cursor + 1) % total;
+                c
+            };
+            match self.redundancy() {
+                Redundancy::Mirror => self.scrub_mirror_group(cursor, now),
+                Redundancy::RotParity => self.scrub_parity_group(cursor, now),
+                Redundancy::None => unreachable!(),
+            }
+        }
+    }
+
+    /// Remap any latent defects under block `db` of member `loc` and
+    /// report whether the block needs rewriting (defective or lost).
+    fn scrub_check_location(&mut self, loc: usize, db: u64) -> bool {
+        let spb = self.map.sectors_per_block();
+        let span = self.block_span(loc, db);
+        let mut needs = false;
+        if let Ok(segs) = self.disks[loc].physical_segments(0, db * spb, span) {
+            let mut cleared = 0u32;
+            for &(s, n) in &segs {
+                if let Some(inj) = self.disks[loc].disk_mut().injector_mut() {
+                    cleared += inj.remap(s, n);
+                }
+            }
+            if cleared > 0 {
+                needs = true;
+                if let Some(m) = &self.maint {
+                    with_registry(|r| r.inc(m.obs.scrub_defects, u64::from(cleared)));
+                }
+            }
+        }
+        if self.disks[loc].block_is_lost(0, db * spb) {
+            needs = true;
+        }
+        needs
+    }
+
+    /// Issue a scrub repair write of `bytes` to block `db` of `loc`.
+    fn scrub_repair(&mut self, loc: usize, db: u64, bytes: Vec<u8>, now: SimTime) {
+        let spb = self.map.sectors_per_block();
+        let span = (bytes.len() / SECTOR_SIZE) as u32;
+        if let Ok(id) = self.disks[loc].submit(
+            IoRequest::write(0, db * spb, span, Bytes::from(bytes.clone())),
+            now,
+        ) {
+            self.pending.insert((loc, db), (id, bytes));
+            self.maint_subs.insert((loc, id), MaintRole::ScrubWrite(db));
+            if let Some(m) = &self.maint {
+                with_registry(|r| r.inc(m.obs.scrub_repairs, 1));
+            }
+        }
+    }
+
+    /// Issue the scrub verification read for block `db` of `loc`.
+    fn scrub_read(&mut self, loc: usize, db: u64, now: SimTime) {
+        let spb = self.map.sectors_per_block();
+        let span = self.block_span(loc, db);
+        if let Ok(id) = self.disks[loc].submit(IoRequest::read(0, db * spb, span), now) {
+            self.maint_subs.insert((loc, id), MaintRole::ScrubRead);
+        }
+    }
+
+    /// One mirror scrub group: volume block `vb` and its copy.
+    fn scrub_mirror_group(&mut self, vb: u64, now: SimTime) {
+        let (d, db) = self.map.map_block(vb);
+        let p = self.map.mirror_partner(d);
+        if self.disk_down(d, now) || self.disk_down(p, now) {
+            return;
+        }
+        if let Some(m) = &self.maint {
+            with_registry(|r| r.inc(m.obs.scrub_groups, 1));
+        }
+        let mut needs = Vec::new();
+        for loc in [d, p] {
+            if self.scrub_check_location(loc, db) {
+                needs.push(loc);
+            }
+        }
+        // Divergence check through the pending-aware images.
+        match (self.block_bytes(d, db), self.block_bytes(p, db)) {
+            (Ok(a), Ok(b)) => {
+                if a != b {
+                    // Repair toward the data half: the primary wins.
+                    if let Some(m) = &self.maint {
+                        with_registry(|r| r.inc(m.obs.scrub_mismatches, 1));
+                    }
+                    if !needs.contains(&p) {
+                        needs.push(p);
+                    }
+                }
+            }
+            (Err(_), Ok(_)) => {
+                if !needs.contains(&d) {
+                    needs.push(d);
+                }
+            }
+            (Ok(_), Err(_)) => {
+                if !needs.contains(&p) {
+                    needs.push(p);
+                }
+            }
+            (Err(_), Err(_)) => {} // both copies gone: surfaced via health
+        }
+        for loc in needs {
+            let source = if loc == d { p } else { d };
+            if let Ok(bytes) = self.block_bytes(source, db) {
+                self.scrub_repair(loc, db, bytes, now);
+            }
+        }
+        for loc in [d, p] {
+            self.scrub_read(loc, db, now);
+        }
+    }
+
+    /// One rotated-parity scrub group: disk block `db` across all
+    /// members (one stripe row offset).
+    fn scrub_parity_group(&mut self, db: u64, now: SimTime) {
+        let n = self.disks.len();
+        if (0..n).any(|i| self.disk_down(i, now)) {
+            return;
+        }
+        if let Some(m) = &self.maint {
+            with_registry(|r| r.inc(m.obs.scrub_groups, 1));
+        }
+        let pd = (db / self.map.policy().chunk_blocks() % n as u64) as usize;
+        let mut needs = Vec::new();
+        for loc in 0..n {
+            if self.scrub_check_location(loc, db) {
+                needs.push(loc);
+            }
+        }
+        // Parity identity: XOR over the whole row (data + parity) is 0.
+        let spb = self.map.sectors_per_block();
+        let images: Vec<Result<Vec<u8>, DriverError>> =
+            (0..n).map(|loc| self.block_bytes(loc, db)).collect();
+        let unreadable: Vec<usize> = (0..n).filter(|&i| images[i].is_err()).collect();
+        match unreadable.len() {
+            0 => {
+                let mut acc = vec![0u8; spb as usize * SECTOR_SIZE];
+                for img in images.iter().flatten() {
+                    xor_into(&mut acc, img);
+                }
+                if acc.iter().any(|&b| b != 0) {
+                    // Repair toward the data: recompute the parity.
+                    if let Some(m) = &self.maint {
+                        with_registry(|r| r.inc(m.obs.scrub_mismatches, 1));
+                    }
+                    if !needs.contains(&pd) {
+                        needs.push(pd);
+                    }
+                }
+            }
+            1 => {
+                if !needs.contains(&unreadable[0]) {
+                    needs.push(unreadable[0]);
+                }
+            }
+            _ => return, // multiple failures: beyond single redundancy
+        }
+        for loc in needs {
+            // Rebuild the location from the rest of the row.
+            let mut acc = vec![0u8; spb as usize * SECTOR_SIZE];
+            let mut ok = true;
+            for other in 0..n {
+                if other == loc {
+                    continue;
+                }
+                match self.block_bytes(other, db) {
+                    Ok(img) => xor_into(&mut acc, &img),
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                self.scrub_repair(loc, db, acc, now);
+            }
+        }
+        for loc in 0..n {
+            self.scrub_read(loc, db, now);
+        }
+    }
+
     /// Snapshot array health and publish it to the `array.*` gauges.
     pub fn health(&mut self) -> ArrayHealth {
         let disks: Vec<DiskHealth> = self
             .disks
             .iter()
             .enumerate()
-            .map(|(i, d)| DiskHealth {
-                disk: i as u32,
-                dead: d.disk().injector().is_some_and(|inj| inj.is_dead()),
-                degraded: d.is_degraded(),
-                quarantined: d.quarantined_slots().count() as u32,
-                lost: d.lost_blocks().count() as u32,
-                placed: d.block_table().len() as u32,
+            .map(|(i, d)| {
+                let failed = d.disk().injector().is_some_and(|inj| inj.is_failed());
+                DiskHealth {
+                    disk: i as u32,
+                    dead: d.disk().injector().is_some_and(|inj| inj.is_dead()),
+                    failed,
+                    degraded: d.is_degraded(),
+                    rebuilding: !failed && !self.stale[i].is_empty(),
+                    quarantined: d.quarantined_slots().count() as u32,
+                    lost: d.lost_blocks().count() as u32,
+                    placed: d.block_table().len() as u32,
+                    stale: self.stale[i].len() as u32,
+                }
             })
             .collect();
         let health = ArrayHealth { disks };
@@ -442,6 +1821,12 @@ impl ArrayVolume {
             r.set_gauge(self.obs.degraded, health.n_degraded() as i64);
             r.set_gauge(self.obs.lost, health.total_lost() as i64);
         });
+        if let Some(m) = &self.maint {
+            with_registry(|r| {
+                r.set_gauge(m.obs.rebuild_pending, health.total_stale() as i64);
+                r.set_gauge(m.obs.disks_rebuilding, health.n_rebuilding() as i64);
+            });
+        }
         health
     }
 }
@@ -449,8 +1834,10 @@ impl ArrayVolume {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use abr_disk::fault::{FaultInjector, FaultPlan};
     use abr_disk::{models, Disk, DiskLabel};
     use abr_driver::{DriverConfig, SchedulerKind};
+    use abr_sim::{SimDuration, SimRng};
 
     fn member(spb: u32) -> AdaptiveDriver {
         let model = models::toshiba_mk156f();
@@ -468,6 +1855,19 @@ mod tests {
 
     fn volume(n: usize, policy: StripePolicy) -> ArrayVolume {
         ArrayVolume::new((0..n).map(|_| member(16)).collect(), policy)
+    }
+
+    fn red_volume(n: usize, policy: StripePolicy, red: Redundancy) -> ArrayVolume {
+        ArrayVolume::with_redundancy(
+            (0..n).map(|_| member(16)).collect(),
+            policy,
+            red,
+            MaintenanceConfig::default(),
+        )
+    }
+
+    fn block_payload(tag: u8) -> Bytes {
+        Bytes::from(vec![tag; 16 * SECTOR_SIZE])
     }
 
     #[test]
@@ -541,6 +1941,8 @@ mod tests {
         assert!(h.is_fully_healthy());
         assert_eq!(h.n_healthy(), 3);
         assert_eq!(h.n_dead(), 0);
+        assert_eq!(h.n_failed(), 0);
+        assert_eq!(h.n_rebuilding(), 0);
         assert_eq!(h.total_lost(), 0);
     }
 
@@ -550,5 +1952,226 @@ mod tests {
         for i in 0..3 {
             assert_eq!(v.disk(i).disk_index(), i as u32);
         }
+    }
+
+    #[test]
+    fn mirror_write_duplicates_to_partner() {
+        let mut v = red_volume(
+            4,
+            StripePolicy::Striped { chunk_blocks: 1 },
+            Redundancy::Mirror,
+        );
+        let id = v
+            .submit(
+                IoRequest::write(0, 0, 16, block_payload(0xAB)),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let done = v.drain();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, id);
+        assert_eq!(done[0].n_subs, 2, "primary + copy");
+        assert!(done[0].error.is_none());
+        let (d, db) = v.map().map_block(0);
+        let p = v.map().mirror_partner(d);
+        let a = v.disk(d).peek(0, db * 16, 16).unwrap();
+        let b = v.disk(p).peek(0, db * 16, 16).unwrap();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| x == 0xAB));
+    }
+
+    #[test]
+    fn rotparity_write_maintains_parity_identity() {
+        let mut v = red_volume(
+            3,
+            StripePolicy::Striped { chunk_blocks: 1 },
+            Redundancy::RotParity,
+        );
+        // Write both data blocks of row 0, then check XOR(all 3) == 0.
+        for (vb, tag) in [(0u64, 0x11u8), (1, 0x22)] {
+            v.submit(
+                IoRequest::write(0, vb * 16, 16, block_payload(tag)),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        let done = v.drain();
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().all(|c| c.error.is_none() && c.n_subs == 2));
+        let mut acc = vec![0u8; 16 * SECTOR_SIZE];
+        for disk in 0..3 {
+            let img = v.disk(disk).peek(0, 0, 16).unwrap();
+            xor_into(&mut acc, &img);
+        }
+        assert!(acc.iter().all(|&b| b == 0), "parity identity violated");
+    }
+
+    #[test]
+    fn mirror_read_survives_whole_disk_death() {
+        let mut v = red_volume(
+            2,
+            StripePolicy::Striped { chunk_blocks: 1 },
+            Redundancy::Mirror,
+        );
+        v.submit(
+            IoRequest::write(0, 0, 16, block_payload(0x7E)),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        v.drain();
+        // Kill disk 0 (the data half) at t=1s.
+        let death = SimTime::from_micros(1_000_000);
+        let plan = FaultPlan::disk_death(death, SimDuration::from_secs(60));
+        v.disk_mut(0)
+            .disk_mut()
+            .set_injector(Some(FaultInjector::new(
+                plan,
+                SimRng::new(9).substream("faults"),
+            )));
+        // A read submitted after the death routes to the partner and
+        // completes clean.
+        let after = SimTime::from_micros(2_000_000);
+        let id = v.submit(IoRequest::read(0, 0, 16), after).unwrap();
+        let done = v.drain();
+        let c = done.iter().find(|c| c.id == id).expect("read completed");
+        assert!(c.error.is_none(), "degraded read failed: {:?}", c.error);
+        assert_eq!(v.io_counts(1).submitted, 2, "copy write + degraded read");
+    }
+
+    #[test]
+    fn rotparity_read_reconstructs_after_death() {
+        let mut v = red_volume(
+            3,
+            StripePolicy::Striped { chunk_blocks: 1 },
+            Redundancy::RotParity,
+        );
+        for (vb, tag) in [(0u64, 0x0F), (1, 0xF0)] {
+            v.submit(
+                IoRequest::write(0, vb * 16, 16, block_payload(tag)),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        v.drain();
+        // Block 0 lives on disk 1 (row 0 parity is disk 0). Kill disk 1.
+        let death = SimTime::from_micros(1_000_000);
+        let plan = FaultPlan::disk_death(death, SimDuration::from_secs(60));
+        v.disk_mut(1)
+            .disk_mut()
+            .set_injector(Some(FaultInjector::new(
+                plan,
+                SimRng::new(3).substream("faults"),
+            )));
+        let after = SimTime::from_micros(2_000_000);
+        let id = v.submit(IoRequest::read(0, 0, 16), after).unwrap();
+        let done = v.drain();
+        let c = done.iter().find(|c| c.id == id).expect("read completed");
+        assert!(c.error.is_none(), "reconstruction failed: {:?}", c.error);
+        assert_eq!(c.n_subs, 2, "peer + parity reconstruction reads");
+        // The logical bytes are still reconstructable and correct.
+        let img = v.logical_block(0).unwrap();
+        assert!(img.iter().all(|&b| b == 0x0F));
+    }
+
+    #[test]
+    fn writes_during_outage_go_stale_and_resilver() {
+        let mut v = red_volume(
+            2,
+            StripePolicy::Striped { chunk_blocks: 1 },
+            Redundancy::Mirror,
+        );
+        v.submit(
+            IoRequest::write(0, 0, 16, block_payload(0x01)),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        v.drain();
+        let death = SimTime::from_micros(1_000_000);
+        let plan = FaultPlan::disk_death(death, SimDuration::from_secs(1));
+        v.disk_mut(0)
+            .disk_mut()
+            .set_injector(Some(FaultInjector::new(
+                plan,
+                SimRng::new(5).substream("faults"),
+            )));
+        // Write after the death: only the partner gets it; disk 0 goes
+        // stale.
+        let after = SimTime::from_micros(2_000_000);
+        let id = v
+            .submit(IoRequest::write(0, 0, 16, block_payload(0x02)), after)
+            .unwrap();
+        let done = v.drain();
+        let c = done.iter().find(|c| c.id == id).expect("write completed");
+        assert!(c.error.is_none());
+        assert_eq!(v.stale_blocks(0), 1);
+        // Replace the dead disk; the whole data half re-silvers.
+        v.replace_disk(0, member(16));
+        assert!(v.stale_blocks(0) > 1, "full replacement content is stale");
+        let mut t = SimTime::from_micros(3_000_000);
+        for _ in 0..10_000 {
+            if v.rebuild_pending() == 0 && v.is_idle() {
+                break;
+            }
+            v.maintenance_tick(t);
+            while let Some(ct) = v.next_completion() {
+                v.complete_next(ct);
+            }
+            t += SimDuration::from_secs(10);
+        }
+        assert_eq!(v.rebuild_pending(), 0, "rebuild drained");
+        // The resilvered copy matches the survivor.
+        let a = v.disk(0).peek(0, 0, 16).unwrap();
+        assert!(a.iter().all(|&x| x == 0x02), "replacement has fresh data");
+        let h = v.health();
+        assert!(h.n_rebuilding() == 0);
+    }
+
+    #[test]
+    fn scrub_repairs_mirror_divergence() {
+        let mut v = red_volume(
+            2,
+            StripePolicy::Striped { chunk_blocks: 1 },
+            Redundancy::Mirror,
+        );
+        v.submit(
+            IoRequest::write(0, 0, 16, block_payload(0x55)),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        v.drain();
+        // Corrupt the copy behind the volume's back.
+        let (d, db) = v.map().map_block(0);
+        let p = v.map().mirror_partner(d);
+        let seg = v.disk(p).physical_segments(0, db * 16, 16).unwrap()[0];
+        v.disk_mut(p)
+            .disk_mut()
+            .store_mut()
+            .write(seg.0, &vec![0xEE; 16 * SECTOR_SIZE]);
+        assert_ne!(
+            v.disk(d).peek(0, db * 16, 16).unwrap(),
+            v.disk(p).peek(0, db * 16, 16).unwrap()
+        );
+        // Scrub sweeps group 0 (block 0) in the first window.
+        let mut t = SimTime::from_micros(1_000_000);
+        for _ in 0..4 {
+            v.maintenance_tick(t);
+            v.drain();
+            t += SimDuration::from_secs(10);
+        }
+        assert_eq!(
+            v.disk(d).peek(0, db * 16, 16).unwrap(),
+            v.disk(p).peek(0, db * 16, 16).unwrap(),
+            "scrub repaired the divergent copy"
+        );
+    }
+
+    #[test]
+    fn plain_volume_has_no_redundancy_metrics_or_maintenance() {
+        let mut v = volume(2, StripePolicy::Concat);
+        assert!(!v.has_maintenance());
+        assert_eq!(v.rebuild_pending(), 0);
+        // Maintenance tick is a no-op.
+        v.maintenance_tick(SimTime::from_micros(1));
+        assert!(v.is_idle());
     }
 }

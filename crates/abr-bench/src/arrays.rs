@@ -16,15 +16,16 @@
 
 use crate::engine::UnknownId;
 use crate::report::Report;
-use abr_array::{ArrayConfig, ArrayDayMetrics, ArrayExperiment, StripePolicy};
+use abr_array::{ArrayConfig, ArrayDayMetrics, ArrayExperiment, Redundancy, StripePolicy};
 use abr_core::ExperimentConfig;
+use abr_disk::fault::FaultPlan;
 use abr_disk::models;
 use abr_sim::{jsn, JsonValue, SimDuration};
 use abr_workload::WorkloadProfile;
 
 /// Array experiment ids, in listing order.
 pub fn array_ids() -> &'static [&'static str] {
-    &["array", "array-n2"]
+    &["array", "array-n2", "array-redundant"]
 }
 
 /// Blocks the paper rearranged on the Toshiba, split across members.
@@ -143,8 +144,137 @@ fn sweep_cells() -> Vec<Cell> {
     cells
 }
 
+/// The redundant-array configuration: N = 4 members, striped chunk 8,
+/// a tiny workload on a 30-minute day — the point is the failure path,
+/// not the paper's numbers.
+fn redundant_config(redundancy: Redundancy) -> ArrayConfig {
+    let mut profile = WorkloadProfile::tiny_test();
+    profile.day_length = SimDuration::from_mins(30);
+    let mut base = ExperimentConfig::new(models::toshiba_mk156f(), profile);
+    base.seed = 0x5AFE ^ (redundancy.name().len() as u64) << 8;
+    ArrayConfig::redundant(
+        base,
+        4,
+        StripePolicy::Striped { chunk_blocks: 8 },
+        redundancy,
+    )
+}
+
+/// Run one redundancy scheme through a whole-disk death with hot-spare
+/// replacement and report availability, data loss, and rebuild pacing.
+/// Redundant schemes are *required* to come through with every request
+/// served and zero lost blocks — the CI sweep fails otherwise.
+fn run_redundant_cell(redundancy: Redundancy, r: &mut Report) -> JsonValue {
+    eprintln!("  running redundant cell {}...", redundancy.name());
+    let mut e = ArrayExperiment::new(redundant_config(redundancy));
+    // Disk 1 dies 15 minutes into day 1; its hot-spare replacement
+    // arrives 10 minutes later and re-silvers under the I/O budget.
+    let death = e.clock() + SimDuration::from_mins(15);
+    e.install_fault_plan(1, FaultPlan::disk_death(death, SimDuration::from_mins(10)));
+    let days = e.run_on_off(1, 256);
+    let (off, on) = (&days[0], &days[1]);
+    let (served, failed) = e.volume().request_outcomes();
+    // Post-day maintenance: drain the resilver (still under the
+    // windowed budget), then let the scrub sweep a few idle windows.
+    let period = e.config().maintenance.period;
+    if redundancy.is_redundant() {
+        let mut t = e.clock();
+        let mut scrub_windows = 32u32;
+        for _ in 0..20_000 {
+            e.volume_mut().maintenance_tick(t);
+            while let Some(ct) = e.volume_mut().next_completion() {
+                e.volume_mut().complete_next(ct);
+            }
+            if e.volume_mut().rebuild_pending() == 0 {
+                if scrub_windows == 0 {
+                    break;
+                }
+                scrub_windows -= 1;
+            }
+            t += period;
+        }
+    }
+    let health = e.health();
+    let lost = health.total_lost();
+    let stale = e.volume().rebuild_pending();
+    let peak = e.volume().rebuild_peak_window_ops();
+    let budget = e.config().maintenance.rebuild_ops_per_window;
+    let seek_cut = (1.0 - on.volume.all.seek_ms / off.volume.all.seek_ms) * 100.0;
+    r.line(format!(
+        "{:>9} | served {served:6} | failed {failed:3} | lost {lost:2} | resilver left {stale:6} \
+         | peak window ops {peak:3}/{budget} | seek cut {seek_cut:5.1}%",
+        redundancy.name(),
+    ));
+    let snap = abr_obs::registry_snapshot();
+    let counter = |name: &str| snap["counters"][name].as_u64().unwrap_or(0);
+    let scrub_groups = counter("array.scrub.groups");
+    if redundancy.is_redundant() {
+        assert_eq!(
+            lost,
+            0,
+            "{} array lost blocks under a single disk death",
+            redundancy.name()
+        );
+        assert_eq!(
+            failed,
+            0,
+            "{} array failed user requests under a single disk death",
+            redundancy.name()
+        );
+        assert!(
+            peak <= budget,
+            "rebuild exceeded its per-window I/O budget ({peak} > {budget})"
+        );
+        assert_eq!(health.n_failed(), 0, "hot-spare replacement not installed");
+        assert_eq!(stale, 0, "resilver never drained after the measured days");
+        assert!(scrub_groups > 0, "background scrub never swept a group");
+    }
+    jsn!({
+        "redundancy": redundancy.name(),
+        "served": served,
+        "failed_requests": failed,
+        "lost_blocks": lost,
+        "resilver_remaining": stale as u64,
+        "rebuild_peak_window_ops": peak,
+        "rebuild_ops_per_window": budget,
+        "rebuild_blocks": counter("array.rebuild.blocks"),
+        "reads_degraded": counter("array.reads.degraded"),
+        "read_failovers": counter("array.reads.failover"),
+        "scrub_groups": scrub_groups,
+        "scrub_repairs": counter("array.scrub.repairs"),
+        "scrub_mismatches": counter("array.scrub.mismatches"),
+        "replacement_installed": health.n_failed() == 0,
+        "off_seek_ms": off.volume.all.seek_ms,
+        "on_seek_ms": on.volume.all.seek_ms,
+        "seek_cut_pct": seek_cut,
+    })
+}
+
+/// The `array-redundant` sweep: none (the control — it *does* fail
+/// requests once the disk dies), mirror, and rotated parity.
+fn run_redundant() -> Report {
+    let mut r = Report::new(
+        "array-redundant",
+        "Redundant arrays: whole-disk death, hot-spare fail-over, online rebuild (extension)",
+    );
+    let mut rows = Vec::new();
+    for redundancy in [Redundancy::None, Redundancy::Mirror, Redundancy::RotParity] {
+        rows.push(run_redundant_cell(redundancy, &mut r));
+    }
+    r.blank();
+    r.line("expected: the redundancy-free control strands requests on the dead member; mirror");
+    r.line("and rotparity serve every request with zero lost blocks, fail over reads to the");
+    r.line("survivor/reconstruction, install the hot spare, re-silver fully under the");
+    r.line("per-window I/O budget, and background-scrub clean once redundancy is restored.");
+    r.json = jsn!({ "rows": rows });
+    r
+}
+
 /// Run an array experiment by id.
 pub fn run_array(id: &str) -> Result<Report, UnknownId> {
+    if id == "array-redundant" {
+        return Ok(run_redundant());
+    }
     let (cells, report): (Vec<Cell>, Report) = match id {
         "array" => (
             sweep_cells(),
@@ -208,7 +338,7 @@ mod tests {
 
     #[test]
     fn ids_are_registered() {
-        assert_eq!(array_ids(), &["array", "array-n2"]);
+        assert_eq!(array_ids(), &["array", "array-n2", "array-redundant"]);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! abrctl monitor-dump disk.img
 //! abrctl replay  disk.img trace.jsonl [--blocks N]
 //! abrctl trace   spans.jsonl [--top N]
-//! abrctl array   disk0.img disk1.img ...
+//! abrctl array   disk0.img disk1.img ... [--redundancy none|mirror|rotparity]
 //! ```
 //!
 //! Two different "traces" exist: `workload --trace` writes a *workload*
@@ -763,11 +763,31 @@ fn trace_summary(args: &[String]) -> Result<(), Error> {
 /// are these disks. A member that cannot be loaded at all is reported
 /// as FAILED rather than aborting the whole report: that is exactly the
 /// degraded-array situation the roll-up exists for.
+///
+/// `--redundancy none|mirror|rotparity` tells the roll-up which scheme
+/// the volume runs, which changes the verdict: a redundant volume with
+/// one impaired member is *rebuilding-eligible* (reads keep flowing
+/// from the surviving copy or parity reconstruction, and lost blocks
+/// are scrub-repairable), not failed; only a second impairment takes
+/// data offline.
 fn array_status(args: &[String]) -> Result<(), Error> {
-    let images: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    // Positional member images: everything that is neither a flag nor
+    // the value of the (only) value-taking flag.
+    let images: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|&(i, a)| !(a.starts_with("--") || i > 0 && args[i - 1] == "--redundancy"))
+        .map(|(_, a)| a)
+        .collect();
     if images.is_empty() {
         return Err("array needs at least one member disk image".into());
     }
+    let redundancy = opt(args, "--redundancy").unwrap_or_else(|| "none".to_string());
+    let redundant = match redundancy.as_str() {
+        "none" => false,
+        "mirror" | "rotparity" => true,
+        other => return Err(format!("unknown redundancy scheme {other:?}").into()),
+    };
     let n = images.len();
     let mut healthy = 0usize;
     let mut total_lost = 0usize;
@@ -786,7 +806,7 @@ fn array_status(args: &[String]) -> Result<(), Error> {
                     healthy += 1;
                 }
                 println!(
-                    "disk {i:2} {}: {} | {} placed | {} quarantined | {} lost{}",
+                    "disk {i:2} {}: {} | {} placed | {} quarantined | {} lost{}{}",
                     img,
                     if ok { "healthy" } else { "DEGRADED" },
                     placed,
@@ -796,19 +816,48 @@ fn array_status(args: &[String]) -> Result<(), Error> {
                         " | table unreadable, pass-through"
                     } else {
                         ""
+                    },
+                    if !ok && redundant {
+                        " | repairable from redundancy"
+                    } else {
+                        ""
                     }
                 );
             }
             Err(e) => {
-                println!("disk {i:2} {img}: FAILED to load ({e})");
+                println!(
+                    "disk {i:2} {img}: FAILED to load ({e}){}",
+                    if redundant {
+                        " | repairable from redundancy"
+                    } else {
+                        ""
+                    }
+                );
             }
         }
     }
     println!(
-        "array: {healthy}/{n} disks healthy | {total_placed} blocks placed | {total_lost} blocks lost"
+        "array: {healthy}/{n} disks healthy | {total_placed} blocks placed | {total_lost} blocks lost | redundancy {redundancy}"
     );
-    if healthy < n {
-        println!("array: DEGRADED — requests mapping to impaired members may fail");
+    let impaired = n - healthy;
+    match (redundant, impaired) {
+        (_, 0) => {}
+        (false, _) => {
+            println!("array: DEGRADED — requests mapping to impaired members may fail");
+        }
+        (true, 1) => {
+            println!(
+                "array: REBUILDING-ELIGIBLE — one impaired member; reads are served from the \
+                 surviving copy/parity, lost blocks scrub-repair, and a replacement re-silvers \
+                 online"
+            );
+        }
+        (true, _) => {
+            println!(
+                "array: FAILED — {impaired} impaired members exceed single-{redundancy} \
+                 protection; data mapping to them is offline"
+            );
+        }
     }
     Ok(())
 }

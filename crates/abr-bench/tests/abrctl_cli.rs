@@ -189,6 +189,40 @@ fn array_status_rolls_up_member_health() {
 }
 
 #[test]
+fn array_status_redundancy_changes_the_verdict() {
+    let tmp = TempDir::new("array-red");
+    let junk0 = tmp.path("m0.img");
+    let junk1 = tmp.path("m1.img");
+    std::fs::write(&junk0, b"not a disk image").unwrap();
+    std::fs::write(&junk1, b"also not a disk image").unwrap();
+
+    // Unprotected: an impaired member means possible data loss.
+    let out = run_ok(&["array", &junk0]);
+    assert!(out.contains("redundancy none"), "{out}");
+    assert!(out.contains("array: DEGRADED"), "{out}");
+
+    // One impaired member under single-fault protection is repairable:
+    // reads fail over and a replacement re-silvers online.
+    let out = run_ok(&["array", &junk0, "--redundancy", "mirror"]);
+    assert!(out.contains("redundancy mirror"), "{out}");
+    assert!(out.contains("repairable from redundancy"), "{out}");
+    assert!(out.contains("array: REBUILDING-ELIGIBLE"), "{out}");
+    assert!(!out.contains("array: DEGRADED"), "{out}");
+
+    // Two impaired members exceed what one parity/copy can absorb.
+    let out = run_ok(&["array", &junk0, &junk1, "--redundancy", "rotparity"]);
+    assert!(out.contains("array: FAILED"), "{out}");
+    assert!(out.contains("single-rotparity"), "{out}");
+
+    // Unknown schemes are a usage error, not a silent default.
+    let out = abrctl()
+        .args(["array", &junk0, "--redundancy", "raid6"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
 fn incremental_rearrange_via_cli() {
     let tmp = TempDir::new("incremental");
     let img = tmp.path("disk.img");

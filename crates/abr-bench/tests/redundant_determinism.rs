@@ -1,0 +1,76 @@
+//! Redundant-array determinism: the rebuild and scrub engines are pure
+//! sim-time machinery, so a batch containing the redundant fault sweep
+//! must produce byte-identical reports AND byte-identical
+//! `array.rebuild.*` / `array.scrub.*` metric snapshots whether it runs
+//! serially or on four workers.
+//!
+//! The comparison is restricted to `array.*` counters and gauges: the
+//! registry also carries wall-clock timer histograms (`abr_obs::timer`),
+//! whose values legitimately depend on host scheduling and would make a
+//! whole-snapshot byte comparison flaky.
+
+use abr_bench::engine::RunBatch;
+use abr_sim::json::JsonValue;
+
+const IDS: [&str; 2] = ["array-redundant", "faults"];
+
+/// Pretty-print only the sim-deterministic `array.*` counters and
+/// gauges from a registry snapshot.
+fn array_metrics(snapshot: &JsonValue) -> String {
+    let mut out = JsonValue::object();
+    for section in ["counters", "gauges"] {
+        let mut filtered = JsonValue::object();
+        if let Some(entries) = snapshot[section].as_object() {
+            for (name, value) in entries {
+                if name.starts_with("array.") {
+                    filtered.insert(name.clone(), value.clone());
+                }
+            }
+        }
+        out.insert(section, filtered);
+    }
+    out.pretty()
+}
+
+#[test]
+fn redundant_sweep_is_byte_identical_across_workers() {
+    let serial = RunBatch::new(&IDS, 1).unwrap().execute();
+    let parallel = RunBatch::new(&IDS, 4).unwrap().execute();
+
+    for (s, p) in serial.outcomes.iter().zip(&parallel.outcomes) {
+        assert_eq!(s.spec, p.spec, "outcomes must stay in spec order");
+        let (sr, pr) = (
+            s.report.as_ref().expect("serial run failed"),
+            p.report.as_ref().expect("parallel run failed"),
+        );
+        assert_eq!(sr.text, pr.text, "{}: text differs", s.spec.id);
+        assert_eq!(
+            sr.json.pretty(),
+            pr.json.pretty(),
+            "{}: JSON differs",
+            s.spec.id
+        );
+        // Every maintenance counter and gauge — rebuild, scrub,
+        // failover, redirect — must match byte for byte.
+        assert_eq!(
+            array_metrics(&s.metrics),
+            array_metrics(&p.metrics),
+            "{}: array.* metrics differ",
+            s.spec.id
+        );
+    }
+
+    // The gate must actually be covering live scrub/rebuild activity,
+    // not vacuously comparing zeros.
+    let redundant = serial
+        .outcomes
+        .iter()
+        .find(|o| o.spec.id == "array-redundant")
+        .expect("redundant sweep ran");
+    for name in ["array.scrub.groups", "array.rebuild.blocks"] {
+        assert!(
+            redundant.metrics["counters"][name].as_u64().unwrap_or(0) > 0,
+            "{name} must be live in the redundant sweep"
+        );
+    }
+}

@@ -23,6 +23,9 @@
 //! * [`mod@replay`] — trace-driven evaluation (the companion ICDE 1993
 //!   paper's methodology): record a day's block-level stream, replay it
 //!   against differently-configured drivers with zero workload variance.
+//! * [`recovery`] — windowed I/O budgets for background recovery work
+//!   (array rebuild and scrub), applying the same bounded-moves-per-
+//!   window discipline the arranger uses for block copies.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +36,7 @@ pub mod daemon;
 pub mod experiment;
 pub mod metrics;
 pub mod placement;
+pub mod recovery;
 pub mod replay;
 
 pub use analyzer::{BoundedAnalyzer, DecayingAnalyzer, FullAnalyzer, HotBlock, ReferenceAnalyzer};
@@ -43,4 +47,5 @@ pub use experiment::{
 };
 pub use metrics::{DayMetrics, DirMetrics};
 pub use placement::{Interleaved, OrganPipe, PlacementPolicy, PolicyKind, Serial, SlotMap};
+pub use recovery::{IoBudget, MaintenanceConfig};
 pub use replay::{replay, ReplayConfig};

@@ -1,0 +1,218 @@
+//! Windowed I/O budgets for background recovery work.
+//!
+//! The adaptive arranger already rations its block moves (so many per
+//! overnight pass); array-level recovery — rebuilding a replaced disk,
+//! scrubbing for latent defects — needs the same discipline *during the
+//! day*, where it contends with foreground requests. An [`IoBudget`]
+//! grants at most `ops_per_window` member-disk operations per fixed
+//! window of simulated time, so recovery traffic is amortized against
+//! service the same way rearrangement moves are (the cost-oblivious
+//! reallocation framing: bounded bytes moved per window, regardless of
+//! how urgent recovery feels).
+//!
+//! The budget is pure sim-time arithmetic — no wall clock, no
+//! randomness — so recovery schedules are byte-identical across host
+//! thread counts like everything else in the pipeline.
+
+use abr_sim::{SimDuration, SimTime};
+
+/// A per-window allowance of recovery operations.
+///
+/// Windows are half-open intervals `[start + k·window, start + (k+1)·window)`
+/// anchored at the first grant. Consuming never exceeds the window's
+/// allowance; unused allowance does **not** carry over (recovery must
+/// not burst after an idle stretch — that is exactly the latency spike
+/// the budget exists to prevent).
+#[derive(Debug, Clone)]
+pub struct IoBudget {
+    window: SimDuration,
+    ops_per_window: u32,
+    /// Start of the current window; `None` until the first grant.
+    window_start: Option<SimTime>,
+    used: u32,
+    /// Windows closed so far (for reporting).
+    windows: u64,
+    /// Largest number of ops consumed in any closed window.
+    peak_used: u32,
+    total_used: u64,
+}
+
+impl IoBudget {
+    /// A budget of `ops_per_window` operations per `window` of sim time.
+    ///
+    /// # Panics
+    /// If the window is zero-length.
+    pub fn new(window: SimDuration, ops_per_window: u32) -> Self {
+        assert!(window > SimDuration::ZERO, "budget window must be positive");
+        IoBudget {
+            window,
+            ops_per_window,
+            window_start: None,
+            used: 0,
+            windows: 0,
+            peak_used: 0,
+            total_used: 0,
+        }
+    }
+
+    /// The window length.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// The per-window allowance.
+    pub fn ops_per_window(&self) -> u32 {
+        self.ops_per_window
+    }
+
+    /// Roll the window forward to cover `now` and return how many ops
+    /// may still be issued in the current window.
+    pub fn available(&mut self, now: SimTime) -> u32 {
+        self.roll(now);
+        self.ops_per_window - self.used
+    }
+
+    /// Record `n` operations issued at `now`.
+    ///
+    /// # Panics
+    /// If `n` exceeds what [`IoBudget::available`] granted for `now` —
+    /// overspending is a caller bug, not a runtime condition.
+    pub fn consume(&mut self, now: SimTime, n: u32) {
+        self.roll(now);
+        assert!(
+            self.used + n <= self.ops_per_window,
+            "recovery budget overspent: {} + {n} > {}",
+            self.used,
+            self.ops_per_window
+        );
+        self.used += n;
+        self.total_used += u64::from(n);
+        self.peak_used = self.peak_used.max(self.used);
+    }
+
+    /// Ops consumed in the window covering `now`.
+    pub fn used_this_window(&mut self, now: SimTime) -> u32 {
+        self.roll(now);
+        self.used
+    }
+
+    /// Windows closed so far (a window closes when a later grant or
+    /// consume rolls past its end).
+    pub fn windows_closed(&self) -> u64 {
+        self.windows
+    }
+
+    /// The most ops consumed in any window so far (closed or current) —
+    /// the "did rebuild stay within its budget" report figure.
+    pub fn peak_used(&self) -> u32 {
+        self.peak_used
+    }
+
+    /// Total ops consumed over the budget's lifetime.
+    pub fn total_used(&self) -> u64 {
+        self.total_used
+    }
+
+    fn roll(&mut self, now: SimTime) {
+        match self.window_start {
+            None => self.window_start = Some(now),
+            Some(start) => {
+                if now >= start + self.window {
+                    // Close every fully elapsed window (idle gaps close
+                    // many at once; their unused allowance evaporates).
+                    let elapsed = now - start;
+                    let k = elapsed.as_micros() / self.window.as_micros();
+                    self.windows += k;
+                    self.window_start = Some(start + self.window * k);
+                    self.used = 0;
+                }
+            }
+        }
+    }
+}
+
+/// Background-maintenance knobs for a redundant array: how often the
+/// maintenance tick fires and how much recovery I/O each window may
+/// spend. One struct so experiment configs and benches stay one-liners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaintenanceConfig {
+    /// How often the array runs its maintenance tick (replacement
+    /// arrival checks, rebuild windows, scrub windows).
+    pub period: SimDuration,
+    /// Member-disk operations the rebuild engine may issue per window.
+    pub rebuild_ops_per_window: u32,
+    /// Redundancy groups the scrub pass may verify per *idle* window.
+    pub scrub_groups_per_window: u32,
+}
+
+impl Default for MaintenanceConfig {
+    fn default() -> Self {
+        MaintenanceConfig {
+            period: SimDuration::from_secs(10),
+            rebuild_ops_per_window: 64,
+            scrub_groups_per_window: 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn allowance_is_per_window_and_does_not_carry_over() {
+        let mut b = IoBudget::new(SimDuration::from_micros(1_000), 4);
+        assert_eq!(b.available(t(0)), 4);
+        b.consume(t(0), 3);
+        assert_eq!(b.available(t(500)), 1);
+        b.consume(t(500), 1);
+        assert_eq!(b.available(t(999)), 0);
+        // New window: fresh allowance, nothing carried from the idle one.
+        assert_eq!(b.available(t(1_000)), 4);
+        // Skipping whole windows idle does not accumulate allowance.
+        assert_eq!(b.available(t(10_000)), 4);
+        assert_eq!(b.peak_used(), 4);
+        assert_eq!(b.total_used(), 4);
+    }
+
+    #[test]
+    fn windows_close_in_bulk_over_idle_gaps() {
+        let mut b = IoBudget::new(SimDuration::from_micros(100), 2);
+        b.consume(t(0), 1);
+        assert_eq!(b.windows_closed(), 0);
+        b.consume(t(1_050), 2);
+        // 10 whole windows elapsed between the two consumes.
+        assert_eq!(b.windows_closed(), 10);
+        assert_eq!(b.used_this_window(t(1_060)), 2);
+        assert_eq!(b.peak_used(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overspent")]
+    fn overspending_panics() {
+        let mut b = IoBudget::new(SimDuration::from_micros(100), 2);
+        b.consume(t(0), 3);
+    }
+
+    #[test]
+    fn window_anchor_is_first_grant() {
+        let mut b = IoBudget::new(SimDuration::from_micros(100), 1);
+        assert_eq!(b.available(t(250)), 1);
+        b.consume(t(250), 1);
+        // Still the same window at 349, new one at 350.
+        assert_eq!(b.available(t(349)), 0);
+        assert_eq!(b.available(t(350)), 1);
+    }
+
+    #[test]
+    fn maintenance_defaults_are_sane() {
+        let m = MaintenanceConfig::default();
+        assert!(m.period > SimDuration::ZERO);
+        assert!(m.rebuild_ops_per_window > 0);
+        assert!(m.scrub_groups_per_window > 0);
+    }
+}

@@ -18,6 +18,11 @@
 //!   device dies: the in-flight op persists nothing and every subsequent
 //!   op fails until the injector is [revived](FaultInjector::revive)
 //!   (i.e. the machine reboots).
+//! * **Whole-disk death** — at a scheduled simulated time the spindle
+//!   fails for good: like a power cut, but [`FaultInjector::revive`]
+//!   does *not* bring it back. The only way forward is replacing the
+//!   disk (see [`FaultPlan::disk_death`], which also schedules when the
+//!   replacement drive arrives).
 //!
 //! The injector is strictly pay-for-what-you-use: a disk without one (the
 //! default) follows exactly the pre-fault code path and consumes no
@@ -108,6 +113,13 @@ pub struct FaultPlan {
     pub power_cut_after_ops: Option<u64>,
     /// Cut power at or after this simulated time.
     pub power_cut_at: Option<SimTime>,
+    /// Kill the whole disk at or after this simulated time. Unlike a
+    /// power cut, [`FaultInjector::revive`] cannot undo it — the drive
+    /// must be physically replaced.
+    pub disk_death_at: Option<SimTime>,
+    /// How long after the death a replacement drive arrives (consumed
+    /// by the array layer's hot-spare logic, not by the injector).
+    pub replacement_after: Option<SimDuration>,
 }
 
 impl FaultPlan {
@@ -129,6 +141,27 @@ impl FaultPlan {
         }
     }
 
+    /// The rebuild-scenario one-liner: the disk dies for good at
+    /// sim-time `at`, and a replacement drive arrives `replacement_after`
+    /// later. The array layer reads [`FaultPlan::replacement_at`] to
+    /// know when to swap in the spare and start re-silvering.
+    pub fn disk_death(at: SimTime, replacement_after: SimDuration) -> Self {
+        FaultPlan {
+            disk_death_at: Some(at),
+            replacement_after: Some(replacement_after),
+            ..Self::default()
+        }
+    }
+
+    /// When the replacement drive arrives, if this plan schedules a
+    /// whole-disk death with a replacement delay.
+    pub fn replacement_at(&self) -> Option<SimTime> {
+        match (self.disk_death_at, self.replacement_after) {
+            (Some(at), Some(delta)) => Some(at + delta),
+            _ => None,
+        }
+    }
+
     /// True if no fault can ever fire under this plan.
     pub fn is_zero(&self) -> bool {
         self.transient_read == 0.0
@@ -137,6 +170,7 @@ impl FaultPlan {
             && self.torn_write == 0.0
             && self.power_cut_after_ops.is_none()
             && self.power_cut_at.is_none()
+            && self.disk_death_at.is_none()
     }
 }
 
@@ -151,6 +185,11 @@ pub struct FaultCounters {
     pub torn: u64,
     /// Power-cut events fired (0 or 1 per boot).
     pub power_cuts: u64,
+    /// Whole-disk death events fired (0 or 1 per disk).
+    pub deaths: u64,
+    /// Defective sectors cleared by [`FaultInjector::remap`] (scrub
+    /// repairs reallocating a bad sector).
+    pub remapped: u64,
 }
 
 /// The stateful fault decision engine attached to a [`crate::Disk`].
@@ -163,6 +202,9 @@ pub struct FaultInjector {
     ops: u64,
     /// Set once power is cut; cleared by [`FaultInjector::revive`].
     dead: bool,
+    /// Set once the whole disk dies; never cleared — revive cannot
+    /// resurrect a dead spindle, only replacement can.
+    failed: bool,
     counters: FaultCounters,
 }
 
@@ -173,6 +215,7 @@ impl std::fmt::Debug for FaultInjector {
             .field("defects", &self.defects)
             .field("ops", &self.ops)
             .field("dead", &self.dead)
+            .field("failed", &self.failed)
             .field("counters", &self.counters)
             .finish_non_exhaustive()
     }
@@ -189,6 +232,7 @@ impl FaultInjector {
             defects: BTreeSet::new(),
             ops: 0,
             dead: false,
+            failed: false,
             counters: FaultCounters::default(),
         }
     }
@@ -214,6 +258,21 @@ impl FaultInjector {
         self.defects.insert(sector);
     }
 
+    /// Reallocate every defective sector in `[sector, sector + n)`:
+    /// the drive maps the bad sectors onto spares, so later accesses
+    /// succeed. Models the write-triggered reallocation a scrub repair
+    /// relies on. Returns how many defects were cleared.
+    pub fn remap(&mut self, sector: u64, n_sectors: u32) -> u32 {
+        let end = sector + u64::from(n_sectors);
+        let cleared: Vec<u64> = self.defects.range(sector..end).copied().collect();
+        for s in &cleared {
+            self.defects.remove(s);
+        }
+        let n = cleared.len() as u32;
+        self.counters.remapped += u64::from(n);
+        n
+    }
+
     /// True if any sector of `[sector, sector + n_sectors)` is defective.
     pub fn overlaps_defect(&self, sector: u64, n_sectors: u32) -> bool {
         self.defects
@@ -227,6 +286,13 @@ impl FaultInjector {
         self.dead
     }
 
+    /// True once the whole disk has died ([`FaultPlan::disk_death_at`]).
+    /// Unlike [`FaultInjector::is_dead`], this never resets — the drive
+    /// is gone and must be replaced.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
     /// Requests attempted so far.
     pub fn ops(&self) -> u64 {
         self.ops
@@ -234,8 +300,12 @@ impl FaultInjector {
 
     /// Reboot after a power cut: the device serves requests again and the
     /// already-fired scheduled cut is disarmed. The defect list survives
-    /// — media damage is permanent.
+    /// — media damage is permanent. A disk that suffered a whole-disk
+    /// death stays dead: reboots do not resurrect failed spindles.
     pub fn revive(&mut self) {
+        if self.failed {
+            return;
+        }
         self.dead = false;
         self.plan.power_cut_after_ops = None;
         self.plan.power_cut_at = None;
@@ -252,6 +322,16 @@ impl FaultInjector {
         start: SimTime,
     ) -> Option<DiskFault> {
         self.ops += 1;
+        // Whole-disk death dominates everything, including power cuts:
+        // once fired, every op fails and no reboot helps.
+        if self.failed || self.plan.disk_death_at.is_some_and(|t| start >= t) {
+            if !self.failed {
+                self.counters.deaths += 1;
+            }
+            self.failed = true;
+            self.dead = true;
+            return Some(DiskFault::PowerLoss);
+        }
         // Power cuts dominate everything else.
         if self.dead
             || self.plan.power_cut_after_ops.is_some_and(|n| self.ops > n)
@@ -447,6 +527,52 @@ mod tests {
         }
         // Single-sector writes cannot tear.
         assert_eq!(inj.decide(IoDir::Write, 0, 1, t(0)), None);
+    }
+
+    #[test]
+    fn disk_death_is_permanent_across_revive() {
+        let plan = FaultPlan::disk_death(t(1_000), SimDuration::from_micros(500));
+        assert_eq!(plan.replacement_at(), Some(t(1_500)));
+        assert!(!plan.is_zero());
+        let mut inj = FaultInjector::new(plan, rng());
+        assert_eq!(inj.decide(IoDir::Read, 0, 1, t(999)), None);
+        assert!(!inj.is_failed());
+        assert_eq!(
+            inj.decide(IoDir::Write, 0, 1, t(1_000)),
+            Some(DiskFault::PowerLoss)
+        );
+        assert!(inj.is_failed() && inj.is_dead());
+        assert_eq!(inj.counters().deaths, 1);
+        // A reboot does nothing for a dead spindle.
+        inj.revive();
+        assert!(inj.is_failed() && inj.is_dead());
+        assert_eq!(
+            inj.decide(IoDir::Read, 5, 1, t(2_000)),
+            Some(DiskFault::PowerLoss)
+        );
+        // The death is counted once, not per op.
+        assert_eq!(inj.counters().deaths, 1);
+    }
+
+    #[test]
+    fn remap_clears_defects_in_range() {
+        let mut inj = FaultInjector::new(FaultPlan::none(), rng());
+        inj.add_defect(100);
+        inj.add_defect(105);
+        inj.add_defect(200);
+        assert_eq!(
+            inj.decide(IoDir::Read, 100, 8, t(0)),
+            Some(DiskFault::Media)
+        );
+        assert_eq!(inj.remap(100, 8), 2);
+        assert_eq!(inj.counters().remapped, 2);
+        // The remapped range serves again; the untouched defect stays.
+        assert_eq!(inj.decide(IoDir::Read, 100, 8, t(1)), None);
+        assert_eq!(
+            inj.decide(IoDir::Read, 200, 1, t(2)),
+            Some(DiskFault::Media)
+        );
+        assert_eq!(inj.remap(0, 50), 0);
     }
 
     #[test]

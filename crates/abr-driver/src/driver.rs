@@ -575,15 +575,28 @@ impl AdaptiveDriver {
     /// note write-dirtying. Usually one segment; a cylinder map can split
     /// a boundary-straddling block into two.
     fn resolve(&mut self, vsector: u64, n: u32, dir: IoDir) -> Vec<(u64, u32)> {
+        if !dir.is_read() {
+            let spb = u64::from(self.sectors_per_block());
+            let orig_phys = self.label.virtual_to_physical(vsector - (vsector % spb));
+            if self.layout.is_some() && self.table.lookup(orig_phys).is_some() {
+                self.table.mark_dirty(orig_phys);
+            }
+        }
+        self.resolve_at(vsector, n)
+    }
+
+    /// Side-effect-free translation of an absolute virtual sector range
+    /// to physical segments — the same mapping [`Self::resolve`]
+    /// applies, minus the write-dirtying. Maintenance readers (array
+    /// scrub and rebuild) use this to locate a block's current bytes
+    /// without perturbing the block table.
+    fn resolve_at(&self, vsector: u64, n: u32) -> Vec<(u64, u32)> {
         let spb = u64::from(self.sectors_per_block());
         let vblock_start = vsector - (vsector % spb);
         let offset = vsector - vblock_start;
         let orig_phys = self.label.virtual_to_physical(vblock_start);
         if let (Some(layout), Some(entry)) = (&self.layout, self.table.lookup(orig_phys)) {
             let target = layout.slot_sector(entry.slot) + offset;
-            if !dir.is_read() {
-                self.table.mark_dirty(orig_phys);
-            }
             return vec![(target, n)];
         }
         let p = orig_phys + offset;
@@ -685,6 +698,77 @@ impl AdaptiveDriver {
                 self.submit(req, now)
             })
             .collect()
+    }
+
+    /// The physical `(sector, n_sectors)` segments a request at
+    /// `sector_in_partition` of `partition` would be serviced from
+    /// right now, under the current block table and cylinder map.
+    /// Validates like [`Self::submit`] but queues nothing and dirties
+    /// nothing — maintenance code (array scrub) uses it to test whether
+    /// a block's current home overlaps an injected defect.
+    pub fn physical_segments(
+        &self,
+        partition: usize,
+        sector_in_partition: u64,
+        n_sectors: u32,
+    ) -> Result<Vec<(u64, u32)>, DriverError> {
+        if n_sectors == 0 {
+            return Err(DriverError::EmptyTransfer);
+        }
+        let spb = u64::from(self.sectors_per_block());
+        let vsector = self.to_virtual(partition, sector_in_partition, n_sectors)?;
+        if (vsector % spb) + u64::from(n_sectors) > spb {
+            return Err(DriverError::CrossesBlockBoundary);
+        }
+        Ok(self.resolve_at(vsector, n_sectors))
+    }
+
+    /// Read a range's current contents straight from the backing store,
+    /// bypassing the queue and the simulated clock (no time passes, no
+    /// head movement). Reads of a lost block fail with
+    /// [`DriverError::DataLoss`] exactly like a queued read would.
+    ///
+    /// The array layer uses this to compute mirror and parity payloads
+    /// at submit time and to fetch survivor data during rebuild — the
+    /// simulator's stand-in for data already resident in the buffer
+    /// cache (the timed disk reads are issued separately as real
+    /// requests).
+    pub fn peek(
+        &self,
+        partition: usize,
+        sector_in_partition: u64,
+        n_sectors: u32,
+    ) -> Result<Bytes, DriverError> {
+        let segments = self.physical_segments(partition, sector_in_partition, n_sectors)?;
+        let spb = u64::from(self.sectors_per_block());
+        let vsector = self.to_virtual(partition, sector_in_partition, n_sectors)?;
+        let home_phys = self.label.virtual_to_physical(vsector - (vsector % spb));
+        if self.lost.contains(&home_phys) {
+            return Err(DriverError::DataLoss);
+        }
+        let mut buf = vec![0u8; n_sectors as usize * SECTOR_SIZE];
+        let mut off = 0usize;
+        for &(sector, n) in &segments {
+            let bytes = n as usize * SECTOR_SIZE;
+            self.disk.store().read(sector, &mut buf[off..off + bytes]);
+            off += bytes;
+        }
+        Ok(Bytes::from(buf))
+    }
+
+    /// Whether the block containing `sector_in_partition` has lost its
+    /// freshest copy to a hard error (a timed read of it would fail
+    /// with [`DriverError::DataLoss`]). Out-of-range addresses report
+    /// `false`.
+    pub fn block_is_lost(&self, partition: usize, sector_in_partition: u64) -> bool {
+        let spb = u64::from(self.sectors_per_block());
+        match self.to_virtual(partition, sector_in_partition, 1) {
+            Ok(vsector) => {
+                let home = self.label.virtual_to_physical(vsector - (vsector % spb));
+                self.lost.contains(&home)
+            }
+            Err(_) => false,
+        }
     }
 
     /// Pick and dispatch the next queued request.

@@ -1,0 +1,261 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Runs each benchmark routine a small fixed number of iterations and
+//! prints a single min/mean line per benchmark. No statistics engine,
+//! no HTML reports, no CLI argument handling — just enough for
+//! `cargo bench` to build, run, and produce readable smoke numbers.
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u32 = 2;
+const MEASURE_ITERS: u32 = 10;
+
+/// Identifier for a parameterized benchmark (`group/function/param`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything `bench_function` accepts as a name.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// How `iter_batched` amortizes setup cost (ignored by the stand-in).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters_run: u64,
+}
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher { iters_run: 0 }
+    }
+
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        for _ in 0..MEASURE_ITERS {
+            let start = Instant::now();
+            black_box(routine());
+            record(start.elapsed().as_nanos() as u64);
+            self.iters_run += 1;
+        }
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for i in 0..(WARMUP_ITERS + MEASURE_ITERS) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            if i >= WARMUP_ITERS {
+                record(start.elapsed().as_nanos() as u64);
+                self.iters_run += 1;
+            }
+        }
+    }
+
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        for i in 0..(WARMUP_ITERS + MEASURE_ITERS) {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            if i >= WARMUP_ITERS {
+                record(start.elapsed().as_nanos() as u64);
+                self.iters_run += 1;
+            }
+        }
+    }
+}
+
+thread_local! {
+    static SAMPLES: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn record(nanos: u64) {
+    SAMPLES.with(|s| s.borrow_mut().push(nanos));
+}
+
+fn drain_samples() -> Vec<u64> {
+    SAMPLES.with(|s| std::mem::take(&mut *s.borrow_mut()))
+}
+
+fn human(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} us", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn run_one(full_name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::new();
+    drain_samples();
+    f(&mut b);
+    let samples = drain_samples();
+    if samples.is_empty() {
+        println!("{full_name:<50} (no samples)");
+        return;
+    }
+    let min = *samples.iter().min().expect("non-empty");
+    let mean = samples.iter().sum::<u64>() / samples.len() as u64;
+    println!(
+        "{full_name:<50} min {:>12}  mean {:>12}  ({} iters)",
+        human(min),
+        human(mean),
+        samples.len()
+    );
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample counts are fixed in the stand-in; accepted for API parity.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<N: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&full, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<N: IntoBenchmarkId, I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: N,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&full, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<N: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into_benchmark_id(), &mut f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routines() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stand_in");
+        g.sample_size(10);
+        let mut count = 0u32;
+        g.bench_function("iter", |b| b.iter(|| count += 1));
+        assert!(count >= MEASURE_ITERS);
+        g.bench_with_input(BenchmarkId::new("with_input", 4), &4u32, |b, &n| {
+            b.iter_batched(|| n, |v| v * 2, BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+}

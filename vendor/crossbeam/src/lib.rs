@@ -1,0 +1,4 @@
+//! Offline stand-in placeholder for `crossbeam` (see `vendor/README.md`).
+//! Listed in the workspace dependency table but not currently used by
+//! any member crate; the patch entry exists so the lockfile resolves
+//! offline. Grow this only when a crate actually needs it.

@@ -1,0 +1,490 @@
+//! Offline stand-in for `proptest` (see `vendor/README.md`).
+//!
+//! The `proptest!` macro expands each property into a plain function
+//! that runs a fixed number of deterministically generated cases
+//! (default 16, `PROPTEST_CASES` overrides). There is no shrinking:
+//! a failing case panics with its case number and the runner's seed
+//! state so it can be reproduced by rerunning the test. Properties
+//! only become tests when the caller writes `#[test]` inside the
+//! macro, matching how this workspace already uses the stand-in.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    /// Deterministic case generator: SplitMix64 from a fixed seed.
+    pub struct TestRunner {
+        state: u64,
+    }
+
+    impl TestRunner {
+        pub fn new_deterministic(seed: u64) -> TestRunner {
+            TestRunner { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform-ish draw in `[0, bound)`; modulo bias is acceptable
+        /// for test-case generation.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+    }
+
+    impl Default for TestRunner {
+        fn default() -> TestRunner {
+            TestRunner::new_deterministic(0x243f_6a88_85a3_08d3)
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!` — try another.
+        Reject(String),
+        /// A `prop_assert*!` failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Number of cases each property runs (`PROPTEST_CASES` override).
+    pub fn cases() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(16)
+    }
+}
+
+use test_runner::TestRunner;
+
+pub mod strategy {
+    use super::test_runner::TestRunner;
+
+    /// A generator of values for property tests.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Adapter returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, runner: &mut TestRunner) -> O {
+            (self.f)(self.inner.sample(runner))
+        }
+    }
+}
+
+pub use strategy::{Just, Strategy};
+
+// ---- ranges ----------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn sample(&self, runner: &mut TestRunner) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as u128 - self.start as u128) as u64;
+                // A zero width only happens for the full u64 domain.
+                let off = if width == 0 {
+                    runner.next_u64()
+                } else {
+                    runner.below(width)
+                };
+                (self.start as u128 + off as u128) as $ty
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn sample(&self, runner: &mut TestRunner) -> $ty {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let width = (*self.end() as u128 - *self.start() as u128 + 1) as u64;
+                let off = if width == 0 {
+                    runner.next_u64()
+                } else {
+                    runner.below(width)
+                };
+                (*self.start() as u128 + off as u128) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, runner: &mut TestRunner) -> f64 {
+        self.start + runner.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, runner: &mut TestRunner) -> f64 {
+        self.start() + runner.unit_f64() * (self.end() - self.start())
+    }
+}
+
+// ---- tuples ----------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(runner),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+// ---- any / Arbitrary -------------------------------------------------
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(runner: &mut TestRunner) -> $ty {
+                runner.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> bool {
+        runner.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(runner: &mut TestRunner) -> f64 {
+        runner.unit_f64()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// ---- collections -----------------------------------------------------
+
+pub mod collection {
+    use super::test_runner::TestRunner;
+    use super::Strategy;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive length bounds for [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for vectors of `element` with length in `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min + 1) as u64;
+            let len = self.size.min + runner.below(span) as usize;
+            (0..len).map(|_| self.element.sample(runner)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestCaseResult, TestRunner};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+// ---- macros ----------------------------------------------------------
+
+/// Define properties. Each expands to a plain function running
+/// [`test_runner::cases`] deterministic cases; add `#[test]` inside the
+/// macro to register it with the test harness.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block )*) => {$(
+        $(#[$meta])*
+        #[allow(dead_code)]
+        fn $name() {
+            let cases = $crate::test_runner::cases();
+            let mut runner = $crate::test_runner::TestRunner::default();
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            while accepted < cases && attempts < cases * 64 {
+                attempts += 1;
+                let state = runner.state();
+                let outcome: $crate::test_runner::TestCaseResult = (|| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut runner);)+
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => accepted += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property {} failed on case {} (runner state {:#x}): {}",
+                            stringify!($name), accepted, state, msg
+                        );
+                    }
+                }
+            }
+            assert!(
+                accepted == cases,
+                "property {} rejected too many cases ({} accepted of {} wanted)",
+                stringify!($name), accepted, cases
+            );
+        }
+    )*};
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fail the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// Fail the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}` (both: `{:?}`)",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Reject the current case (it is regenerated, not failed) unless
+/// `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!(
+                $cond
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut runner = TestRunner::default();
+        for _ in 0..200 {
+            let v = Strategy::sample(&(10u64..20), &mut runner);
+            assert!((10..20).contains(&v));
+            let w = Strategy::sample(&(0u64..u64::MAX), &mut runner);
+            assert!(w < u64::MAX);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let draw = || {
+            let mut runner = TestRunner::default();
+            let strat = crate::collection::vec((0u64..100, crate::any::<bool>()), 1..10);
+            (0..5)
+                .map(|_| Strategy::sample(&strat, &mut runner))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    proptest! {
+        #[test]
+        fn macro_runs_and_maps(x in (0u32..50).prop_map(|v| v * 2), flag in crate::any::<bool>()) {
+            prop_assume!(x != 2);
+            prop_assert!(x < 100);
+            prop_assert_eq!(x % 2, 0);
+            if flag {
+                prop_assert_ne!(x, 99);
+            }
+            if x == 0 {
+                return Ok(());
+            }
+        }
+    }
+}

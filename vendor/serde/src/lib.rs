@@ -1,0 +1,569 @@
+//! Offline stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! Instead of the real crate's streaming serializer/deserializer
+//! traits, this stand-in uses a concrete value tree ([`Content`]) as
+//! the data model. [`Serialize`] turns a value into a `Content`;
+//! [`Deserialize`] rebuilds a value from one. The JSON crate
+//! (`serde_json`'s stand-in) reads and writes `Content` directly.
+//!
+//! The derive macros in `serde_derive` target these traits; the
+//! encoding conventions (structs as maps, unit enum variants as
+//! strings, data-carrying variants as single-key maps, `Option` as
+//! null-or-value) mirror serde's JSON conventions, so serialized
+//! output looks the way real serde would have produced it.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The concrete data model: everything a value serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Absent / JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Content>),
+    /// Map with arbitrary (but typically string) keys, in insertion
+    /// order.
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// Borrow as a map, if this is one.
+    pub fn as_map(&self) -> Option<&[(Content, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a sequence, if this is one.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name for the content's kind (for error messages).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) => "u64",
+            Content::I64(_) => "i64",
+            Content::F64(_) => "f64",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Look up a string key in a `Content::Map`'s entries.
+pub fn map_get<'a>(entries: &'a [(Content, Content)], key: &str) -> Option<&'a Content> {
+    entries.iter().find_map(|(k, v)| match k {
+        Content::Str(s) if s == key => Some(v),
+        _ => None,
+    })
+}
+
+/// Error produced when deserialization finds the wrong shape.
+#[derive(Debug, Clone)]
+pub struct SerdeError {
+    msg: String,
+}
+
+impl SerdeError {
+    /// An error with a custom message.
+    pub fn custom(msg: impl fmt::Display) -> SerdeError {
+        SerdeError {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// "expected X while deserializing T, found Y".
+    pub fn expected(what: &str, ty: &str, found: &Content) -> SerdeError {
+        SerdeError {
+            msg: format!("expected {what} for {ty}, found {}", found.kind()),
+        }
+    }
+
+    /// "missing field F of T".
+    pub fn missing(field: &str, ty: &str) -> SerdeError {
+        SerdeError {
+            msg: format!("missing field `{field}` of {ty}"),
+        }
+    }
+}
+
+impl fmt::Display for SerdeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for SerdeError {}
+
+/// Serialize a value into the [`Content`] data model.
+pub trait Serialize {
+    /// The value as a content tree.
+    fn serialize(&self) -> Content;
+}
+
+/// Rebuild a value from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Parse the value out of a content tree.
+    fn deserialize(c: &Content) -> Result<Self, SerdeError>;
+}
+
+// ---- primitive impls -------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(c: &Content) -> Result<Self, SerdeError> {
+                let v = match c {
+                    Content::U64(v) => *v,
+                    Content::I64(v) if *v >= 0 => *v as u64,
+                    Content::F64(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    Content::Str(s) => s
+                        .parse::<u64>()
+                        .map_err(|_| SerdeError::expected("integer", stringify!($t), c))?,
+                    _ => return Err(SerdeError::expected("integer", stringify!($t), c)),
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| SerdeError::custom(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn serialize(&self) -> Content {
+        Content::U64(*self as u64)
+    }
+}
+impl Deserialize for usize {
+    fn deserialize(c: &Content) -> Result<Self, SerdeError> {
+        let v = u64::deserialize(c)?;
+        usize::try_from(v).map_err(|_| SerdeError::custom(format!("{v} out of range for usize")))
+    }
+}
+
+// u128/i128 exceed the value tree's integer width; values that fit in
+// 64 bits stay numeric, larger ones fall back to decimal strings (the
+// integer deserializers above already accept stringified digits).
+impl Serialize for u128 {
+    fn serialize(&self) -> Content {
+        match u64::try_from(*self) {
+            Ok(v) => Content::U64(v),
+            Err(_) => Content::Str(self.to_string()),
+        }
+    }
+}
+impl Deserialize for u128 {
+    fn deserialize(c: &Content) -> Result<Self, SerdeError> {
+        match c {
+            Content::U64(v) => Ok(u128::from(*v)),
+            Content::I64(v) if *v >= 0 => Ok(*v as u128),
+            Content::Str(s) => s
+                .parse::<u128>()
+                .map_err(|_| SerdeError::expected("integer", "u128", c)),
+            _ => Err(SerdeError::expected("integer", "u128", c)),
+        }
+    }
+}
+
+impl Serialize for i128 {
+    fn serialize(&self) -> Content {
+        match i64::try_from(*self) {
+            Ok(v) => v.serialize(),
+            Err(_) => Content::Str(self.to_string()),
+        }
+    }
+}
+impl Deserialize for i128 {
+    fn deserialize(c: &Content) -> Result<Self, SerdeError> {
+        match c {
+            Content::U64(v) => Ok(i128::from(*v)),
+            Content::I64(v) => Ok(i128::from(*v)),
+            Content::Str(s) => s
+                .parse::<i128>()
+                .map_err(|_| SerdeError::expected("integer", "i128", c)),
+            _ => Err(SerdeError::expected("integer", "i128", c)),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                let v = i64::from(*self);
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(c: &Content) -> Result<Self, SerdeError> {
+                let v: i64 = match c {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| SerdeError::expected("integer", stringify!($t), c))?,
+                    Content::F64(f) if f.fract() == 0.0 => *f as i64,
+                    Content::Str(s) => s
+                        .parse::<i64>()
+                        .map_err(|_| SerdeError::expected("integer", stringify!($t), c))?,
+                    _ => return Err(SerdeError::expected("integer", stringify!($t), c)),
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| SerdeError::custom(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn serialize(&self) -> Content {
+        (*self as i64).serialize()
+    }
+}
+impl Deserialize for isize {
+    fn deserialize(c: &Content) -> Result<Self, SerdeError> {
+        let v = i64::deserialize(c)?;
+        isize::try_from(v).map_err(|_| SerdeError::custom(format!("{v} out of range for isize")))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn deserialize(c: &Content) -> Result<Self, SerdeError> {
+        match c {
+            Content::F64(f) => Ok(*f),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            _ => Err(SerdeError::expected("number", "f64", c)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn deserialize(c: &Content) -> Result<Self, SerdeError> {
+        Ok(f64::deserialize(c)? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize(c: &Content) -> Result<Self, SerdeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(SerdeError::expected("bool", "bool", c)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize(c: &Content) -> Result<Self, SerdeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(SerdeError::expected("string", "String", c)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn deserialize(c: &Content) -> Result<Self, SerdeError> {
+        let s = String::deserialize(c)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(ch), None) => Ok(ch),
+            _ => Err(SerdeError::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(c: &Content) -> Result<Self, SerdeError> {
+        Ok(Box::new(T::deserialize(c)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.serialize(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(c: &Content) -> Result<Self, SerdeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(c: &Content) -> Result<Self, SerdeError> {
+        c.as_seq()
+            .ok_or_else(|| SerdeError::expected("sequence", "Vec", c))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Content {
+                Content::Seq(vec![$(self.$n.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(c: &Content) -> Result<Self, SerdeError> {
+                let s = c.as_seq().ok_or_else(|| SerdeError::expected("sequence", "tuple", c))?;
+                Ok(($($t::deserialize(
+                    s.get($n).ok_or_else(|| SerdeError::custom("tuple too short"))?,
+                )?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// Map keys: types that can serve as serialized map keys (encoded as
+/// strings, like serde_json does for non-string keys).
+pub trait MapKey: Sized + Ord {
+    /// The key as its map-key content (a string or native string).
+    fn to_key(&self) -> Content;
+    /// Parse the key back from map-key content.
+    fn from_key(c: &Content) -> Result<Self, SerdeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> Content {
+        Content::Str(self.clone())
+    }
+    fn from_key(c: &Content) -> Result<Self, SerdeError> {
+        String::deserialize(c)
+    }
+}
+
+macro_rules! impl_int_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> Content {
+                Content::Str(self.to_string())
+            }
+            fn from_key(c: &Content) -> Result<Self, SerdeError> {
+                <$t>::deserialize(c)
+            }
+        }
+    )*};
+}
+impl_int_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+impl<K: MapKey, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(c: &Content) -> Result<Self, SerdeError> {
+        c.as_map()
+            .ok_or_else(|| SerdeError::expected("map", "BTreeMap", c))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<K: MapKey + std::hash::Hash + Eq, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize(&self) -> Content {
+        // Deterministic output: sort keys like a BTreeMap would.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Content::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_key(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+impl<K: MapKey + std::hash::Hash + Eq, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize(c: &Content) -> Result<Self, SerdeError> {
+        c.as_map()
+            .ok_or_else(|| SerdeError::expected("map", "HashMap", c))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Content {
+    fn serialize(&self) -> Content {
+        self.clone()
+    }
+}
+impl Deserialize for Content {
+    fn deserialize(c: &Content) -> Result<Self, SerdeError> {
+        Ok(c.clone())
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self) -> Content {
+        Content::Null
+    }
+}
+impl Deserialize for () {
+    fn deserialize(_: &Content) -> Result<Self, SerdeError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::deserialize(&7u64.serialize()).unwrap(), 7);
+        assert_eq!(i32::deserialize(&(-3i32).serialize()).unwrap(), -3);
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert_eq!(bool::deserialize(&true.serialize()).unwrap(), true);
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<u32>::deserialize(&Content::Null).unwrap(),
+            None::<u32>
+        );
+        assert_eq!(
+            Vec::<u8>::deserialize(&vec![1u8, 2].serialize()).unwrap(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn maps_stringify_integer_keys() {
+        let mut m = BTreeMap::new();
+        m.insert(5u64, "five".to_string());
+        let c = m.serialize();
+        let entries = c.as_map().unwrap();
+        assert_eq!(entries[0].0, Content::Str("5".into()));
+        let back: BTreeMap<u64, String> = BTreeMap::deserialize(&c).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn tuples_are_sequences() {
+        let t = (1u32, "x".to_string(), 2.0f64);
+        let back: (u32, String, f64) = Deserialize::deserialize(&t.serialize()).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,488 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Hand-rolled derive macros (no `syn`/`quote`) for the value-tree
+//! `serde` stand-in. Supported shapes: named-field structs, tuple
+//! structs (including newtypes), unit structs, and enums with unit /
+//! tuple / struct variants. Supported attribute: `#[serde(default)]`
+//! on named fields. Generics are intentionally unsupported — the
+//! workspace derives only concrete types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field: identifier plus whether `#[serde(default)]` was set.
+struct Field {
+    name: String,
+    default: bool,
+}
+
+/// A parsed variant of an enum.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// A parsed derive input.
+enum Input {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derive `serde::Serialize` (value-tree stand-in).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize` (value-tree stand-in).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---- parsing ---------------------------------------------------------
+
+/// Consume leading attributes; report whether any was `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut has_default = false;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    let text = g.stream().to_string();
+                    if text.starts_with("serde") && text.contains("default") {
+                        has_default = true;
+                    }
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    (i, has_default)
+}
+
+/// Consume a visibility qualifier if present.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Advance past a type, stopping at a top-level (angle-depth 0) comma.
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle: i32 = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => break,
+                _ => {}
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parse named fields out of a brace group's token list.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (j, has_default) = skip_attrs(tokens, i);
+        let j = skip_vis(tokens, j);
+        let Some(TokenTree::Ident(name)) = tokens.get(j) else {
+            break;
+        };
+        let name = name.to_string();
+        // Expect `:` then the type.
+        let mut k = j + 1;
+        if matches!(tokens.get(k), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            k = skip_type(tokens, k + 1);
+        }
+        fields.push(Field {
+            name,
+            default: has_default,
+        });
+        // Skip the separating comma.
+        if matches!(tokens.get(k), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            k += 1;
+        }
+        i = k;
+    }
+    fields
+}
+
+/// Count tuple fields in a parenthesis group's token list.
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut n = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        let (j, _) = skip_attrs(tokens, i);
+        let j = skip_vis(tokens, j);
+        if j >= tokens.len() {
+            break;
+        }
+        let k = skip_type(tokens, j);
+        n += 1;
+        i = if matches!(tokens.get(k), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            k + 1
+        } else {
+            k
+        };
+    }
+    n
+}
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other:?}"),
+    };
+    let name = match tokens.get(i + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 2;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stand-in: generic type `{name}` is not supported");
+    }
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Input::NamedStruct {
+                    name,
+                    fields: parse_named_fields(&inner),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Input::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(&inner),
+                }
+            }
+            _ => Input::UnitStruct { name },
+        },
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(i) else {
+                panic!("serde_derive: expected enum body for `{name}`");
+            };
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < inner.len() {
+                let (k, _) = skip_attrs(&inner, j);
+                let Some(TokenTree::Ident(vname)) = inner.get(k) else {
+                    break;
+                };
+                let vname = vname.to_string();
+                let mut k = k + 1;
+                let kind = match inner.get(k) {
+                    Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Brace => {
+                        let vtokens: Vec<TokenTree> = vg.stream().into_iter().collect();
+                        k += 1;
+                        VariantKind::Struct(parse_named_fields(&vtokens))
+                    }
+                    Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Parenthesis => {
+                        let vtokens: Vec<TokenTree> = vg.stream().into_iter().collect();
+                        k += 1;
+                        VariantKind::Tuple(count_tuple_fields(&vtokens))
+                    }
+                    _ => VariantKind::Unit,
+                };
+                // Skip an optional discriminant, then the separating comma.
+                while k < inner.len()
+                    && !matches!(&inner[k], TokenTree::Punct(p) if p.as_char() == ',')
+                {
+                    k += 1;
+                }
+                if k < inner.len() {
+                    k += 1;
+                }
+                variants.push(Variant { name: vname, kind });
+                j = k;
+            }
+            Input::Enum { name, variants }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+// ---- code generation -------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "m.push((::serde::Content::Str(::std::string::String::from(\"{f}\")), \
+                     ::serde::Serialize::serialize(&self.{f})));\n",
+                    f = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Content {{\n\
+                 let mut m: ::std::vec::Vec<(::serde::Content, ::serde::Content)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Content::Map(m)\n\
+                 }}\n}}\n"
+            )
+        }
+        Input::TupleStruct { name, arity } => {
+            if *arity == 1 {
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Content {{\n\
+                     ::serde::Serialize::serialize(&self.0)\n\
+                     }}\n}}\n"
+                )
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                    .collect();
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Content {{\n\
+                     ::serde::Content::Seq(::std::vec![{}])\n\
+                     }}\n}}\n",
+                    items.join(", ")
+                )
+            }
+        }
+        Input::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Content {{ ::serde::Content::Null }}\n}}\n"
+        ),
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Content::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::serialize(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Content::Map(::std::vec![\
+                             (::serde::Content::Str(::std::string::String::from(\"{vn}\")), {payload})]),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::serde::Content::Str(::std::string::String::from(\"{f}\")), \
+                                     ::serde::Serialize::serialize({f}))",
+                                    f = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(::std::vec![\
+                             (::serde::Content::Str(::std::string::String::from(\"{vn}\")), \
+                             ::serde::Content::Map(::std::vec![{items}]))]),\n",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Content {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}\n"
+            )
+        }
+    }
+}
+
+fn gen_named_field_builder(ty: &str, path: &str, fields: &[Field], source: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let fetch = if f.default {
+            format!(
+                "match ::serde::map_get({source}, \"{f}\") {{ \
+                 Some(v) => ::serde::Deserialize::deserialize(v)?, \
+                 None => ::core::default::Default::default() }}",
+                f = f.name
+            )
+        } else {
+            format!(
+                "match ::serde::map_get({source}, \"{f}\") {{ \
+                 Some(v) => ::serde::Deserialize::deserialize(v)?, \
+                 None => return ::core::result::Result::Err(::serde::SerdeError::missing(\"{f}\", \"{ty}\")) }}",
+                f = f.name
+            )
+        };
+        out.push_str(&format!("{f}: {fetch},\n", f = f.name));
+    }
+    format!("{path} {{\n{out}}}")
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct { name, fields } => {
+            let builder = gen_named_field_builder(name, name, fields, "m");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(c: &::serde::Content) -> ::core::result::Result<Self, ::serde::SerdeError> {{\n\
+                 let m = c.as_map().ok_or_else(|| ::serde::SerdeError::expected(\"map\", \"{name}\", c))?;\n\
+                 ::core::result::Result::Ok({builder})\n\
+                 }}\n}}\n"
+            )
+        }
+        Input::TupleStruct { name, arity } => {
+            if *arity == 1 {
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(c: &::serde::Content) -> ::core::result::Result<Self, ::serde::SerdeError> {{\n\
+                     ::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(c)?))\n\
+                     }}\n}}\n"
+                )
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::deserialize(s.get({i}).ok_or_else(|| \
+                             ::serde::SerdeError::custom(\"tuple struct {name} too short\"))?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(c: &::serde::Content) -> ::core::result::Result<Self, ::serde::SerdeError> {{\n\
+                     let s = c.as_seq().ok_or_else(|| ::serde::SerdeError::expected(\"sequence\", \"{name}\", c))?;\n\
+                     ::core::result::Result::Ok({name}({items}))\n\
+                     }}\n}}\n",
+                    items = items.join(", ")
+                )
+            }
+        }
+        Input::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(_c: &::serde::Content) -> ::core::result::Result<Self, ::serde::SerdeError> {{\n\
+             ::core::result::Result::Ok({name})\n\
+             }}\n}}\n"
+        ),
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let body = if *arity == 1 {
+                            format!(
+                                "::core::result::Result::Ok({name}::{vn}(::serde::Deserialize::deserialize(v)?))"
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::deserialize(s.get({i}).ok_or_else(|| \
+                                         ::serde::SerdeError::custom(\"variant {name}::{vn} too short\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{{ let s = v.as_seq().ok_or_else(|| \
+                                 ::serde::SerdeError::expected(\"sequence\", \"{name}::{vn}\", v))?; \
+                                 ::core::result::Result::Ok({name}::{vn}({items})) }}",
+                                items = items.join(", ")
+                            )
+                        };
+                        data_arms.push_str(&format!("\"{vn}\" => {body},\n"));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let builder = gen_named_field_builder(
+                            &format!("{name}::{vn}"),
+                            &format!("{name}::{vn}"),
+                            fields,
+                            "mm",
+                        );
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let mm = v.as_map().ok_or_else(|| \
+                             ::serde::SerdeError::expected(\"map\", \"{name}::{vn}\", v))?; \
+                             ::core::result::Result::Ok({builder}) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(c: &::serde::Content) -> ::core::result::Result<Self, ::serde::SerdeError> {{\n\
+                 match c {{\n\
+                 ::serde::Content::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::core::result::Result::Err(::serde::SerdeError::custom(\
+                 ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Content::Map(m) if m.len() == 1 => {{\n\
+                 let (k, v) = &m[0];\n\
+                 let k = k.as_str().ok_or_else(|| ::serde::SerdeError::expected(\"string key\", \"{name}\", c))?;\n\
+                 match k {{\n\
+                 {data_arms}\
+                 other => ::core::result::Result::Err(::serde::SerdeError::custom(\
+                 ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::core::result::Result::Err(::serde::SerdeError::expected(\"variant\", \"{name}\", c)),\n\
+                 }}\n\
+                 }}\n}}\n"
+            )
+        }
+    }
+}

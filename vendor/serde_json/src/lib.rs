@@ -1,0 +1,802 @@
+//! Offline stand-in for `serde_json` (see `vendor/README.md`).
+//!
+//! A deterministic JSON value type plus text (de)serialization bridged
+//! over the value-tree `serde` stand-in. Objects are `BTreeMap`-backed,
+//! so serialized output is key-sorted and byte-stable, matching the
+//! default (non-`preserve_order`) behavior of the real crate.
+
+use serde::{Content, Deserialize, SerdeError, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+
+// ---- error -----------------------------------------------------------
+
+/// JSON (de)serialization error.
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl fmt::Display) -> Error {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error({:?})", self.msg)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<SerdeError> for Error {
+    fn from(e: SerdeError) -> Error {
+        Error::new(e)
+    }
+}
+
+impl From<Error> for io::Error {
+    fn from(e: Error) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e.msg)
+    }
+}
+
+/// Result alias matching the real crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---- number ----------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq)]
+enum N {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+/// A JSON number: unsigned, signed, or floating point.
+#[derive(Clone, Copy, PartialEq)]
+pub struct Number(N);
+
+impl Number {
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::U(u) => Some(u),
+            N::I(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::U(u) if u <= i64::MAX as u64 => Some(u as i64),
+            N::I(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.0 {
+            N::U(u) => Some(u as f64),
+            N::I(i) => Some(i as f64),
+            N::F(f) => Some(f),
+        }
+    }
+
+    pub fn is_u64(&self) -> bool {
+        matches!(self.0, N::U(_))
+    }
+
+    pub fn is_i64(&self) -> bool {
+        self.as_i64().is_some()
+    }
+
+    pub fn is_f64(&self) -> bool {
+        matches!(self.0, N::F(_))
+    }
+}
+
+impl fmt::Debug for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            N::U(u) => write!(f, "{u}"),
+            N::I(i) => write!(f, "{i}"),
+            N::F(v) => f.write_str(&format_f64(v)),
+        }
+    }
+}
+
+impl From<u64> for Number {
+    fn from(u: u64) -> Number {
+        Number(N::U(u))
+    }
+}
+
+impl From<i64> for Number {
+    fn from(i: i64) -> Number {
+        if i >= 0 {
+            Number(N::U(i as u64))
+        } else {
+            Number(N::I(i))
+        }
+    }
+}
+
+impl From<f64> for Number {
+    fn from(f: f64) -> Number {
+        Number(N::F(f))
+    }
+}
+
+/// Shortest round-trip decimal for a finite f64, always containing a
+/// `.` or exponent so it re-parses as a float (e.g. `1.0`, not `1`).
+fn format_f64(v: f64) -> String {
+    let mut s = format!("{v}");
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') && !s.contains("inf") {
+        s.push_str(".0");
+    }
+    s
+}
+
+// ---- value -----------------------------------------------------------
+
+/// The JSON value type. `Object` is sorted by key.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+/// Object map alias matching the real crate's `serde_json::Map`.
+pub type Map<K, V> = BTreeMap<K, V>;
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Lenient lookup: `None` when missing or not an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.get(key),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_compact(self, &mut out);
+        f.write_str(&out)
+    }
+}
+
+impl Default for Value {
+    fn default() -> Value {
+        Value::Null
+    }
+}
+
+// ---- Value <-> serde Content bridge ----------------------------------
+
+fn content_to_value(c: &Content) -> Value {
+    match c {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(*b),
+        Content::U64(u) => Value::Number(Number(N::U(*u))),
+        Content::I64(i) => Value::Number(Number::from(*i)),
+        Content::F64(f) => Value::Number(Number(N::F(*f))),
+        Content::Str(s) => Value::String(s.clone()),
+        Content::Seq(items) => Value::Array(items.iter().map(content_to_value).collect()),
+        Content::Map(entries) => {
+            let mut o = BTreeMap::new();
+            for (k, v) in entries {
+                let key = match k {
+                    Content::Str(s) => s.clone(),
+                    other => {
+                        let mut buf = String::new();
+                        write_compact(&content_to_value(other), &mut buf);
+                        buf
+                    }
+                };
+                o.insert(key, content_to_value(v));
+            }
+            Value::Object(o)
+        }
+    }
+}
+
+fn value_to_content(v: &Value) -> Content {
+    match v {
+        Value::Null => Content::Null,
+        Value::Bool(b) => Content::Bool(*b),
+        Value::Number(Number(N::U(u))) => Content::U64(*u),
+        Value::Number(Number(N::I(i))) => Content::I64(*i),
+        Value::Number(Number(N::F(f))) => Content::F64(*f),
+        Value::String(s) => Content::Str(s.clone()),
+        Value::Array(a) => Content::Seq(a.iter().map(value_to_content).collect()),
+        Value::Object(o) => Content::Map(
+            o.iter()
+                .map(|(k, v)| (Content::Str(k.clone()), value_to_content(v)))
+                .collect(),
+        ),
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Content {
+        value_to_content(self)
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(c: &Content) -> std::result::Result<Value, SerdeError> {
+        Ok(content_to_value(c))
+    }
+}
+
+// ---- writer ----------------------------------------------------------
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(Number(N::F(f))) if !f.is_finite() => out.push_str("null"),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(k, out);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &Value, indent: usize, out: &mut String) {
+    const PAD: &str = "  ";
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                for _ in 0..=indent {
+                    out.push_str(PAD);
+                }
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            for _ in 0..indent {
+                out.push_str(PAD);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                for _ in 0..=indent {
+                    out.push_str(PAD);
+                }
+                escape_into(k, out);
+                out.push_str(": ");
+                write_pretty(val, indent + 1, out);
+            }
+            out.push('\n');
+            for _ in 0..indent {
+                out.push_str(PAD);
+            }
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+// ---- parser ----------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(bytes: &'a [u8]) -> Parser<'a> {
+        Parser { bytes, pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn err(&self, what: &str) -> Error {
+        Error::new(format!("{what} at byte {}", self.pos))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => {
+                self.expect_keyword("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.expect_keyword("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.expect_keyword("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = BTreeMap::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let val = self.parse_value()?;
+                    entries.insert(key, val);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(entries));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.parse_hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(self.err("bad low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("bad unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar from the raw bytes.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let ch = rest.chars().next().ok_or_else(|| self.err("eof"))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("short unicode escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("bad unicode escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad unicode escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if stripped.parse::<u64>().is_ok() {
+                    if let Ok(i) = text.parse::<i64>() {
+                        return Ok(Value::Number(Number(if i >= 0 {
+                            N::U(i as u64)
+                        } else {
+                            N::I(i)
+                        })));
+                    }
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number(N::U(u))));
+            }
+        }
+        let f: f64 = text.parse().map_err(|_| self.err("bad number"))?;
+        Ok(Value::Number(Number(N::F(f))))
+    }
+}
+
+fn parse_root(bytes: &[u8]) -> Result<Value> {
+    let mut p = Parser::new(bytes);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+// ---- public API ------------------------------------------------------
+
+/// Convert any serializable value into a [`Value`].
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(content_to_value(&value.serialize()))
+}
+
+/// Convert a [`Value`] into any deserializable type.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T> {
+    Ok(T::deserialize(&value_to_content(&value))?)
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_compact(&content_to_value(&value.serialize()), &mut out);
+    Ok(out)
+}
+
+/// Serialize to a pretty-printed (2-space indent) JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_pretty(&content_to_value(&value.serialize()), 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    Ok(to_string(value)?.into_bytes())
+}
+
+/// Serialize to pretty-printed JSON bytes.
+pub fn to_vec_pretty<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    Ok(to_string_pretty(value)?.into_bytes())
+}
+
+/// Serialize compact JSON into an [`io::Write`] sink.
+pub fn to_writer<W: io::Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    let text = to_string(value)?;
+    writer
+        .write_all(text.as_bytes())
+        .map_err(|e| Error::new(e))?;
+    Ok(())
+}
+
+/// Deserialize from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    from_value(parse_root(s.as_bytes())?)
+}
+
+/// Deserialize from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    from_value(parse_root(bytes)?)
+}
+
+/// Build a [`Value`] literal. Supports the flat shapes the workspace
+/// uses: `json!(null)`, `json!([a, b])`, `json!({"k": expr, ...})`,
+/// and `json!(expr)` for any serializable expression.
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![
+            $( $crate::to_value(&$item).expect("json! value serializes") ),*
+        ])
+    };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {{
+        let mut object = ::std::collections::BTreeMap::new();
+        $(
+            object.insert(
+                ::std::string::String::from($key),
+                $crate::to_value(&$val).expect("json! value serializes"),
+            );
+        )*
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value serializes")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars_and_containers() {
+        let v = json!({
+            "name": "abr",
+            "count": 42u64,
+            "neg": -7i64,
+            "ratio": 0.5f64,
+            "flag": true,
+            "items": vec![1u64, 2, 3],
+        });
+        let text = to_string(&v).unwrap();
+        assert_eq!(
+            text,
+            "{\"count\":42,\"flag\":true,\"items\":[1,2,3],\"name\":\"abr\",\"neg\":-7,\"ratio\":0.5}"
+        );
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        let text = to_string(&1.0f64).unwrap();
+        assert_eq!(text, "1.0");
+        let back: f64 = from_str(&text).unwrap();
+        assert_eq!(back, 1.0);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "line\nquote\"back\\slash\ttab\u{8}\u{c}\u{1}unicode\u{1F600}";
+        let text = to_string(s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn index_is_lenient() {
+        let v = json!({"a": 1u64});
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert!(v["missing"].is_null());
+        assert!(v["a"]["deeper"].is_null());
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = json!({"a": vec![1u64], "b": 2u64});
+        let text = to_string_pretty(&v).unwrap();
+        assert_eq!(text, "{\n  \"a\": [\n    1\n  ],\n  \"b\": 2\n}");
+    }
+
+    #[test]
+    fn large_u64_survives() {
+        let big = u64::MAX;
+        let text = to_string(&big).unwrap();
+        let back: u64 = from_str(&text).unwrap();
+        assert_eq!(back, big);
+    }
+}
