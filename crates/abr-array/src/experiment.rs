@@ -156,7 +156,12 @@ impl ArrayExperiment {
             .map(|_| {
                 let mut disk = Disk::new(model.clone());
                 AdaptiveDriver::format(&mut disk, &label, &driver_cfg);
-                AdaptiveDriver::attach(disk, driver_cfg).expect("fresh format attaches")
+                let mut d =
+                    AdaptiveDriver::attach(disk, driver_cfg).expect("fresh format attaches");
+                // The volume reads member data via the stores directly;
+                // sub-request completions carry timing only.
+                d.set_deliver_read_data(false);
+                d
             })
             .collect();
         let spc = members[0].label().physical.sectors_per_cylinder();
@@ -359,8 +364,9 @@ impl ArrayExperiment {
             }
             let mut disk = Disk::new(self.config.base.disk.clone());
             AdaptiveDriver::format(&mut disk, &self.label, &self.driver_cfg);
-            let fresh =
+            let mut fresh =
                 AdaptiveDriver::attach(disk, self.driver_cfg).expect("fresh format attaches");
+            fresh.set_deliver_read_data(false);
             self.volume.replace_disk(i, fresh);
             self.replaced[i] = true;
         }

@@ -739,6 +739,21 @@ impl ArrayVolume {
         sector: u64,
         now: SimTime,
     ) -> Vec<Routed> {
+        // Redundant schemes need the payload bytes up front (parity
+        // deltas, pending write images), so a seeded request is
+        // materialized once here.
+        let materialized;
+        let req = if req.payload_seed.is_some() {
+            materialized = IoRequest::write(
+                req.partition,
+                req.sector_in_partition,
+                req.n_sectors,
+                req.payload(),
+            );
+            &materialized
+        } else {
+            req
+        };
         let spb = self.map.sectors_per_block();
         let dblock = sector / spb;
         let off = sector % spb;

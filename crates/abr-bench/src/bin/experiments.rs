@@ -239,11 +239,25 @@ fn compare_main(args: &[String]) -> ExitCode {
     match bench_compare(Path::new(old), Path::new(new), threshold_pct) {
         Ok(cmp) => {
             print!("{}", cmp.text);
-            if cmp.regressions.is_empty() {
+            if !cmp.added.is_empty() {
+                println!("new runs (informational): {}", cmp.added.join(", "));
+            }
+            let mut ok = true;
+            if !cmp.regressions.is_empty() {
+                println!("regressions: {}", cmp.regressions.join(", "));
+                ok = false;
+            }
+            if !cmp.disappeared.is_empty() {
+                println!(
+                    "baseline runs missing from new record: {}",
+                    cmp.disappeared.join(", ")
+                );
+                ok = false;
+            }
+            if ok {
                 println!("no regressions beyond {threshold_pct:.0}%");
                 ExitCode::SUCCESS
             } else {
-                println!("regressions: {}", cmp.regressions.join(", "));
                 ExitCode::FAILURE
             }
         }

@@ -219,11 +219,19 @@ impl BatchResult {
             "schema": "abr-bench/1",
             "suite": suite,
             "jobs": self.jobs,
-            "host": jsn!({
-                "os": std::env::consts::OS,
-                "arch": std::env::consts::ARCH,
-                "cpus": detected_parallelism(),
-            }),
+            "host": {
+                let (cpus, source) = detected_parallelism_with_source();
+                jsn!({
+                    "os": std::env::consts::OS,
+                    "arch": std::env::consts::ARCH,
+                    "cpus": cpus,
+                    // How `cpus` was determined: "available_parallelism"
+                    // for a real probe, "fallback" when detection failed
+                    // and 1 was assumed. CI perf records with "fallback"
+                    // should not be trusted for throughput comparisons.
+                    "cpus_source": source,
+                })
+            },
             "wall_s": self.wall.as_secs_f64(),
             "serial_equiv_s": self.serial_equiv().as_secs_f64(),
             "speedup_vs_serial": self.speedup(),
@@ -283,7 +291,21 @@ impl BatchResult {
 
 /// The host's available parallelism (the `--jobs` default).
 pub fn detected_parallelism() -> usize {
-    std::thread::available_parallelism().map_or(1, usize::from)
+    detected_parallelism_with_source().0
+}
+
+/// Available parallelism plus how it was determined:
+/// `"available_parallelism"` when [`std::thread::available_parallelism`]
+/// succeeded (on Linux this respects cgroup CPU quotas, so containerized
+/// CI runners report their real allotment), or `"fallback"` with 1 CPU
+/// when the probe failed. Perf records carry the source so a `cpus: 1`
+/// from a genuinely single-core runner is distinguishable from failed
+/// detection.
+pub fn detected_parallelism_with_source() -> (usize, &'static str) {
+    match std::thread::available_parallelism() {
+        Ok(n) => (n.get(), "available_parallelism"),
+        Err(_) => (1, "fallback"),
+    }
 }
 
 /// A batch of independent runs plus the worker count to execute with.
@@ -436,17 +458,31 @@ fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Percentage deltas on sub-millisecond runs are pure scheduler noise;
+/// a run only counts as regressed when it also slowed by at least this
+/// much absolute wall time.
+const REGRESSION_NOISE_FLOOR_S: f64 = 0.05;
+
 /// Compare two `BENCH_experiments.json` files run-by-run.
 ///
 /// A run regresses when its wall time in `new` exceeds its wall time in
-/// `old` by more than `threshold_pct` percent. Runs present in only one
-/// file are reported but never counted as regressions (suites evolve).
+/// `old` by more than `threshold_pct` percent AND by at least
+/// [`REGRESSION_NOISE_FLOOR_S`] seconds — tiny runs jitter by large
+/// percentages without meaning anything. Runs only in `new` are
+/// reported as `NEW` (informational — suites grow); runs only in `old`
+/// are reported as `DISAPPEARED` and treated as failures by the CLI,
+/// since a silently vanished run would otherwise let a regression hide
+/// by renaming.
 #[derive(Debug)]
 pub struct BenchComparison {
     /// Human-readable comparison table.
     pub text: String,
     /// Ids whose wall time regressed beyond the threshold.
     pub regressions: Vec<String>,
+    /// Ids present in `new` but not in the baseline (informational).
+    pub added: Vec<String>,
+    /// Ids present in the baseline but missing from `new` (an error).
+    pub disappeared: Vec<String>,
 }
 
 /// Diff two BENCH files; `Err` on unreadable/unparseable input.
@@ -488,6 +524,8 @@ pub fn bench_compare(
 
     let mut text = String::new();
     let mut regressions = Vec::new();
+    let mut added = Vec::new();
+    let mut disappeared = Vec::new();
     text.push_str(&format!(
         "{:<20} {:>10} {:>10} {:>8}  verdict (threshold {threshold_pct:.0}%)\n",
         "run", "old s", "new s", "delta"
@@ -500,13 +538,17 @@ pub fn bench_compare(
                 } else {
                     0.0
                 };
-                let regressed = *new_ok && delta_pct > threshold_pct;
+                let over_pct = delta_pct > threshold_pct;
+                let over_floor = new_wall - old_wall >= REGRESSION_NOISE_FLOOR_S;
+                let regressed = *new_ok && over_pct && over_floor;
                 text.push_str(&format!(
                     "{id:<20} {old_wall:>10.3} {new_wall:>10.3} {delta_pct:>+7.1}%  {}\n",
                     if !new_ok {
                         "FAILED in new"
                     } else if regressed {
                         "REGRESSED"
+                    } else if over_pct {
+                        "ok (within noise floor)"
                     } else {
                         "ok"
                     }
@@ -517,15 +559,20 @@ pub fn bench_compare(
             }
             None => {
                 text.push_str(&format!(
-                    "{id:<20} {:>10} {new_wall:>10.3} {:>8}  new run (no baseline)\n",
+                    "{id:<20} {:>10} {new_wall:>10.3} {:>8}  NEW (no baseline)\n",
                     "-", "-"
                 ));
+                added.push(id.clone());
             }
         }
     }
     for (id, _, _) in &old_runs {
         if !new_runs.iter().any(|(nid, _, _)| nid == id) {
-            text.push_str(&format!("{id:<20} missing from new file\n"));
+            text.push_str(&format!(
+                "{id:<20} {:>10} {:>10} {:>8}  DISAPPEARED from new file\n",
+                "-", "-", "-"
+            ));
+            disappeared.push(id.clone());
         }
     }
     let (ow, nw) = (old["wall_s"].as_f64(), new["wall_s"].as_f64());
@@ -539,7 +586,12 @@ pub fn bench_compare(
             }
         ));
     }
-    Ok(BenchComparison { text, regressions })
+    Ok(BenchComparison {
+        text,
+        regressions,
+        added,
+        disappeared,
+    })
 }
 
 #[cfg(test)]
@@ -630,6 +682,43 @@ mod tests {
         // Reversed direction is an improvement, never a regression.
         let cmp = bench_compare(&b, &a, 20.0).unwrap();
         assert!(cmp.regressions.is_empty());
+        // A huge percentage on a tiny run is scheduler noise, not a
+        // regression: the absolute delta sits under the floor.
+        std::fs::write(&a, mk(0.0001).pretty()).unwrap();
+        std::fs::write(&b, mk(0.0100).pretty()).unwrap();
+        let cmp = bench_compare(&a, &b, 20.0).unwrap();
+        assert!(cmp.regressions.is_empty());
+        assert!(cmp.text.contains("within noise floor"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compare_reports_added_and_disappeared_runs() {
+        let dir = std::env::temp_dir().join("abr-bench-compare-drift-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mk = |ids: &[&str]| {
+            jsn!({
+                "schema": "abr-bench/1",
+                "wall_s": 1.0,
+                "runs": ids
+                    .iter()
+                    .map(|id| jsn!({"id": *id, "ok": true, "wall_s": 1.0}))
+                    .collect::<Vec<_>>(),
+            })
+        };
+        let old = dir.join("old.json");
+        let new = dir.join("new.json");
+        std::fs::write(&old, mk(&["table1", "table2"]).pretty()).unwrap();
+        std::fs::write(&new, mk(&["table2", "fig8"]).pretty()).unwrap();
+        let cmp = bench_compare(&old, &new, 25.0).unwrap();
+        // fig8 is new (informational), table1 disappeared (an error for
+        // the CLI), table2 matched cleanly.
+        assert_eq!(cmp.added, vec!["fig8".to_string()]);
+        assert_eq!(cmp.disappeared, vec!["table1".to_string()]);
+        assert!(cmp.regressions.is_empty());
+        assert!(cmp.text.contains("NEW"));
+        assert!(cmp.text.contains("DISAPPEARED"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

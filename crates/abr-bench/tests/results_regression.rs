@@ -1,0 +1,46 @@
+//! Committed-results regression: the engine hot path (calendar event
+//! queue, SoA tables, lazy seeded payload store) is a pure *throughput*
+//! rework — every result artifact must stay byte-identical. This
+//! regenerates the two gate families in-process and compares against the
+//! bytes committed under `results/`, so any future "optimization" that
+//! perturbs simulation order or payload semantics fails here instead of
+//! silently shifting the paper's numbers.
+//!
+//! If a change is *supposed* to alter results (a model fix, a new
+//! metric), regenerate and commit `results/` in the same PR; this test
+//! then certifies the new canon.
+
+use abr_bench::engine::RunBatch;
+use std::path::PathBuf;
+
+fn committed(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("committed result {} unreadable: {e}", path.display()))
+}
+
+#[test]
+fn table2_and_array_n2_match_committed_results() {
+    let batch = RunBatch::new(&["table2", "array-n2"], 1).unwrap().execute();
+    for outcome in &batch.outcomes {
+        let report = outcome
+            .report
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{} failed: {e}", outcome.spec.id));
+        let id = outcome.spec.id.as_str();
+        // Report::save writes `pretty()` plus no trailing newline for
+        // JSON and the raw text body for TXT; compare the same bytes.
+        assert_eq!(
+            report.json.pretty(),
+            committed(&format!("{id}.json")),
+            "{id}.json drifted from the committed bytes"
+        );
+        assert_eq!(
+            report.text,
+            committed(&format!("{id}.txt")),
+            "{id}.txt drifted from the committed bytes"
+        );
+    }
+}

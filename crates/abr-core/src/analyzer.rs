@@ -38,6 +38,16 @@ pub trait ReferenceAnalyzer: Send {
     /// Record `weight` references to `block`.
     fn observe(&mut self, block: u64, weight: u64);
 
+    /// Record one reference to each block in `blocks` — the batched form
+    /// the daemon's monitor drain uses, so a collection window costs one
+    /// virtual call instead of one per record. Implementations with a
+    /// dense layout override this with a single pass.
+    fn observe_each(&mut self, blocks: &[u64]) {
+        for &b in blocks {
+            self.observe(b, 1);
+        }
+    }
+
     /// The `n` most-referenced blocks, descending by count (ties broken
     /// by ascending block number, deterministically).
     fn hot_list(&self, n: usize) -> Vec<HotBlock>;
@@ -68,9 +78,17 @@ pub trait ReferenceAnalyzer: Send {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct FullAnalyzer {
-    counts: BTreeMap<u64, u64>,
+    /// Count per virtual block, indexed by block number. Virtual block
+    /// numbers are bounded by the filesystem size (a few thousand), so
+    /// counting is a single array increment; out-of-range blocks spill.
+    dense: Vec<u64>,
+    spill: BTreeMap<u64, u64>,
+    tracked: usize,
     total: u64,
 }
+
+/// Blocks below this number count into the dense array.
+const ANALYZER_DENSE_BLOCKS: u64 = 1 << 20;
 
 impl FullAnalyzer {
     /// A fresh analyzer.
@@ -81,12 +99,16 @@ impl FullAnalyzer {
     /// All counts, descending (the full daily block request distribution
     /// — Figures 5 and 7 of the paper).
     pub fn distribution(&self) -> Vec<HotBlock> {
-        self.hot_list(self.counts.len())
+        self.hot_list(self.tracked)
     }
 
     /// The exact count for one block.
     pub fn count_of(&self, block: u64) -> u64 {
-        self.counts.get(&block).copied().unwrap_or(0)
+        if block < ANALYZER_DENSE_BLOCKS {
+            self.dense.get(block as usize).copied().unwrap_or(0)
+        } else {
+            self.spill.get(&block).copied().unwrap_or(0)
+        }
     }
 }
 
@@ -99,30 +121,78 @@ fn ranked(mut v: Vec<HotBlock>, n: usize) -> Vec<HotBlock> {
 
 impl ReferenceAnalyzer for FullAnalyzer {
     fn observe(&mut self, block: u64, weight: u64) {
-        *self.counts.entry(block).or_insert(0) += weight;
+        let cell = if block < ANALYZER_DENSE_BLOCKS {
+            let idx = block as usize;
+            if idx >= self.dense.len() {
+                self.dense.resize(idx + 1, 0);
+            }
+            &mut self.dense[idx]
+        } else {
+            self.spill.entry(block).or_insert(0)
+        };
+        if *cell == 0 {
+            self.tracked += 1;
+        }
+        *cell += weight;
         self.total += weight;
     }
 
+    fn observe_each(&mut self, blocks: &[u64]) {
+        // One pass, one bump of `total`: the whole collection window
+        // lands with a single virtual dispatch.
+        for &block in blocks {
+            let cell = if block < ANALYZER_DENSE_BLOCKS {
+                let idx = block as usize;
+                if idx >= self.dense.len() {
+                    self.dense.resize(idx + 1, 0);
+                }
+                &mut self.dense[idx]
+            } else {
+                self.spill.entry(block).or_insert(0)
+            };
+            if *cell == 0 {
+                self.tracked += 1;
+            }
+            *cell += 1;
+        }
+        self.total += blocks.len() as u64;
+    }
+
     fn hot_list(&self, n: usize) -> Vec<HotBlock> {
-        ranked(
-            self.counts
+        let mut v = Vec::with_capacity(self.tracked);
+        v.extend(
+            self.dense
                 .iter()
-                .map(|(&block, &count)| HotBlock { block, count })
-                .collect(),
-            n,
-        )
+                .enumerate()
+                .filter(|&(_, &count)| count > 0)
+                .map(|(block, &count)| HotBlock {
+                    block: block as u64,
+                    count,
+                }),
+        );
+        v.extend(
+            self.spill
+                .iter()
+                .filter(|&(_, &count)| count > 0)
+                .map(|(&block, &count)| HotBlock { block, count }),
+        );
+        ranked(v, n)
     }
 
     fn tracked(&self) -> usize {
-        self.counts.len()
+        self.tracked
     }
 
     fn total_observations(&self) -> u64 {
         self.total
     }
 
+    /// Resets in one pass over the dense array, keeping its allocation —
+    /// the day-boundary batching the daily protocol relies on.
     fn reset(&mut self) {
-        self.counts.clear();
+        self.dense.fill(0);
+        self.spill.clear();
+        self.tracked = 0;
         self.total = 0;
     }
 }
@@ -228,7 +298,11 @@ impl ReferenceAnalyzer for BoundedAnalyzer {
 /// trade-off `ablate-decay` measures.
 #[derive(Debug, Clone)]
 pub struct DecayingAnalyzer {
-    counts: BTreeMap<u64, f64>,
+    /// Decayed weight per virtual block (same dense-plus-spill layout as
+    /// [`FullAnalyzer`]); zero means untracked.
+    dense: Vec<f64>,
+    spill: BTreeMap<u64, f64>,
+    tracked: usize,
     decay: f64,
     total: u64,
 }
@@ -242,7 +316,9 @@ impl DecayingAnalyzer {
     pub fn new(decay: f64) -> Self {
         assert!(decay > 0.0 && decay < 1.0, "decay must be in (0,1)");
         DecayingAnalyzer {
-            counts: BTreeMap::new(),
+            dense: Vec::new(),
+            spill: BTreeMap::new(),
+            tracked: 0,
             decay,
             total: 0,
         }
@@ -256,40 +332,96 @@ impl DecayingAnalyzer {
 
 impl ReferenceAnalyzer for DecayingAnalyzer {
     fn observe(&mut self, block: u64, weight: u64) {
-        *self.counts.entry(block).or_insert(0.0) += weight as f64;
+        let cell = if block < ANALYZER_DENSE_BLOCKS {
+            let idx = block as usize;
+            if idx >= self.dense.len() {
+                self.dense.resize(idx + 1, 0.0);
+            }
+            &mut self.dense[idx]
+        } else {
+            self.spill.entry(block).or_insert(0.0)
+        };
+        if *cell == 0.0 {
+            self.tracked += 1;
+        }
+        *cell += weight as f64;
         self.total += weight;
+    }
+
+    fn observe_each(&mut self, blocks: &[u64]) {
+        for &block in blocks {
+            let cell = if block < ANALYZER_DENSE_BLOCKS {
+                let idx = block as usize;
+                if idx >= self.dense.len() {
+                    self.dense.resize(idx + 1, 0.0);
+                }
+                &mut self.dense[idx]
+            } else {
+                self.spill.entry(block).or_insert(0.0)
+            };
+            if *cell == 0.0 {
+                self.tracked += 1;
+            }
+            *cell += 1.0;
+        }
+        self.total += blocks.len() as u64;
     }
 
     fn hot_list(&self, n: usize) -> Vec<HotBlock> {
         // Quantize the decayed weights (x1024 to keep fractional order)
         // so the common HotBlock type carries them.
-        ranked(
-            self.counts
+        let mut v = Vec::with_capacity(self.tracked);
+        v.extend(
+            self.dense
                 .iter()
+                .enumerate()
+                .filter(|&(_, &count)| count > 0.0)
+                .map(|(block, &count)| HotBlock {
+                    block: block as u64,
+                    count: (count * 1024.0) as u64,
+                }),
+        );
+        v.extend(
+            self.spill
+                .iter()
+                .filter(|&(_, &count)| count > 0.0)
                 .map(|(&block, &count)| HotBlock {
                     block,
                     count: (count * 1024.0) as u64,
-                })
-                .collect(),
-            n,
-        )
+                }),
+        );
+        ranked(v, n)
     }
 
     fn tracked(&self) -> usize {
-        self.counts.len()
+        self.tracked
     }
 
     fn total_observations(&self) -> u64 {
         self.total
     }
 
-    /// Decays rather than clears (see the type docs).
+    /// Decays rather than clears (see the type docs) — one pass over the
+    /// dense array at the day boundary.
     fn reset(&mut self) {
         let decay = self.decay;
-        self.counts.retain(|_, c| {
+        let mut tracked = 0;
+        for c in &mut self.dense {
+            if *c == 0.0 {
+                continue;
+            }
+            *c *= decay;
+            if *c < 0.5 {
+                *c = 0.0;
+            } else {
+                tracked += 1;
+            }
+        }
+        self.spill.retain(|_, c| {
             *c *= decay;
             *c >= 0.5
         });
+        self.tracked = tracked + self.spill.len();
         self.total = 0;
     }
 }

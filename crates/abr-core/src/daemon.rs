@@ -28,6 +28,10 @@ pub struct RearrangementDaemon {
     /// Use incremental rearrangement (evict/copy only the differences)
     /// instead of the paper's full clean-and-recopy cycle.
     incremental: bool,
+    /// Reused per-collect block buffers (all requests / reads only), so
+    /// a collection window feeds each analyzer in one batched call.
+    collect_scratch: Vec<u64>,
+    read_scratch: Vec<u64>,
 }
 
 impl std::fmt::Debug for RearrangementDaemon {
@@ -55,6 +59,8 @@ impl RearrangementDaemon {
             read_period,
             dropped: 0,
             incremental: false,
+            collect_scratch: Vec::new(),
+            read_scratch: Vec::new(),
         }
     }
 
@@ -84,12 +90,16 @@ impl RearrangementDaemon {
         {
             IoctlReply::RequestTable { records, dropped } => {
                 self.dropped += dropped;
-                for r in records {
-                    self.analyzer.observe(r.block, 1);
+                self.collect_scratch.clear();
+                self.read_scratch.clear();
+                for r in &records {
+                    self.collect_scratch.push(r.block);
                     if r.dir.is_read() {
-                        self.read_analyzer.observe(r.block, 1);
+                        self.read_scratch.push(r.block);
                     }
                 }
+                self.analyzer.observe_each(&self.collect_scratch);
+                self.read_analyzer.observe_each(&self.read_scratch);
             }
             _ => unreachable!("ReadRequestTable replies RequestTable"),
         }

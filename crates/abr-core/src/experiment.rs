@@ -230,6 +230,7 @@ impl Experiment {
         // timers keep running; they feed `wall.*` metrics, which never
         // enter traces.)
         let _unmeasured = abr_obs::trace_pause();
+        let _wall = abr_obs::time_scope("setup");
         let model = config.disk.clone();
         let spb = 16; // 8 KB blocks
         let label = if config.reserved_cylinders > 0 {
@@ -250,6 +251,8 @@ impl Experiment {
         let mut disk = Disk::new(model);
         AdaptiveDriver::format(&mut disk, &label, &driver_cfg);
         let mut driver = AdaptiveDriver::attach(disk, driver_cfg).expect("fresh format attaches");
+        // The experiment loop consumes only completion timing.
+        driver.set_deliver_read_data(false);
 
         let part_sectors = driver.label().partitions[0].n_sectors;
         let spc = driver.label().physical.sectors_per_cylinder();
@@ -479,7 +482,11 @@ impl Experiment {
         }
 
         // Day end: drain outstanding requests, flush the cache, collect
-        // the final monitor contents.
+        // the final monitor contents. Timed as its own phase: `_t` ends
+        // the event-loop scope here so `wall.event_loop` and
+        // `wall.day_end` partition the day cleanly.
+        drop(_t);
+        let _wall = abr_obs::time_scope("day_end");
         let mut t = day_end;
         while let Some(c) = self.driver.next_completion() {
             t = c;

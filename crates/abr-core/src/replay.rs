@@ -88,6 +88,8 @@ pub fn replay(trace: &TraceLog, config: &ReplayConfig) -> DayMetrics {
     let mut disk = Disk::new(config.disk.clone());
     AdaptiveDriver::format(&mut disk, &label, &driver_cfg);
     let mut driver = AdaptiveDriver::attach(disk, driver_cfg).expect("fresh format attaches");
+    // Replay consumes only the measured statistics, never read data.
+    driver.set_deliver_read_data(false);
 
     // Pre-place the trace's hottest blocks, exactly as the arranger
     // would overnight.

@@ -5,20 +5,137 @@
 //! remapping driver must return exactly what was written, across
 //! copy-in/copy-out cycles and simulated crashes), not just its timing.
 //! Unwritten sectors read as zeroes, like a freshly formatted disk.
+//!
+//! Layout: a paged arena. Sectors live in 64-sector pages (32 KB) that
+//! are allocated on first write; a per-page bitmap records which sectors
+//! hold real data. A sector address resolves to `(page, offset)` by shift
+//! and mask, so the hot read/write path is a bounds check and a `memcpy`
+//! — no hashing, no per-sector allocation. The bitmap, not the page
+//! contents, is the source of truth for "written": clearing a bit makes
+//! the sector read as zero again without touching its bytes.
+//!
+//! # Seeded sectors
+//!
+//! Most of the simulation's write traffic carries *synthetic* payloads —
+//! a pure function of an 8-byte seed (see [`fill_seeded`]). Materializing
+//! 512 bytes per sector just to hold them for a read that usually never
+//! comes dominated the simulation's wall-clock, so the store records such
+//! writes *lazily*: a seeded sector stores only its `(seed, word offset)`
+//! pair and synthesizes the bytes on read. The observable contents are
+//! identical either way; only the representation differs. Raw byte writes
+//! and seeded writes can mix freely within a page.
 
 use crate::SECTOR_SIZE;
-use std::collections::HashMap; // abr-lint: allow(D001, hot sector store; keyed access only, never iterated)
+use abr_sim::rng::splitmix64;
+
+/// Sectors per arena page; pages are `64 * 512 B = 32 KB`, and one `u64`
+/// bitmap covers exactly one page.
+const PAGE_SECTORS: u64 = 64;
+const PAGE_BYTES: usize = PAGE_SECTORS as usize * SECTOR_SIZE;
+/// 8-byte words per sector in the seeded stream.
+const WORDS_PER_SECTOR: u32 = (SECTOR_SIZE / 8) as u32;
+
+/// Weyl increment (the splitmix64 gamma), spacing the per-word counter.
+const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Word `w` of the seeded payload stream for `seed`.
+///
+/// The stream is *counter-based*: every word mixes independently, so any
+/// sector of a payload can be synthesized without generating its prefix,
+/// and generation pipelines instead of chaining through a serial state.
+#[inline]
+pub fn seeded_word(seed: u64, w: u64) -> u64 {
+    splitmix64(seed ^ w.wrapping_add(1).wrapping_mul(GAMMA))
+}
+
+/// Fill `buf` with the seeded stream for `seed`, starting at word
+/// `start_word` (8 bytes per word).
+///
+/// # Panics
+/// Panics if `buf.len()` is not a multiple of 8.
+pub fn fill_seeded(seed: u64, start_word: u64, buf: &mut [u8]) {
+    assert_eq!(buf.len() % 8, 0, "seeded payload length must be 8-aligned");
+    for (w, chunk) in (start_word..).zip(buf.chunks_exact_mut(8)) {
+        chunk.copy_from_slice(&seeded_word(seed, w).to_le_bytes());
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Page {
+    /// Bit `i` set ⇔ sector `i` of this page has been written.
+    bitmap: u64,
+    /// Subset of `bitmap`: the sector's content is `seeds[i]`, not
+    /// `data`.
+    lazy: u64,
+    /// Raw sector bytes; allocated on the first raw write to this page.
+    data: Option<Box<[u8; PAGE_BYTES]>>,
+    /// Per-sector `(seed, start word)` of lazily-held seeded writes;
+    /// allocated on the first seeded write to this page.
+    seeds: Option<Box<[(u64, u32); PAGE_SECTORS as usize]>>,
+}
+
+impl Page {
+    fn new() -> Self {
+        Page {
+            bitmap: 0,
+            lazy: 0,
+            data: None,
+            seeds: None,
+        }
+    }
+
+    fn data_mut(&mut self) -> &mut [u8; PAGE_BYTES] {
+        self.data.get_or_insert_with(|| Box::new([0u8; PAGE_BYTES]))
+    }
+
+    fn seeds_mut(&mut self) -> &mut [(u64, u32); PAGE_SECTORS as usize] {
+        self.seeds
+            .get_or_insert_with(|| Box::new([(0, 0); PAGE_SECTORS as usize]))
+    }
+
+    /// Synthesize or copy sector `s` into `out`.
+    fn read_sector_into(&self, s: usize, out: &mut [u8]) {
+        if self.lazy & (1 << s) != 0 {
+            let (seed, w) = self.seeds.as_ref().expect("lazy bit implies seeds")[s]; // abr-lint: allow(P001, bit and box set together)
+            fill_seeded(seed, u64::from(w), out);
+        } else if self.bitmap & (1 << s) != 0 {
+            let data = self.data.as_ref().expect("raw bit implies data"); // abr-lint: allow(P001, bit and box set together)
+            out.copy_from_slice(&data[s * SECTOR_SIZE..(s + 1) * SECTOR_SIZE]);
+        } else {
+            out.fill(0);
+        }
+    }
+}
 
 /// A sparse array of 512-byte sectors.
 #[derive(Debug, Default, Clone)]
 pub struct SectorStore {
-    sectors: HashMap<u64, Box<[u8; SECTOR_SIZE]>>, // abr-lint: allow(D001, keyed lookup only; image serialization sorts)
+    /// Indexed by `sector / PAGE_SECTORS`; grown lazily to the highest
+    /// touched page. `None` pages read as zero.
+    pages: Vec<Option<Page>>,
+    /// Count of set bitmap bits across all pages.
+    written: usize,
 }
 
 impl SectorStore {
     /// An empty (all-zero) store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    #[inline]
+    fn split(sector: u64) -> (usize, usize) {
+        (
+            (sector / PAGE_SECTORS) as usize,
+            (sector % PAGE_SECTORS) as usize,
+        )
+    }
+
+    fn page_mut(&mut self, page: usize) -> &mut Page {
+        if page >= self.pages.len() {
+            self.pages.resize(page + 1, None);
+        }
+        self.pages[page].get_or_insert_with(Page::new)
     }
 
     /// Read `buf.len()` bytes starting at the first byte of `sector`.
@@ -29,8 +146,9 @@ impl SectorStore {
     pub fn read(&self, sector: u64, buf: &mut [u8]) {
         assert_eq!(buf.len() % SECTOR_SIZE, 0, "unaligned read length");
         for (i, chunk) in buf.chunks_mut(SECTOR_SIZE).enumerate() {
-            match self.sectors.get(&(sector + i as u64)) {
-                Some(data) => chunk.copy_from_slice(&data[..]),
+            let (p, s) = Self::split(sector + i as u64);
+            match self.pages.get(p).and_then(|pg| pg.as_ref()) {
+                Some(pg) => pg.read_sector_into(s, chunk),
                 None => chunk.fill(0),
             }
         }
@@ -42,24 +160,80 @@ impl SectorStore {
     /// Panics if `buf.len()` is not sector-aligned.
     pub fn write(&mut self, sector: u64, buf: &[u8]) {
         assert_eq!(buf.len() % SECTOR_SIZE, 0, "unaligned write length");
+        let mut newly_written = 0;
         for (i, chunk) in buf.chunks(SECTOR_SIZE).enumerate() {
-            let mut data = Box::new([0u8; SECTOR_SIZE]);
-            data.copy_from_slice(chunk);
-            self.sectors.insert(sector + i as u64, data);
+            let (p, s) = Self::split(sector + i as u64);
+            let pg = self.page_mut(p);
+            if pg.bitmap & (1 << s) == 0 {
+                pg.bitmap |= 1 << s;
+                newly_written += 1;
+            }
+            pg.lazy &= !(1 << s);
+            pg.data_mut()[s * SECTOR_SIZE..(s + 1) * SECTOR_SIZE].copy_from_slice(chunk);
         }
+        self.written += newly_written;
+    }
+
+    /// Record a seeded write of `n_sectors` sectors whose contents are
+    /// the [`fill_seeded`] stream for `seed` starting at `start_word`.
+    /// Reads of these sectors return exactly what [`SectorStore::write`]
+    /// of the materialized stream would have stored; the store just
+    /// defers synthesizing the bytes until someone actually reads them.
+    pub fn write_seeded(&mut self, sector: u64, n_sectors: u32, seed: u64, start_word: u64) {
+        let mut newly_written = 0;
+        for i in 0..u64::from(n_sectors) {
+            let (p, s) = Self::split(sector + i);
+            let pg = self.page_mut(p);
+            if pg.bitmap & (1 << s) == 0 {
+                pg.bitmap |= 1 << s;
+                newly_written += 1;
+            }
+            pg.lazy |= 1 << s;
+            let w = start_word + i * u64::from(WORDS_PER_SECTOR);
+            // abr-lint: allow(P001, offsets bounded by request size)
+            pg.seeds_mut()[s] = (seed, u32::try_from(w).expect("word offset fits u32"));
+        }
+        self.written += newly_written;
     }
 
     /// Copy `n_sectors` sectors from `src` to `dst` (the driver's block
     /// copy-in/copy-out primitive operates on whole file-system blocks).
+    /// Lazily-held seeded sectors copy their marker, not their bytes.
     pub fn copy(&mut self, src: u64, dst: u64, n_sectors: u32) {
+        let mut buf = [0u8; SECTOR_SIZE];
         for i in 0..u64::from(n_sectors) {
-            match self.sectors.get(&(src + i)) {
-                Some(data) => {
-                    let cloned = data.clone();
-                    self.sectors.insert(dst + i, cloned);
+            let (sp, ss) = Self::split(src + i);
+            enum Src {
+                Absent,
+                Seeded(u64, u32),
+                Raw,
+            }
+            let state = match self.pages.get(sp).and_then(|pg| pg.as_ref()) {
+                Some(pg) if pg.lazy & (1 << ss) != 0 => {
+                    let (seed, w) = pg.seeds.as_ref().expect("lazy implies seeds")[ss]; // abr-lint: allow(P001, bit and box set together)
+                    Src::Seeded(seed, w)
                 }
-                None => {
-                    self.sectors.remove(&(dst + i));
+                Some(pg) if pg.bitmap & (1 << ss) != 0 => Src::Raw,
+                _ => Src::Absent,
+            };
+            match state {
+                Src::Raw => {
+                    self.read(src + i, &mut buf);
+                    self.write(dst + i, &buf);
+                }
+                Src::Seeded(seed, w) => {
+                    self.write_seeded(dst + i, 1, seed, u64::from(w));
+                }
+                Src::Absent => {
+                    // Copying an unwritten sector clears the destination.
+                    let (dp, ds) = Self::split(dst + i);
+                    if let Some(pg) = self.pages.get_mut(dp).and_then(|pg| pg.as_mut()) {
+                        if pg.bitmap & (1 << ds) != 0 {
+                            pg.bitmap &= !(1 << ds);
+                            pg.lazy &= !(1 << ds);
+                            self.written -= 1;
+                        }
+                    }
                 }
             }
         }
@@ -68,12 +242,17 @@ impl SectorStore {
     /// Number of sectors that have ever been written (holding non-default
     /// data).
     pub fn written_sectors(&self) -> usize {
-        self.sectors.len()
+        self.written
     }
 
-    /// Iterate the indices of all written sectors (arbitrary order).
+    /// Iterate the indices of all written sectors (ascending).
     pub fn written_indices(&self) -> impl Iterator<Item = u64> + '_ {
-        self.sectors.keys().copied()
+        self.pages.iter().enumerate().flat_map(|(p, pg)| {
+            let bitmap = pg.as_ref().map_or(0, |pg| pg.bitmap);
+            (0..PAGE_SECTORS)
+                .filter(move |s| bitmap & (1 << s) != 0)
+                .map(move |s| p as u64 * PAGE_SECTORS + s)
+        })
     }
 
     /// Read a single sector into a fresh buffer.
@@ -145,5 +324,101 @@ mod tests {
         for i in 0..4u64 {
             assert_eq!(s.read_sector(100 + i)[0], i as u8 + 1);
         }
+    }
+
+    #[test]
+    fn writes_spanning_page_boundary() {
+        let mut s = SectorStore::new();
+        // 4 sectors straddling the 64-sector page boundary.
+        let data: Vec<u8> = (0..SECTOR_SIZE * 4).map(|i| (i % 249) as u8).collect();
+        s.write(62, &data);
+        let mut out = vec![0u8; SECTOR_SIZE * 4];
+        s.read(62, &mut out);
+        assert_eq!(out, data);
+        assert_eq!(s.written_sectors(), 4);
+        assert_eq!(
+            s.written_indices().collect::<Vec<_>>(),
+            vec![62, 63, 64, 65]
+        );
+    }
+
+    #[test]
+    fn written_indices_ascending_and_counted() {
+        let mut s = SectorStore::new();
+        s.write(200, &[1u8; SECTOR_SIZE]);
+        s.write(3, &[2u8; SECTOR_SIZE]);
+        s.write(100, &[3u8; SECTOR_SIZE]);
+        s.write(100, &[4u8; SECTOR_SIZE]); // overwrite: not double-counted
+        assert_eq!(s.written_sectors(), 3);
+        assert_eq!(s.written_indices().collect::<Vec<_>>(), vec![3, 100, 200]);
+    }
+
+    #[test]
+    fn copy_clears_written_count() {
+        let mut s = SectorStore::new();
+        s.write(21, &[9u8; SECTOR_SIZE]);
+        assert_eq!(s.written_sectors(), 1);
+        s.copy(5, 21, 1); // unwritten source clears dst
+        assert_eq!(s.written_sectors(), 0);
+        assert!(s.written_indices().next().is_none());
+    }
+
+    #[test]
+    fn seeded_write_reads_like_materialized_write() {
+        let mut lazy = SectorStore::new();
+        let mut eager = SectorStore::new();
+        let seed = 0xFEED_F00D;
+        let mut buf = vec![0u8; SECTOR_SIZE * 3];
+        fill_seeded(seed, 0, &mut buf);
+        eager.write(62, &buf); // spans a page boundary
+        lazy.write_seeded(62, 3, seed, 0);
+        for i in 0..3 {
+            assert_eq!(lazy.read_sector(62 + i), eager.read_sector(62 + i));
+        }
+        assert_eq!(lazy.written_sectors(), eager.written_sectors());
+        assert_eq!(
+            lazy.written_indices().collect::<Vec<_>>(),
+            eager.written_indices().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn raw_write_replaces_seeded_sector() {
+        let mut s = SectorStore::new();
+        s.write_seeded(7, 1, 0xAB, 0);
+        s.write(7, &[5u8; SECTOR_SIZE]);
+        assert_eq!(s.read_sector(7), [5u8; SECTOR_SIZE]);
+        assert_eq!(s.written_sectors(), 1);
+    }
+
+    #[test]
+    fn seeded_write_replaces_raw_sector() {
+        let mut s = SectorStore::new();
+        s.write(7, &[5u8; SECTOR_SIZE]);
+        s.write_seeded(7, 1, 0xAB, 4);
+        let mut want = [0u8; SECTOR_SIZE];
+        fill_seeded(0xAB, 4, &mut want);
+        assert_eq!(s.read_sector(7), want);
+        assert_eq!(s.written_sectors(), 1);
+    }
+
+    #[test]
+    fn copy_preserves_seeded_contents() {
+        let mut s = SectorStore::new();
+        s.write_seeded(10, 2, 0xC0FFEE, 64);
+        s.copy(10, 200, 2);
+        assert_eq!(s.read_sector(200), s.read_sector(10));
+        assert_eq!(s.read_sector(201), s.read_sector(11));
+    }
+
+    #[test]
+    fn fill_seeded_is_random_access() {
+        // Word w of the stream is the same whether generated from the
+        // start or from an offset — the property lazy sectors rely on.
+        let mut whole = vec![0u8; 64];
+        fill_seeded(9, 0, &mut whole);
+        let mut tail = vec![0u8; 24];
+        fill_seeded(9, 5, &mut tail);
+        assert_eq!(&whole[40..], &tail[..]);
     }
 }

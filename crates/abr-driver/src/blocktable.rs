@@ -9,15 +9,19 @@
 //! all blocks are marked as dirty when \[the\] memory-resident copy of the
 //! table is recreated after a failure."
 //!
-//! The in-memory table is a hash map keyed by the block's *original
-//! physical* starting sector; each entry records the reserved-area slot it
-//! now occupies and its dirty bit. The on-disk form is a compact binary
-//! record with a checksum, written into the table region at the head of
-//! the reserved area.
+//! The in-memory table is a pair of dense index arrays keyed by the
+//! block's *original physical* starting sector (forward) and by the
+//! reserved-area slot (reverse); each forward cell packs the slot and the
+//! dirty bit into one word. Sector addresses and slot indices on real
+//! disks are small, so both directions are O(1) array reads on the
+//! request hot path — out-of-range keys (only reachable through a
+//! corrupt-but-checksum-valid on-disk table) spill to ordered maps. The
+//! on-disk form is a compact binary record with a checksum, written into
+//! the table region at the head of the reserved area.
 
 use crate::layout::ReservedLayout;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap; // abr-lint: allow(D001, lookup-only; every ordered emission goes through entries_by_slot which sorts)
+use std::collections::BTreeMap;
 
 /// One block-table entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -58,12 +62,38 @@ impl std::error::Error for TableError {}
 
 const TABLE_MAGIC: u64 = 0x4142_5254_4142_4c45; // "ABRTABLE"
 
+/// Forward cells for original sectors below this index live in the flat
+/// array; larger keys (no real disk in the models is this big) spill.
+const FWD_DENSE_SECTORS: u64 = 1 << 20;
+/// Reverse cells for slots below this index live in the flat array.
+const REV_DENSE_SLOTS: u32 = 1 << 20;
+/// Sentinel marking an empty cell in either dense array. A packed
+/// forward cell only uses the low 33 bits, so it can never collide; an
+/// original sector of `u64::MAX` is rejected at decode time.
+const ABSENT: u64 = u64::MAX;
+
 /// The block table: original physical block address → reserved slot.
 #[derive(Debug, Clone, Default)]
 pub struct BlockTable {
-    map: HashMap<u64, Entry>, // abr-lint: allow(D001, keyed lookup only; never iterated for output)
-    /// Which slots are occupied, and by which original block.
-    slots: HashMap<u32, u64>, // abr-lint: allow(D001, keyed lookup only; never iterated for output)
+    /// orig sector → packed `slot | dirty << 32`, [`ABSENT`] when empty.
+    /// Grown lazily to the largest mapped sector.
+    fwd: Vec<u64>,
+    fwd_spill: BTreeMap<u64, u64>,
+    /// slot → orig sector, [`ABSENT`] when empty.
+    rev: Vec<u64>,
+    rev_spill: BTreeMap<u32, u64>,
+    len: usize,
+}
+
+fn pack(e: Entry) -> u64 {
+    u64::from(e.slot) | (u64::from(e.dirty) << 32)
+}
+
+fn unpack(cell: u64) -> Entry {
+    Entry {
+        slot: (cell & 0xFFFF_FFFF) as u32,
+        dirty: cell & (1 << 32) != 0,
+    }
 }
 
 impl BlockTable {
@@ -74,22 +104,87 @@ impl BlockTable {
 
     /// Number of rearranged blocks.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.len
     }
 
     /// Whether no blocks are rearranged.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len == 0
+    }
+
+    fn fwd_cell(&self, orig_sector: u64) -> Option<u64> {
+        if orig_sector < FWD_DENSE_SECTORS {
+            match self.fwd.get(orig_sector as usize) {
+                Some(&c) if c != ABSENT => Some(c),
+                _ => None,
+            }
+        } else {
+            self.fwd_spill.get(&orig_sector).copied()
+        }
+    }
+
+    fn fwd_put(&mut self, orig_sector: u64, cell: u64) -> Option<u64> {
+        if orig_sector < FWD_DENSE_SECTORS {
+            let idx = orig_sector as usize;
+            if idx >= self.fwd.len() {
+                self.fwd.resize(idx + 1, ABSENT);
+            }
+            let old = self.fwd[idx];
+            self.fwd[idx] = cell;
+            (old != ABSENT).then_some(old)
+        } else {
+            self.fwd_spill.insert(orig_sector, cell)
+        }
+    }
+
+    fn fwd_take(&mut self, orig_sector: u64) -> Option<u64> {
+        if orig_sector < FWD_DENSE_SECTORS {
+            match self.fwd.get_mut(orig_sector as usize) {
+                Some(c) if *c != ABSENT => Some(std::mem::replace(c, ABSENT)),
+                _ => None,
+            }
+        } else {
+            self.fwd_spill.remove(&orig_sector)
+        }
+    }
+
+    fn rev_put(&mut self, slot: u32, orig_sector: u64) {
+        if slot < REV_DENSE_SLOTS {
+            let idx = slot as usize;
+            if idx >= self.rev.len() {
+                self.rev.resize(idx + 1, ABSENT);
+            }
+            self.rev[idx] = orig_sector;
+        } else {
+            self.rev_spill.insert(slot, orig_sector);
+        }
+    }
+
+    fn rev_clear(&mut self, slot: u32) {
+        if slot < REV_DENSE_SLOTS {
+            if let Some(c) = self.rev.get_mut(slot as usize) {
+                *c = ABSENT;
+            }
+        } else {
+            self.rev_spill.remove(&slot);
+        }
     }
 
     /// Look up a block by its original physical starting sector.
     pub fn lookup(&self, orig_sector: u64) -> Option<Entry> {
-        self.map.get(&orig_sector).copied()
+        self.fwd_cell(orig_sector).map(unpack)
     }
 
     /// The original block occupying `slot`, if any.
     pub fn occupant(&self, slot: u32) -> Option<u64> {
-        self.slots.get(&slot).copied()
+        if slot < REV_DENSE_SLOTS {
+            match self.rev.get(slot as usize) {
+                Some(&c) if c != ABSENT => Some(c),
+                _ => None,
+            }
+        } else {
+            self.rev_spill.get(&slot).copied()
+        }
     }
 
     /// Insert a mapping (clean). Replaces any previous mapping for the
@@ -99,47 +194,77 @@ impl BlockTable {
     /// Panics if the slot is already occupied by a *different* block —
     /// the arranger must clean before re-copying.
     pub fn insert(&mut self, orig_sector: u64, slot: u32) {
-        if let Some(&occ) = self.slots.get(&slot) {
+        if let Some(occ) = self.occupant(slot) {
             assert_eq!(occ, orig_sector, "slot {slot} already occupied");
         }
-        if let Some(old) = self.map.insert(orig_sector, Entry { slot, dirty: false }) {
-            self.slots.remove(&old.slot);
+        match self.fwd_put(orig_sector, pack(Entry { slot, dirty: false })) {
+            Some(old) => self.rev_clear(unpack(old).slot),
+            None => self.len += 1,
         }
-        self.slots.insert(slot, orig_sector);
+        self.rev_put(slot, orig_sector);
     }
 
     /// Remove the mapping for a block, returning its entry.
     pub fn remove(&mut self, orig_sector: u64) -> Option<Entry> {
-        let e = self.map.remove(&orig_sector)?;
-        self.slots.remove(&e.slot);
+        let e = unpack(self.fwd_take(orig_sector)?);
+        self.rev_clear(e.slot);
+        self.len -= 1;
         Some(e)
     }
 
     /// Set the dirty bit for a block (called when a write is redirected
     /// into the reserved area).
     pub fn mark_dirty(&mut self, orig_sector: u64) {
-        if let Some(e) = self.map.get_mut(&orig_sector) {
-            e.dirty = true;
+        if orig_sector < FWD_DENSE_SECTORS {
+            if let Some(c) = self.fwd.get_mut(orig_sector as usize) {
+                if *c != ABSENT {
+                    *c |= 1 << 32;
+                }
+            }
+        } else if let Some(c) = self.fwd_spill.get_mut(&orig_sector) {
+            *c |= 1 << 32;
         }
     }
 
     /// Mark every entry dirty — the conservative recovery rule applied
     /// when the in-memory table is recreated after a failure (§4.1.2).
     pub fn mark_all_dirty(&mut self) {
-        for e in self.map.values_mut() {
-            e.dirty = true;
+        for c in &mut self.fwd {
+            if *c != ABSENT {
+                *c |= 1 << 32;
+            }
+        }
+        for c in self.fwd_spill.values_mut() {
+            *c |= 1 << 32;
         }
     }
 
     /// Iterate `(orig_sector, entry)` in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, Entry)> + '_ {
-        self.map.iter().map(|(&k, &v)| (k, v))
+        self.fwd
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != ABSENT)
+            .map(|(s, &c)| (s as u64, unpack(c)))
+            .chain(self.fwd_spill.iter().map(|(&s, &c)| (s, unpack(c))))
     }
 
     /// All entries sorted by slot (deterministic order for cleaning).
+    /// The reverse array is already slot-ordered, so this is a single
+    /// in-order scan — no sort.
     pub fn entries_by_slot(&self) -> Vec<(u64, Entry)> {
-        let mut v: Vec<_> = self.iter().collect();
-        v.sort_by_key(|(_, e)| e.slot);
+        let mut v = Vec::with_capacity(self.len);
+        let slots = self
+            .rev
+            .iter()
+            .enumerate()
+            .filter(|&(_, &orig)| orig != ABSENT)
+            .map(|(slot, &orig)| (slot as u32, orig))
+            .chain(self.rev_spill.iter().map(|(&s, &o)| (s, o)));
+        for (slot, orig) in slots {
+            let dirty = self.lookup(orig).map(|e| e.dirty).unwrap_or(false);
+            v.push((orig, Entry { slot, dirty }));
+        }
         v
     }
 
@@ -148,9 +273,16 @@ impl BlockTable {
     /// path depends on. Sanitize builds only.
     #[cfg(feature = "sanitize")]
     pub fn check_bijection(&self) -> Result<(), String> {
+        let reverse = self
+            .rev
+            .iter()
+            .enumerate()
+            .filter(|&(_, &orig)| orig != ABSENT)
+            .map(|(slot, &orig)| (slot as u64, orig))
+            .chain(self.rev_spill.iter().map(|(&s, &o)| (u64::from(s), o)));
         abr_lint::sanitize::check_bijection(
-            self.map.iter().map(|(&b, e)| (b, u64::from(e.slot))),
-            self.slots.iter().map(|(&s, &b)| (u64::from(s), b)),
+            self.iter().map(|(b, e)| (b, u64::from(e.slot))),
+            reverse,
         )
     }
 
@@ -167,15 +299,15 @@ impl BlockTable {
     /// the sanitizer trips. Sanitize builds only.
     #[cfg(feature = "sanitize")]
     pub fn corrupt_slot_for_sanitizer_test(&mut self, slot: u32, orig_sector: u64) {
-        self.slots.insert(slot, orig_sector);
+        self.rev_put(slot, orig_sector);
     }
 
     /// The raw on-disk record: magic, count, entries, checksum — no
     /// padding.
     fn encode_record(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(16 + self.map.len() * 17 + 8);
+        let mut buf = Vec::with_capacity(16 + self.len * 17 + 8);
         buf.extend_from_slice(&TABLE_MAGIC.to_le_bytes());
-        buf.extend_from_slice(&(self.map.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.len as u64).to_le_bytes());
         for (orig, e) in self.entries_by_slot() {
             buf.extend_from_slice(&orig.to_le_bytes());
             buf.extend_from_slice(&e.slot.to_le_bytes());
@@ -193,7 +325,7 @@ impl BlockTable {
     /// Returns [`TableError::TooLarge`] if the entries do not fit.
     pub fn encode(&self, layout: &ReservedLayout) -> Result<Vec<u8>, TableError> {
         let capacity = layout.table_sectors as usize * abr_disk::SECTOR_SIZE;
-        let need = 16 + self.map.len() * 17 + 8;
+        let need = 16 + self.len * 17 + 8;
         if need > capacity {
             return Err(TableError::TooLarge);
         }
@@ -284,8 +416,10 @@ impl BlockTable {
             let slot = u32::from_le_bytes(bytes[off + 8..off + 12].try_into().expect("4"));
             let dirty = bytes[off + 16] != 0;
             // A checksum-valid table should never be inconsistent, but a
-            // buggy writer must surface as an error, not a panic.
-            if t.lookup(orig).is_some() || t.occupant(slot).is_some() {
+            // buggy writer must surface as an error, not a panic. An
+            // original sector of u64::MAX is no real disk address and
+            // collides with the dense arrays' empty sentinel.
+            if orig == ABSENT || t.lookup(orig).is_some() || t.occupant(slot).is_some() {
                 return Err(TableError::Inconsistent);
             }
             t.insert(orig, slot);

@@ -21,7 +21,7 @@ use crate::blocktable::{BlockTable, TableError};
 use crate::cylmap::CylinderMap;
 use crate::layout::ReservedLayout;
 use crate::monitor::{PerfMonitor, PerfSnapshot, RequestMonitor, RequestRecord};
-use crate::request::{IoDir, IoRequest, Queued, RequestId};
+use crate::request::{IoDir, IoRequest, Queued, RequestId, Segments};
 use crate::sched::{Scheduler, SchedulerKind};
 use abr_disk::disk::ServiceBreakdown;
 use abr_disk::fault::{DiskError, DiskFault};
@@ -319,6 +319,16 @@ impl DriverObs {
     }
 }
 
+/// Per-request registry increments buffered locally and mirrored in one
+/// pass at the day-boundary `ReadStats` ioctl, so submit/complete (the
+/// two hottest driver entry points) never take the registry borrow.
+#[derive(Debug, Clone, Copy, Default)]
+struct PendingDriverObs {
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+}
+
 /// The adaptive disk device driver.
 ///
 /// ```
@@ -378,12 +388,22 @@ pub struct AdaptiveDriver {
     /// Retries absorbed while servicing the current foreground request
     /// (zeroed at dispatch; copied into the span at completion).
     retry_scratch: u32,
+    /// Reused index buffer for the arrived-subset scheduler view (cleared
+    /// per dispatch; keeps the hot path allocation-free).
+    eligible_scratch: Vec<usize>,
+    /// Whether [`AdaptiveDriver::complete_next`] copies read data out of
+    /// the store into the [`Completion`]. Simulation loops that discard
+    /// completions turn this off to skip a block-sized allocation and
+    /// copy per read.
+    deliver_read_data: bool,
     /// Position of this driver within a multi-disk array (0 for a
     /// standalone disk). Stamped onto every emitted request span so
     /// array traces carry a per-disk label dimension.
     disk_index: u32,
     /// Unified-registry counter handles.
     obs: DriverObs,
+    /// Buffered registry mirroring (flushed at `ReadStats`).
+    obs_pending: PendingDriverObs,
 }
 
 impl fmt::Debug for AdaptiveDriver {
@@ -476,8 +496,11 @@ impl AdaptiveDriver {
             quarantined: BTreeSet::new(),
             lost: BTreeSet::new(),
             retry_scratch: 0,
+            eligible_scratch: Vec::new(),
+            deliver_read_data: true,
             disk_index: 0,
             obs: DriverObs::resolve(),
+            obs_pending: PendingDriverObs::default(),
             config,
         })
     }
@@ -574,7 +597,7 @@ impl AdaptiveDriver {
     /// segments, consulting the block table and the cylinder map, and
     /// note write-dirtying. Usually one segment; a cylinder map can split
     /// a boundary-straddling block into two.
-    fn resolve(&mut self, vsector: u64, n: u32, dir: IoDir) -> Vec<(u64, u32)> {
+    fn resolve(&mut self, vsector: u64, n: u32, dir: IoDir) -> Segments {
         if !dir.is_read() {
             let spb = u64::from(self.sectors_per_block());
             let orig_phys = self.label.virtual_to_physical(vsector - (vsector % spb));
@@ -590,24 +613,24 @@ impl AdaptiveDriver {
     /// applies, minus the write-dirtying. Maintenance readers (array
     /// scrub and rebuild) use this to locate a block's current bytes
     /// without perturbing the block table.
-    fn resolve_at(&self, vsector: u64, n: u32) -> Vec<(u64, u32)> {
+    fn resolve_at(&self, vsector: u64, n: u32) -> Segments {
         let spb = u64::from(self.sectors_per_block());
         let vblock_start = vsector - (vsector % spb);
         let offset = vsector - vblock_start;
         let orig_phys = self.label.virtual_to_physical(vblock_start);
         if let (Some(layout), Some(entry)) = (&self.layout, self.table.lookup(orig_phys)) {
             let target = layout.slot_sector(entry.slot) + offset;
-            return vec![(target, n)];
+            return Segments::one(target, n);
         }
         let p = orig_phys + offset;
         match &self.cyl_map {
-            None => vec![(p, n)],
+            None => Segments::one(p, n),
             Some(map) => {
                 // Split at physical cylinder boundaries and map each
                 // piece through the permutation.
                 let g = self.label.physical;
                 let spc = g.sectors_per_cylinder();
-                let mut out = Vec::with_capacity(2);
+                let mut out = Segments::new();
                 let mut cur = p;
                 let end = p + u64::from(n);
                 while cur < end {
@@ -616,7 +639,7 @@ impl AdaptiveDriver {
                     let piece_end = cyl_end.min(end);
                     let within = cur - g.cylinder_start(cyl);
                     let mapped = g.cylinder_start(map.physical(cyl)) + within;
-                    out.push((mapped, (piece_end - cur) as u32));
+                    out.push(mapped, (piece_end - cur) as u32);
                     cur = piece_end;
                 }
                 out
@@ -651,7 +674,7 @@ impl AdaptiveDriver {
         }
         self.last_arrival_cyl = Some(pre_cyl);
 
-        with_registry(|r| r.inc(self.obs.submitted, 1));
+        self.obs_pending.submitted += 1;
 
         // Request monitor sees the stable virtual block number.
         self.req_mon.record(RequestRecord {
@@ -720,7 +743,7 @@ impl AdaptiveDriver {
         if (vsector % spb) + u64::from(n_sectors) > spb {
             return Err(DriverError::CrossesBlockBoundary);
         }
-        Ok(self.resolve_at(vsector, n_sectors))
+        Ok(self.resolve_at(vsector, n_sectors).to_vec())
     }
 
     /// Read a range's current contents straight from the backing store,
@@ -789,13 +812,17 @@ impl AdaptiveDriver {
         let head = self
             .last_dispatch_cyl
             .unwrap_or_else(|| self.disk.head_cylinder());
-        let eligible: Vec<usize> = self
-            .queue
-            .iter()
-            .enumerate()
-            .filter(|(_, q)| q.arrived <= now)
-            .map(|(i, _)| i)
-            .collect();
+        // Reused scratch: no per-dispatch allocation, no request clones —
+        // the scheduler reads the arrived subset through an index view.
+        let mut eligible = std::mem::take(&mut self.eligible_scratch);
+        eligible.clear();
+        eligible.extend(
+            self.queue
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| q.arrived <= now)
+                .map(|(i, _)| i),
+        );
         let (idx, now) = if eligible.is_empty() {
             // Idle until the earliest arrival; service starts then.
             let idx = self
@@ -807,14 +834,10 @@ impl AdaptiveDriver {
                 .expect("non-empty queue");
             let at = self.queue[idx].arrived;
             (idx, at)
-        } else if eligible.len() == self.queue.len() {
-            (self.scheduler.pick(&self.queue, head), now)
         } else {
-            // Scheduler sees only the arrived subset.
-            let subset: Vec<Queued> = eligible.iter().map(|&i| self.queue[i].clone()).collect();
-            let pick = self.scheduler.pick(&subset, head);
-            (eligible[pick], now)
+            (self.scheduler.pick(&self.queue, &eligible, head), now)
         };
+        self.eligible_scratch = eligible;
         let q = self.queue.remove(idx);
         let queue_depth = self.queue.len() as u32;
 
@@ -861,11 +884,20 @@ impl AdaptiveDriver {
         // A segment failure (after the bounded retries inside `serviced`)
         // fails the whole request but still charges the time it took.
         self.retry_scratch = 0;
+        // Seeded writes never materialize here: the store records the
+        // `(seed, word offset)` marker per sector and synthesizes bytes
+        // only if something later reads them. The stream is counter-based,
+        // so a segment at byte offset `off` starts at word `off / 8` and a
+        // torn-write prefix is just a shorter marker run.
+        let seeded: Option<u64> = match q.req.payload_seed {
+            Some(seed) if !q.req.dir.is_read() => Some(seed),
+            _ => None,
+        };
         let mut wasted = SimDuration::ZERO;
         let mut acc: Option<ServiceBreakdown> = None;
         let mut error = None;
         let mut off = 0usize;
-        for &(sector, n) in &q.segments {
+        for &(sector, n) in q.segments.iter() {
             let bytes = n as usize * SECTOR_SIZE;
             let done = acc.map_or(SimDuration::ZERO, |a: ServiceBreakdown| a.total());
             let (elapsed, res) = self.serviced(q.req.dir, sector, n, now + wasted + done);
@@ -873,9 +905,21 @@ impl AdaptiveDriver {
                 Ok(b) => {
                     wasted += elapsed - b.total();
                     if !q.req.dir.is_read() {
-                        self.disk
-                            .store_mut()
-                            .write(sector, &q.req.data[off..off + bytes]);
+                        match seeded {
+                            Some(seed) => {
+                                self.disk.store_mut().write_seeded(
+                                    sector,
+                                    n,
+                                    seed,
+                                    (off / 8) as u64,
+                                );
+                            }
+                            None => {
+                                self.disk
+                                    .store_mut()
+                                    .write(sector, &q.req.data[off..off + bytes]);
+                            }
+                        }
                     }
                     acc = Some(match acc {
                         None => b,
@@ -892,10 +936,22 @@ impl AdaptiveDriver {
                     wasted += elapsed;
                     // A torn write persisted a prefix of this segment.
                     if e.fault == DiskFault::TornWrite && e.persisted > 0 {
-                        let torn = e.persisted as usize * SECTOR_SIZE;
-                        self.disk
-                            .store_mut()
-                            .write(sector, &q.req.data[off..off + torn]);
+                        match seeded {
+                            Some(seed) => {
+                                self.disk.store_mut().write_seeded(
+                                    sector,
+                                    e.persisted,
+                                    seed,
+                                    (off / 8) as u64,
+                                );
+                            }
+                            None => {
+                                let torn = e.persisted as usize * SECTOR_SIZE;
+                                self.disk
+                                    .store_mut()
+                                    .write(sector, &q.req.data[off..off + torn]);
+                            }
+                        }
                     }
                     self.perf.record_failure(q.req.dir);
                     error = Some(DriverError::from(e));
@@ -927,6 +983,29 @@ impl AdaptiveDriver {
         });
     }
 
+    /// Control whether completions of reads carry the data read from the
+    /// store (the default). Simulation loops that only consume timing
+    /// turn this off; integrity-checking callers leave it on.
+    pub fn set_deliver_read_data(&mut self, on: bool) {
+        self.deliver_read_data = on;
+    }
+
+    /// Mirror the buffered per-request counters into the registry in a
+    /// single pass (see [`PendingDriverObs`]). Runs automatically at the
+    /// `ReadStats` ioctl; callers that snapshot the registry without
+    /// reading stats can invoke it directly.
+    pub fn flush_obs(&mut self) {
+        let p = std::mem::take(&mut self.obs_pending);
+        if p.submitted == 0 && p.completed == 0 && p.failed == 0 {
+            return;
+        }
+        with_registry(|r| {
+            r.inc(self.obs.submitted, p.submitted);
+            r.inc(self.obs.completed, p.completed);
+            r.inc(self.obs.failed, p.failed);
+        });
+    }
+
     /// When the in-flight request will complete, if any. If the device is
     /// idle but future-dated requests are queued (batch submission), this
     /// is the time the earliest of them starts and completes — calling
@@ -955,10 +1034,10 @@ impl AdaptiveDriver {
     pub fn complete_next(&mut self, now: SimTime) -> Completion {
         let a = self.active.take().expect("no active request");
         assert_eq!(a.completes, now, "completion at the wrong time");
-        let data = if a.queued.req.dir.is_read() && a.error.is_none() {
+        let data = if a.queued.req.dir.is_read() && a.error.is_none() && self.deliver_read_data {
             let mut buf = vec![0u8; a.queued.req.n_sectors as usize * SECTOR_SIZE];
             let mut off = 0usize;
-            for &(sector, n) in &a.queued.segments {
+            for &(sector, n) in a.queued.segments.iter() {
                 let bytes = n as usize * SECTOR_SIZE;
                 self.disk.store().read(sector, &mut buf[off..off + bytes]);
                 off += bytes;
@@ -978,14 +1057,11 @@ impl AdaptiveDriver {
                 a.breakdown.transfer + a.breakdown.overhead,
             );
         }
-        with_registry(|r| {
-            let ctr = if a.error.is_none() {
-                self.obs.completed
-            } else {
-                self.obs.failed
-            };
-            r.inc(ctr, 1);
-        });
+        if a.error.is_none() {
+            self.obs_pending.completed += 1;
+        } else {
+            self.obs_pending.failed += 1;
+        }
         record_with(|| {
             let spb = u64::from(self.sectors_per_block());
             let vsector = self.label.partitions[a.queued.req.partition].start_sector
@@ -1076,7 +1152,10 @@ impl AdaptiveDriver {
                 let (records, dropped) = self.req_mon.read_and_clear();
                 Ok(IoctlReply::RequestTable { records, dropped })
             }
-            Ioctl::ReadStats => Ok(IoctlReply::Stats(Box::new(self.perf.read_and_clear()))),
+            Ioctl::ReadStats => {
+                self.flush_obs();
+                Ok(IoctlReply::Stats(Box::new(self.perf.read_and_clear())))
+            }
             Ioctl::PeekStats => Ok(IoctlReply::Stats(Box::new(self.perf.snapshot()))),
         };
         // Sanitize builds re-verify the redirect map after every block

@@ -316,6 +316,30 @@ pub struct PerfMonitor {
     writes: DirStats,
     faults: FaultStats,
     handles: PerfHandles,
+    /// Per-request registry observations accumulated locally and merged
+    /// in one pass at the day-boundary read-and-clear — the hot path
+    /// (dispatch/completion, hundreds of thousands per day) never takes
+    /// the registry borrow. Rare events (faults, quarantines) still
+    /// mirror immediately.
+    pending: PendingObs,
+}
+
+/// Locally-buffered registry deltas (see [`PerfMonitor::pending`]).
+#[derive(Debug, Clone)]
+struct PendingObs {
+    service_us: abr_obs::FixedHistogram,
+    queueing_us: abr_obs::FixedHistogram,
+    reserved_dispatches: u64,
+}
+
+impl PendingObs {
+    fn new() -> Self {
+        PendingObs {
+            service_us: abr_obs::FixedHistogram::with_bounds(&LATENCY_BOUNDS_US),
+            queueing_us: abr_obs::FixedHistogram::with_bounds(&LATENCY_BOUNDS_US),
+            reserved_dispatches: 0,
+        }
+    }
 }
 
 /// Histogram range: times at or beyond this many ms land in the overflow
@@ -336,6 +360,7 @@ impl PerfMonitor {
             writes: DirStats::new(RANGE_MS),
             faults: FaultStats::default(),
             handles: PerfHandles::resolve(),
+            pending: PendingObs::new(),
         }
     }
 
@@ -401,14 +426,13 @@ impl PerfMonitor {
         queueing: SimDuration,
         in_reserved: bool,
     ) {
-        let h = self.handles;
         let d = self.dir_mut(dir);
         d.sched_seek.record(distance);
         d.queueing.record(queueing);
-        with_registry(|r| r.observe(h.queueing_us, queueing.as_micros()));
+        self.pending.queueing_us.observe(queueing.as_micros());
         if in_reserved {
-            d.reserved_dispatches += 1;
-            with_registry(|r| r.inc(h.reserved_dispatches, 1));
+            self.dir_mut(dir).reserved_dispatches += 1;
+            self.pending.reserved_dispatches += 1;
         }
     }
 
@@ -421,12 +445,11 @@ impl PerfMonitor {
         rotation: SimDuration,
         transfer_and_overhead: SimDuration,
     ) {
-        let h = self.handles;
         let d = self.dir_mut(dir);
         d.service.record(service);
         d.rotation.record(rotation);
         d.transfer.record(transfer_and_overhead);
-        with_registry(|r| r.observe(h.service_us, service.as_micros()));
+        self.pending.service_us.observe(service.as_micros());
     }
 
     /// Snapshot without clearing.
@@ -438,13 +461,34 @@ impl PerfMonitor {
         }
     }
 
-    /// The read-and-clear ioctl.
+    /// The read-and-clear ioctl. Also flushes the locally-buffered
+    /// registry observations (see [`PerfMonitor::flush_obs`]).
     pub fn read_and_clear(&mut self) -> PerfSnapshot {
         let snap = self.snapshot();
         self.reads.clear();
         self.writes.clear();
         self.faults.clear();
+        self.flush_obs();
         snap
+    }
+
+    /// Merge the buffered per-request observations into the registry in
+    /// one pass. Called at the day-boundary read-and-clear; harmless (and
+    /// cheap) when nothing is buffered.
+    pub fn flush_obs(&mut self) {
+        let p = &mut self.pending;
+        if p.service_us.count() == 0 && p.queueing_us.count() == 0 && p.reserved_dispatches == 0 {
+            return;
+        }
+        let h = self.handles;
+        with_registry(|r| {
+            r.merge_histogram(h.service_us, &p.service_us);
+            r.merge_histogram(h.queueing_us, &p.queueing_us);
+            r.inc(h.reserved_dispatches, p.reserved_dispatches);
+        });
+        p.service_us.reset();
+        p.queueing_us.reset();
+        p.reserved_dispatches = 0;
     }
 }
 

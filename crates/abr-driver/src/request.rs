@@ -30,8 +30,27 @@ pub struct IoRequest {
     /// larger raw requests are split by [`crate::physio`]).
     pub n_sectors: u32,
     /// Payload for writes (`n_sectors * SECTOR_SIZE` bytes); empty for
-    /// reads.
+    /// reads and for seeded writes (see [`IoRequest::write_seeded`]).
     pub data: Bytes,
+    /// For seeded writes, the deterministic generator seed the payload
+    /// is synthesized from at the moment it hits the media — the request
+    /// carries 8 bytes instead of a materialized block. `None` for reads
+    /// and explicit-data writes.
+    pub payload_seed: Option<u64>,
+}
+
+/// Synthesize the deterministic payload stream for `seed` into `buf`
+/// (the same stream for the same seed, regardless of buffer length).
+///
+/// The stream is counter-based ([`abr_disk::store::fill_seeded`]), so a
+/// torn-write prefix of the buffer equals the same-length prefix of the
+/// stream, and the store can hold seeded sectors lazily as `(seed, word)`
+/// markers.
+///
+/// # Panics
+/// Panics if `buf.len()` is not a multiple of 8.
+pub fn fill_seeded_payload(seed: u64, buf: &mut [u8]) {
+    abr_disk::store::fill_seeded(seed, 0, buf);
 }
 
 impl IoRequest {
@@ -43,6 +62,7 @@ impl IoRequest {
             sector_in_partition,
             n_sectors,
             data: Bytes::new(),
+            payload_seed: None,
         }
     }
 
@@ -62,6 +82,40 @@ impl IoRequest {
             sector_in_partition,
             n_sectors,
             data,
+            payload_seed: None,
+        }
+    }
+
+    /// A write whose payload is synthesized from `seed` only when it
+    /// reaches the media (see [`fill_seeded_payload`]): the hot
+    /// submit→dispatch path carries no block-sized allocation at all.
+    pub fn write_seeded(
+        partition: usize,
+        sector_in_partition: u64,
+        n_sectors: u32,
+        seed: u64,
+    ) -> Self {
+        IoRequest {
+            dir: IoDir::Write,
+            partition,
+            sector_in_partition,
+            n_sectors,
+            data: Bytes::new(),
+            payload_seed: Some(seed),
+        }
+    }
+
+    /// The write payload, materializing a seeded request's stream. Used
+    /// where the bytes themselves are needed before the media write
+    /// (parity deltas, mirror pending images).
+    pub fn payload(&self) -> Bytes {
+        match self.payload_seed {
+            Some(seed) => {
+                let mut buf = vec![0u8; self.n_sectors as usize * abr_disk::SECTOR_SIZE];
+                fill_seeded_payload(seed, &mut buf);
+                Bytes::from(buf)
+            }
+            None => self.data.clone(),
         }
     }
 
@@ -76,6 +130,53 @@ impl IoRequest {
     }
 }
 
+/// The physical `(sector, n_sectors)` segments of one request, stored
+/// inline. Requests are block-bounded and a block spans at most two
+/// cylinder pieces under a cylinder map, so two fixed slots cover every
+/// case — no heap allocation per request.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Segments {
+    buf: [(u64, u32); 2],
+    len: u8,
+}
+
+impl Segments {
+    /// The common single-segment case.
+    pub fn one(sector: u64, n_sectors: u32) -> Self {
+        Segments {
+            buf: [(sector, n_sectors), (0, 0)],
+            len: 1,
+        }
+    }
+
+    /// An empty list to push into.
+    pub fn new() -> Self {
+        Segments::default()
+    }
+
+    /// Append a segment.
+    ///
+    /// # Panics
+    /// Panics on a third segment — a block-bounded request cannot
+    /// straddle more than one cylinder boundary.
+    pub fn push(&mut self, sector: u64, n_sectors: u32) {
+        assert!(
+            self.len < 2,
+            "block-bounded request resolved to more than two segments"
+        );
+        self.buf[self.len as usize] = (sector, n_sectors);
+        self.len += 1;
+    }
+}
+
+impl std::ops::Deref for Segments {
+    type Target = [(u64, u32)];
+
+    fn deref(&self) -> &[(u64, u32)] {
+        &self.buf[..self.len as usize]
+    }
+}
+
 /// A request sitting in the driver's queue, carrying resolved addresses.
 ///
 /// A request usually resolves to one contiguous physical segment; under a
@@ -85,7 +186,7 @@ pub(crate) struct Queued {
     pub id: RequestId,
     pub req: IoRequest,
     /// Physical `(sector, n_sectors)` segments, in request order.
-    pub segments: Vec<(u64, u32)>,
+    pub segments: Segments,
     /// Cylinder of the first segment (for scheduling).
     pub target_cylinder: u32,
     /// When `strategy` received it.

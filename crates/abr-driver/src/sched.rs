@@ -51,16 +51,21 @@ impl SchedulerKind {
 
 /// A queue discipline: choose the index of the next request to dispatch.
 pub(crate) trait Scheduler: Send {
-    /// Pick the index (into `queue`) of the request to dispatch next.
-    /// `queue` is non-empty and ordered by arrival.
-    fn pick(&mut self, queue: &[Queued], head_cylinder: u32) -> usize;
+    /// Pick which of `eligible` — strictly increasing indices into
+    /// `queue`, non-empty — to dispatch next, returning the chosen
+    /// *queue* index. `queue` is ordered by arrival; because `eligible`
+    /// preserves that order, tie-breaking on the queue index is the same
+    /// as tie-breaking on arrival order within the eligible set. The
+    /// borrowed index view lets the driver schedule over the arrived
+    /// subset without cloning requests.
+    fn pick(&mut self, queue: &[Queued], eligible: &[usize], head_cylinder: u32) -> usize;
 }
 
 struct Fcfs;
 
 impl Scheduler for Fcfs {
-    fn pick(&mut self, _queue: &[Queued], _head: u32) -> usize {
-        0
+    fn pick(&mut self, _queue: &[Queued], eligible: &[usize], _head: u32) -> usize {
+        eligible[0]
     }
 }
 
@@ -69,49 +74,46 @@ struct Scan {
 }
 
 impl Scheduler for Scan {
-    fn pick(&mut self, queue: &[Queued], head: u32) -> usize {
+    fn pick(&mut self, queue: &[Queued], eligible: &[usize], head: u32) -> usize {
         // Closest request at-or-beyond the head in the sweep direction;
         // if none, reverse direction.
         let best_in_dir = |up: bool| -> Option<usize> {
-            queue
+            eligible
                 .iter()
-                .enumerate()
-                .filter(|(_, q)| {
+                .filter(|&&i| {
                     if up {
-                        q.target_cylinder >= head
+                        queue[i].target_cylinder >= head
                     } else {
-                        q.target_cylinder <= head
+                        queue[i].target_cylinder <= head
                     }
                 })
-                .min_by_key(|(i, q)| (q.target_cylinder.abs_diff(head), *i))
-                .map(|(i, _)| i)
+                .min_by_key(|&&i| (queue[i].target_cylinder.abs_diff(head), i))
+                .copied()
         };
         if let Some(i) = best_in_dir(self.upward) {
             return i;
         }
         self.upward = !self.upward;
-        best_in_dir(self.upward).expect("non-empty queue")
+        best_in_dir(self.upward).expect("non-empty eligible set")
     }
 }
 
 struct CScan;
 
 impl Scheduler for CScan {
-    fn pick(&mut self, queue: &[Queued], head: u32) -> usize {
+    fn pick(&mut self, queue: &[Queued], eligible: &[usize], head: u32) -> usize {
         // Closest at-or-above the head; else wrap to the lowest cylinder.
-        queue
+        eligible
             .iter()
-            .enumerate()
-            .filter(|(_, q)| q.target_cylinder >= head)
-            .min_by_key(|(i, q)| (q.target_cylinder - head, *i))
-            .map(|(i, _)| i)
+            .filter(|&&i| queue[i].target_cylinder >= head)
+            .min_by_key(|&&i| (queue[i].target_cylinder - head, i))
+            .copied()
             .unwrap_or_else(|| {
-                queue
+                eligible
                     .iter()
-                    .enumerate()
-                    .min_by_key(|(i, q)| (q.target_cylinder, *i))
-                    .map(|(i, _)| i)
-                    .expect("non-empty queue")
+                    .min_by_key(|&&i| (queue[i].target_cylinder, i))
+                    .copied()
+                    .expect("non-empty eligible set")
             })
     }
 }
@@ -119,13 +121,12 @@ impl Scheduler for CScan {
 struct Sstf;
 
 impl Scheduler for Sstf {
-    fn pick(&mut self, queue: &[Queued], head: u32) -> usize {
-        queue
+    fn pick(&mut self, queue: &[Queued], eligible: &[usize], head: u32) -> usize {
+        eligible
             .iter()
-            .enumerate()
-            .min_by_key(|(i, q)| (q.target_cylinder.abs_diff(head), *i))
-            .map(|(i, _)| i)
-            .expect("non-empty queue")
+            .min_by_key(|&&i| (queue[i].target_cylinder.abs_diff(head), i))
+            .copied()
+            .expect("non-empty eligible set")
     }
 }
 
@@ -139,7 +140,7 @@ mod tests {
         Queued {
             id: RequestId(id),
             req: IoRequest::read(0, 0, 1),
-            segments: vec![(u64::from(cyl) * 340, 1)],
+            segments: crate::request::Segments::one(u64::from(cyl) * 340, 1),
             target_cylinder: cyl,
             arrived: SimTime::from_micros(id),
         }
@@ -150,7 +151,8 @@ mod tests {
         let mut head = head;
         let mut order = Vec::new();
         while !queue.is_empty() {
-            let i = s.pick(&queue, head);
+            let eligible: Vec<usize> = (0..queue.len()).collect();
+            let i = s.pick(&queue, &eligible, head);
             let picked = queue.remove(i);
             head = picked.target_cylinder;
             order.push(picked.target_cylinder);

@@ -10,9 +10,15 @@
 //! synthesized at flush time from the [`crate::payload::PayloadTag`]
 //! recorded with each dirty entry. Eviction is LRU; evicting a dirty
 //! block emits an immediate writeback.
+//!
+//! Internally the recency order is an intrusive doubly-linked list over a
+//! slab of entries, with a block → slot map on the side: referencing a
+//! resident block unlinks and relinks one node (O(1)) instead of
+//! reshuffling an ordered structure, and slots are recycled through a
+//! free list so a warmed-up cache performs no allocation at all.
 
 use crate::payload::PayloadTag;
-use std::collections::{BTreeMap, HashMap}; // abr-lint: allow(D001, cache map is keyed lookup; eviction order comes from the lru BTreeMap)
+use abr_sim::hash::FastMap; // abr-lint: allow(D001, cache map is keyed lookup; eviction order comes from the intrusive lru list)
 
 /// A block due to be written to disk: which block, what it holds, and how
 /// many sectors of it are valid (fragment-tail writes are sub-block).
@@ -26,9 +32,15 @@ pub struct Writeback {
     pub n_sectors: u32,
 }
 
+const NIL: u32 = u32::MAX;
+
 #[derive(Debug, Clone, Copy)]
-struct Entry {
-    tick: u64,
+struct Node {
+    block: u64,
+    /// Toward the LRU end.
+    prev: u32,
+    /// Toward the MRU end.
+    next: u32,
     dirty: Option<(PayloadTag, u32)>,
 }
 
@@ -36,9 +48,13 @@ struct Entry {
 #[derive(Debug)]
 pub struct BufferCache {
     capacity: usize,
-    map: HashMap<u64, Entry>, // abr-lint: allow(D001, keyed lookup only; victims picked via lru BTreeMap)
-    lru: BTreeMap<u64, u64>,  // tick -> block
-    next_tick: u64,
+    map: FastMap<u64, u32>, // abr-lint: allow(D001, keyed lookup only; victims picked via the lru list)
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    /// Least-recently-used node (eviction victim), `NIL` when empty.
+    head: u32,
+    /// Most-recently-used node, `NIL` when empty.
+    tail: u32,
     hits: u64,
     misses: u64,
     /// Blocks in the order they first became dirty since the last flush
@@ -57,9 +73,11 @@ impl BufferCache {
         assert!(capacity > 0, "zero-capacity cache");
         BufferCache {
             capacity,
-            map: HashMap::new(), // abr-lint: allow(D001, keyed lookup only; victims picked via lru BTreeMap)
-            lru: BTreeMap::new(),
-            next_tick: 0,
+            map: FastMap::default(), // abr-lint: allow(D001, keyed lookup only; victims picked via the lru list)
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
             hits: 0,
             misses: 0,
             dirty_seq: Vec::new(),
@@ -86,14 +104,32 @@ impl BufferCache {
         self.map.contains_key(&block)
     }
 
-    fn bump(&mut self, block: u64) {
-        let tick = self.next_tick;
-        self.next_tick += 1;
-        if let Some(e) = self.map.get_mut(&block) {
-            self.lru.remove(&e.tick);
-            e.tick = tick;
-            self.lru.insert(tick, block);
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let n = &self.nodes[idx as usize];
+            (n.prev, n.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev as usize].next = next;
         }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next as usize].prev = prev;
+        }
+    }
+
+    fn link_mru(&mut self, idx: u32) {
+        self.nodes[idx as usize].prev = self.tail;
+        self.nodes[idx as usize].next = NIL;
+        if self.tail == NIL {
+            self.head = idx;
+        } else {
+            self.nodes[self.tail as usize].next = idx;
+        }
+        self.tail = idx;
     }
 
     /// Reference a block for reading. Returns `(hit, evicted_writeback)`:
@@ -101,9 +137,10 @@ impl BufferCache {
     /// be evicted — if it was dirty, its writeback is returned and must be
     /// issued immediately.
     pub fn reference(&mut self, block: u64) -> (bool, Option<Writeback>) {
-        if self.map.contains_key(&block) {
+        if let Some(&idx) = self.map.get(&block) {
             self.hits += 1;
-            self.bump(block);
+            self.unlink(idx);
+            self.link_mru(idx);
             (true, None)
         } else {
             self.misses += 1;
@@ -116,13 +153,14 @@ impl BufferCache {
     /// flush time. Returns an eviction writeback if inserting displaced a
     /// dirty block.
     pub fn mark_dirty(&mut self, block: u64, tag: PayloadTag, n_sectors: u32) -> Option<Writeback> {
-        if self.map.contains_key(&block) {
-            self.bump(block);
-            let e = self.map.get_mut(&block).expect("present");
-            if e.dirty.is_none() {
+        if let Some(&idx) = self.map.get(&block) {
+            self.unlink(idx);
+            self.link_mru(idx);
+            let n = &mut self.nodes[idx as usize];
+            if n.dirty.is_none() {
                 self.dirty_seq.push(block);
             }
-            e.dirty = Some((tag, n_sectors));
+            n.dirty = Some((tag, n_sectors));
             None
         } else {
             let evicted = self.insert(block, Some((tag, n_sectors)));
@@ -135,28 +173,50 @@ impl BufferCache {
         let mut evicted = None;
         if self.map.len() >= self.capacity {
             // Evict the least-recently-used block.
-            let (&tick, &victim) = self.lru.iter().next().expect("cache non-empty");
-            self.lru.remove(&tick);
-            let e = self.map.remove(&victim).expect("present");
-            if let Some((tag, n_sectors)) = e.dirty {
+            let victim = self.head;
+            self.unlink(victim);
+            let n = self.nodes[victim as usize];
+            self.map.remove(&n.block);
+            self.free.push(victim);
+            if let Some((tag, n_sectors)) = n.dirty {
                 evicted = Some(Writeback {
-                    block: victim,
+                    block: n.block,
                     tag,
                     n_sectors,
                 });
             }
         }
-        let tick = self.next_tick;
-        self.next_tick += 1;
-        self.map.insert(block, Entry { tick, dirty });
-        self.lru.insert(tick, block);
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = Node {
+                    block,
+                    prev: NIL,
+                    next: NIL,
+                    dirty,
+                };
+                i
+            }
+            None => {
+                let i = u32::try_from(self.nodes.len()).expect("cache slots fit in u32");
+                self.nodes.push(Node {
+                    block,
+                    prev: NIL,
+                    next: NIL,
+                    dirty,
+                });
+                i
+            }
+        };
+        self.link_mru(idx);
+        self.map.insert(block, idx);
         evicted
     }
 
     /// Drop a block from the cache without writeback (file deletion).
     pub fn invalidate(&mut self, block: u64) {
-        if let Some(e) = self.map.remove(&block) {
-            self.lru.remove(&e.tick);
+        if let Some(idx) = self.map.remove(&block) {
+            self.unlink(idx);
+            self.free.push(idx);
         }
     }
 
@@ -171,8 +231,9 @@ impl BufferCache {
         order
             .into_iter()
             .filter_map(|block| {
-                let e = self.map.get_mut(&block)?;
-                e.dirty.take().map(|(tag, n_sectors)| Writeback {
+                let &idx = self.map.get(&block)?;
+                let n = &mut self.nodes[idx as usize];
+                n.dirty.take().map(|(tag, n_sectors)| Writeback {
                     block,
                     tag,
                     n_sectors,
@@ -183,7 +244,10 @@ impl BufferCache {
 
     /// Number of dirty blocks awaiting flush.
     pub fn dirty_count(&self) -> usize {
-        self.map.values().filter(|e| e.dirty.is_some()).count()
+        self.map
+            .values()
+            .filter(|&&idx| self.nodes[idx as usize].dirty.is_some())
+            .count()
     }
 }
 
@@ -293,6 +357,56 @@ mod tests {
         for b in 0..100 {
             c.reference(b);
             assert!(c.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn slots_recycle_without_growth() {
+        let mut c = BufferCache::new(4);
+        for b in 0..1000 {
+            c.reference(b);
+        }
+        // The slab never grows past capacity: victims' slots are reused.
+        assert_eq!(c.nodes.len(), 4);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn invalidated_slot_is_reused() {
+        let mut c = BufferCache::new(8);
+        c.reference(1);
+        c.reference(2);
+        c.invalidate(1);
+        c.reference(3); // takes 1's slot
+        assert_eq!(c.nodes.len(), 2);
+        assert!(c.contains(2));
+        assert!(c.contains(3));
+    }
+
+    #[test]
+    fn mixed_workout_matches_naive_model() {
+        // Cross-check list-based LRU against a simple vector model.
+        let mut c = BufferCache::new(4);
+        let mut model: Vec<u64> = Vec::new(); // front = LRU
+        let mut x = 0x12345u64;
+        for _ in 0..2000 {
+            x = abr_sim::rng::splitmix64(x);
+            let block = x % 12;
+            if x.is_multiple_of(7) && !model.is_empty() {
+                let victim = model[(x % model.len() as u64) as usize];
+                c.invalidate(victim);
+                model.retain(|&b| b != victim);
+                continue;
+            }
+            let (hit, _) = c.reference(block);
+            let modeled_hit = model.contains(&block);
+            assert_eq!(hit, modeled_hit, "block {block}");
+            model.retain(|&b| b != block);
+            model.push(block);
+            if model.len() > 4 {
+                model.remove(0);
+            }
+            assert_eq!(c.len(), model.len());
         }
     }
 }

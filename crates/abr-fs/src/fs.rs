@@ -13,6 +13,7 @@ use crate::cache::{BufferCache, Writeback};
 use crate::layout::FsLayout;
 use crate::payload::PayloadTag;
 use abr_driver::request::IoRequest;
+use abr_sim::hash::FastMap;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -139,17 +140,94 @@ struct Dir {
     generation: u32,
 }
 
+/// The i-node table, dense over the allocator's bounded i-node space.
+///
+/// I-node lookups sit on the per-operation hot path (every read, write
+/// and access-time touch), and i-node numbers are small dense integers
+/// handed out by the per-group allocator — a direct-indexed slot vector
+/// answers in one probe where the ordered map walked `log n` nodes.
+/// Serialization goes through an ordered map (see
+/// [`FileSystem::save_state`]) so saved state is unchanged.
+#[derive(Debug, Default)]
+struct InodeTable {
+    slots: Vec<Option<Inode>>,
+    live: usize,
+}
+
+impl InodeTable {
+    fn get(&self, ino: u64) -> Option<&Inode> {
+        self.slots.get(ino as usize)?.as_ref()
+    }
+
+    fn get_mut(&mut self, ino: u64) -> Option<&mut Inode> {
+        self.slots.get_mut(ino as usize)?.as_mut()
+    }
+
+    fn insert(&mut self, ino: u64, inode: Inode) {
+        let i = ino as usize;
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        if self.slots[i].replace(inode).is_none() {
+            self.live += 1;
+        }
+    }
+
+    fn remove(&mut self, ino: u64) -> Option<Inode> {
+        let gone = self.slots.get_mut(ino as usize)?.take();
+        if gone.is_some() {
+            self.live -= 1;
+        }
+        gone
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Live entries in i-node order (the order the old ordered map
+    /// serialized in).
+    fn ordered(&self) -> BTreeMap<u64, &Inode> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|inode| (i as u64, inode)))
+            .collect()
+    }
+
+    fn from_ordered(map: BTreeMap<u64, Inode>) -> Self {
+        let mut t = InodeTable::default();
+        for (ino, inode) in map {
+            t.insert(ino, inode);
+        }
+        t
+    }
+}
+
+impl std::ops::Index<u64> for InodeTable {
+    type Output = Inode;
+    fn index(&self, ino: u64) -> &Inode {
+        self.get(ino).expect("live i-node")
+    }
+}
+
 /// The file system.
 pub struct FileSystem {
     cfg: FsConfig,
     layout: FsLayout,
     alloc: Allocator,
     cache: BufferCache,
-    inodes: BTreeMap<u64, Inode>,
+    inodes: InodeTable,
     dirs: BTreeMap<u64, Dir>,
     next_dir_id: u64,
-    /// Update generation per i-node region block.
-    inode_block_gen: BTreeMap<u64, u32>,
+    /// Update generation per i-node region block. Touched on every
+    /// operation (access-time updates), so keyed with the fast fixed
+    /// hasher; serialized through an ordered map (see
+    /// [`FileSystem::save_state`]).
+    inode_block_gen: FastMap<u64, u32>,
+    /// Reusable (block, generation) scratch for `read`/`write`, so the
+    /// per-operation hot path does not allocate to walk an extent list.
+    op_scratch: Vec<(u64, u32)>,
 }
 
 impl fmt::Debug for FileSystem {
@@ -177,10 +255,11 @@ impl FileSystem {
         FileSystem {
             alloc: Allocator::new(layout),
             cache: BufferCache::new(cfg.cache_blocks),
-            inodes: BTreeMap::new(),
+            inodes: InodeTable::default(),
             dirs: BTreeMap::new(),
             next_dir_id: 0,
-            inode_block_gen: BTreeMap::new(),
+            inode_block_gen: FastMap::default(),
+            op_scratch: Vec::new(),
             layout,
             cfg,
         }
@@ -228,11 +307,14 @@ impl FileSystem {
     }
 
     fn write_req(&self, w: &Writeback) -> IoRequest {
-        IoRequest::write(
+        // Seeded: the request carries the 8-byte generator seed; the
+        // driver synthesizes the identical payload stream at media-write
+        // time (see `PayloadTag::seed`).
+        IoRequest::write_seeded(
             self.cfg.partition,
             w.block * u64::from(self.spb()),
             w.n_sectors,
-            w.tag.bytes(w.n_sectors as usize * abr_disk::SECTOR_SIZE),
+            w.tag.seed(),
         )
     }
 
@@ -472,17 +554,26 @@ impl FileSystem {
         start: usize,
         n_blocks: usize,
     ) -> Result<Vec<IoRequest>, FsError> {
-        let (blocks, size, indirect, total) = {
-            let inode = self.inodes.get(&file.0).ok_or(FsError::NoSuchFile)?;
+        let mut scratch = std::mem::take(&mut self.op_scratch);
+        scratch.clear();
+        let (size, indirect, total) = {
+            let inode = match self.inodes.get(file.0) {
+                Some(i) => i,
+                None => {
+                    self.op_scratch = scratch;
+                    return Err(FsError::NoSuchFile);
+                }
+            };
             if start + n_blocks > inode.blocks.len() {
+                self.op_scratch = scratch;
                 return Err(FsError::BeyondEof);
             }
-            (
-                inode.blocks[start..start + n_blocks].to_vec(),
-                inode.size,
-                inode.indirect,
-                inode.blocks.len(),
-            )
+            scratch.extend(
+                inode.blocks[start..start + n_blocks]
+                    .iter()
+                    .map(|&b| (b, 0)),
+            );
+            (inode.size, inode.indirect, inode.blocks.len())
         };
         let mut out = Vec::new();
         self.fetch_inode(file.0, &mut out);
@@ -493,12 +584,13 @@ impl FileSystem {
                 self.cache_read(ib, self.spb(), &mut out);
             }
         }
-        for (i, b) in blocks.into_iter().enumerate() {
+        for (i, &(b, _)) in scratch.iter().enumerate() {
             let idx = start + i;
             let n_sectors = self.block_sectors(size, idx, total);
             self.cache_read(b, n_sectors, &mut out);
         }
         self.touch_inode(file.0, &mut out);
+        self.op_scratch = scratch;
         Ok(out)
     }
 
@@ -525,26 +617,29 @@ impl FileSystem {
         if self.cfg.mode == MountMode::ReadOnly {
             return Err(FsError::ReadOnly);
         }
-        let (blocks, size, total, gens) = {
-            let inode = self.inodes.get_mut(&file.0).ok_or(FsError::NoSuchFile)?;
+        let mut scratch = std::mem::take(&mut self.op_scratch);
+        scratch.clear();
+        let (size, total) = {
+            let inode = match self.inodes.get_mut(file.0) {
+                Some(i) => i,
+                None => {
+                    self.op_scratch = scratch;
+                    return Err(FsError::NoSuchFile);
+                }
+            };
             if start + n_blocks > inode.blocks.len() {
+                self.op_scratch = scratch;
                 return Err(FsError::BeyondEof);
             }
-            let mut gens = Vec::with_capacity(n_blocks);
             for idx in start..start + n_blocks {
                 inode.generations[idx] += 1;
-                gens.push(inode.generations[idx]);
+                scratch.push((inode.blocks[idx], inode.generations[idx]));
             }
-            (
-                inode.blocks[start..start + n_blocks].to_vec(),
-                inode.size,
-                inode.blocks.len(),
-                gens,
-            )
+            (inode.size, inode.blocks.len())
         };
         let mut out = Vec::new();
         self.fetch_inode(file.0, &mut out);
-        for (i, (b, generation)) in blocks.into_iter().zip(gens).enumerate() {
+        for (i, &(b, generation)) in scratch.iter().enumerate() {
             let idx = start + i;
             let n_sectors = self.block_sectors(size, idx, total);
             self.data_write(
@@ -559,6 +654,7 @@ impl FileSystem {
             );
         }
         self.touch_inode(file.0, &mut out);
+        self.op_scratch = scratch;
         Ok(out)
     }
 
@@ -569,7 +665,7 @@ impl FileSystem {
         }
         let bs = u64::from(self.cfg.block_size);
         let (old_size, group, mut prev, old_n) = {
-            let inode = self.inodes.get(&file.0).ok_or(FsError::NoSuchFile)?;
+            let inode = self.inodes.get(file.0).ok_or(FsError::NoSuchFile)?;
             (
                 inode.size,
                 inode.group,
@@ -605,7 +701,7 @@ impl FileSystem {
             }
         }
         let needs_indirect = new_n > DIRECT_POINTERS;
-        let new_indirect = if needs_indirect && self.inodes[&file.0].indirect.is_none() {
+        let new_indirect = if needs_indirect && self.inodes[file.0].indirect.is_none() {
             match self.alloc.alloc_block(group, prev) {
                 Some(b) => Some(b),
                 None => {
@@ -617,7 +713,7 @@ impl FileSystem {
             None
         };
         {
-            let inode = self.inodes.get_mut(&file.0).expect("checked");
+            let inode = self.inodes.get_mut(file.0).expect("checked");
             inode.blocks.extend(&new_blocks);
             inode.generations.extend(new_blocks.iter().map(|_| 0));
             inode.size = new_size;
@@ -626,7 +722,7 @@ impl FileSystem {
             }
         }
         if needs_indirect {
-            let ib = self.inodes[&file.0].indirect.expect("just set");
+            let ib = self.inodes[file.0].indirect.expect("just set"); // abr-lint: allow(P001, set by needs_indirect branch above)
             self.cache_dirty(
                 ib,
                 PayloadTag::Indirect { ino: file.0 },
@@ -638,10 +734,10 @@ impl FileSystem {
         let total = new_n;
         let size = new_size;
         let start = old_n.saturating_sub(1);
-        let blocks = self.inodes[&file.0].blocks[start..].to_vec();
+        let blocks = self.inodes[file.0].blocks[start..].to_vec();
         for (i, b) in blocks.into_iter().enumerate() {
             let idx = start + i;
-            let generation = self.inodes[&file.0].generations[idx];
+            let generation = self.inodes[file.0].generations[idx];
             let n_sectors = self.block_sectors(size, idx, total);
             self.data_write(
                 b,
@@ -668,7 +764,7 @@ impl FileSystem {
         if !self.dirs.contains_key(&dir.0) {
             return Err(FsError::NoSuchDir);
         }
-        let inode = self.inodes.remove(&file.0).ok_or(FsError::NoSuchFile)?;
+        let inode = self.inodes.remove(file.0).ok_or(FsError::NoSuchFile)?;
         let mut out = Vec::new();
         for b in &inode.blocks {
             self.cache.invalidate(*b);
@@ -689,7 +785,7 @@ impl FileSystem {
     pub fn n_file_blocks(&self, file: FileHandle) -> Result<usize, FsError> {
         Ok(self
             .inodes
-            .get(&file.0)
+            .get(file.0)
             .ok_or(FsError::NoSuchFile)?
             .blocks
             .len())
@@ -697,17 +793,17 @@ impl FileSystem {
 
     /// File size in bytes.
     pub fn file_size(&self, file: FileHandle) -> Result<u64, FsError> {
-        Ok(self.inodes.get(&file.0).ok_or(FsError::NoSuchFile)?.size)
+        Ok(self.inodes.get(file.0).ok_or(FsError::NoSuchFile)?.size)
     }
 
     /// Absolute FS block numbers of a file, in file order.
     pub fn file_blocks(&self, file: FileHandle) -> Result<&[u64], FsError> {
-        Ok(&self.inodes.get(&file.0).ok_or(FsError::NoSuchFile)?.blocks)
+        Ok(&self.inodes.get(file.0).ok_or(FsError::NoSuchFile)?.blocks)
     }
 
     /// Expected payload of file block `idx`, for end-to-end verification.
     pub fn expected_payload(&self, file: FileHandle, idx: usize) -> Result<bytes::Bytes, FsError> {
-        let inode = self.inodes.get(&file.0).ok_or(FsError::NoSuchFile)?;
+        let inode = self.inodes.get(file.0).ok_or(FsError::NoSuchFile)?;
         if idx >= inode.blocks.len() {
             return Err(FsError::BeyondEof);
         }
@@ -741,10 +837,10 @@ impl FileSystem {
             "cfg": self.cfg,
             "layout": self.layout,
             "alloc": self.alloc,
-            "inodes": self.inodes,
+            "inodes": self.inodes.ordered(),
             "dirs": self.dirs,
             "next_dir_id": self.next_dir_id,
-            "inode_block_gen": self.inode_block_gen,
+            "inode_block_gen": self.inode_block_gen.iter().map(|(&k, &v)| (k, v)).collect::<BTreeMap<u64, u32>>(),
         })
     }
 
@@ -756,10 +852,15 @@ impl FileSystem {
             cfg,
             layout: serde_json::from_value(state["layout"].clone())?,
             alloc: serde_json::from_value(state["alloc"].clone())?,
-            inodes: serde_json::from_value(state["inodes"].clone())?,
+            inodes: InodeTable::from_ordered(serde_json::from_value(state["inodes"].clone())?),
             dirs: serde_json::from_value(state["dirs"].clone())?,
             next_dir_id: serde_json::from_value(state["next_dir_id"].clone())?,
-            inode_block_gen: serde_json::from_value(state["inode_block_gen"].clone())?,
+            inode_block_gen: serde_json::from_value::<BTreeMap<u64, u32>>(
+                state["inode_block_gen"].clone(),
+            )?
+            .into_iter()
+            .collect(),
+            op_scratch: Vec::new(),
             cache: BufferCache::new(cfg.cache_blocks),
         })
     }

@@ -45,7 +45,11 @@ pub enum PayloadTag {
 }
 
 impl PayloadTag {
-    fn seed(&self) -> u64 {
+    /// The generator seed for this tag: [`PayloadTag::bytes`] is exactly
+    /// the [`abr_driver::IoRequest::write_seeded`] stream for this seed,
+    /// so writes can carry the 8-byte seed instead of a materialized
+    /// payload and stay byte-for-byte verifiable.
+    pub fn seed(&self) -> u64 {
         match *self {
             PayloadTag::FileData {
                 ino,
@@ -64,13 +68,8 @@ impl PayloadTag {
     /// Synthesize `len` bytes for this tag (`len` must be a multiple of 8
     /// for the generator's stride; block and fragment sizes always are).
     pub fn bytes(&self, len: usize) -> Bytes {
-        assert_eq!(len % 8, 0, "payload length must be 8-byte aligned");
-        let mut out = Vec::with_capacity(len);
-        let mut state = self.seed();
-        for _ in 0..len / 8 {
-            state = splitmix64(state);
-            out.extend_from_slice(&state.to_le_bytes());
-        }
+        let mut out = vec![0u8; len];
+        abr_disk::store::fill_seeded(self.seed(), 0, &mut out);
         Bytes::from(out)
     }
 }

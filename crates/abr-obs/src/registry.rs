@@ -50,6 +50,14 @@ pub struct FixedHistogram {
 }
 
 impl FixedHistogram {
+    /// A fresh histogram with the given inclusive upper bounds — for
+    /// hot-path callers that accumulate observations locally and merge
+    /// them into the registry in one batch (see
+    /// [`Registry::merge_histogram`]).
+    pub fn with_bounds(bounds: &[u64]) -> FixedHistogram {
+        FixedHistogram::new(bounds.to_vec())
+    }
+
     fn new(bounds: Vec<u64>) -> FixedHistogram {
         let n = bounds.len() + 1; // + overflow
         FixedHistogram {
@@ -87,7 +95,8 @@ impl FixedHistogram {
         *self.buckets.last().expect("overflow bucket always present")
     }
 
-    fn reset(&mut self) {
+    /// Zero all buckets and totals, keeping the bounds.
+    pub fn reset(&mut self) {
         self.buckets.iter_mut().for_each(|b| *b = 0);
         self.count = 0;
         self.sum = 0;
@@ -175,6 +184,22 @@ impl Registry {
     /// Record one observation into a histogram.
     pub fn observe(&mut self, id: HistogramId, value: u64) {
         self.histograms[id.0].1.observe(value);
+    }
+
+    /// Merge a locally-accumulated histogram into a registered one in a
+    /// single pass — the batched alternative to per-observation
+    /// [`Registry::observe`] on hot paths. Bucket layouts must match.
+    ///
+    /// # Panics
+    /// Panics if `other` was built with different bounds.
+    pub fn merge_histogram(&mut self, id: HistogramId, other: &FixedHistogram) {
+        let h = &mut self.histograms[id.0].1;
+        assert_eq!(h.bounds, other.bounds, "histogram bucket layouts differ");
+        for (b, o) in h.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        h.count += other.count;
+        h.sum += other.sum;
     }
 
     /// Read access to a histogram.

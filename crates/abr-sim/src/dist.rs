@@ -59,7 +59,16 @@ impl Zipf {
     pub fn sample(&self, rng: &mut SimRng) -> usize {
         let u = rng.f64();
         // partition_point returns the count of entries < u, i.e. the first
-        // rank whose cumulative probability reaches u.
+        // rank whose cumulative probability reaches u. For the skewed
+        // exponents the workloads use, most draws land in the first few
+        // ranks, so search the (cache-resident) head before binary-
+        // searching the full table — same result, far fewer misses.
+        const HEAD: usize = 64;
+        if let Some(&h) = self.cdf.get(HEAD - 1) {
+            if u <= h {
+                return self.cdf[..HEAD].partition_point(|&c| c < u);
+            }
+        }
         self.cdf.partition_point(|&c| c < u)
     }
 

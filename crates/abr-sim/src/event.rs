@@ -4,10 +4,33 @@
 //! disk completions, the 2-minute monitor timer, the periodic update
 //! daemon) into a single time-ordered stream. Ties are broken by insertion
 //! order so simulations are fully deterministic regardless of payload type.
+//!
+//! # Implementation: a two-rung calendar (ladder) queue
+//!
+//! The queue keeps events in two rungs instead of a binary heap:
+//!
+//! * `near` — events firing before `horizon`, kept sorted **descending**
+//!   by `(at, seq)` so the next event to fire sits at the tail and
+//!   [`EventQueue::pop`] is a plain `Vec::pop` (O(1), no sift-down).
+//! * `far` — everything at or past `horizon`, unsorted, append-only, with
+//!   the minimum firing time cached in `far_min`.
+//!
+//! Most schedules land in `far` (workload trains are paced into the
+//! future), so pushes are O(1) appends. When `near` drains, a batch of
+//! upcoming events — those within `epoch` of the earliest far event — is
+//! migrated out of `far` and sorted once. The epoch width adapts to the
+//! observed event density so each migration moves a healthy batch: the
+//! cost of the sort amortizes over the batch, and the scan of `far`
+//! amortizes over the events it migrates.
+//!
+//! Correctness does not depend on the epoch: the pop order is the total
+//! order on `(at, seq)` regardless of which rung an event occupies, and
+//! the epoch itself evolves as a pure function of the push/pop sequence,
+//! so identical schedules produce identical pop orders (and identical
+//! result bytes) — same-tick events still pop in FIFO order because `seq`
+//! increases monotonically.
 
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// An entry in the event queue: a payload scheduled at a time, with a
 /// sequence number for stable FIFO tie-breaking.
@@ -17,28 +40,16 @@ struct Scheduled<E> {
     event: E,
 }
 
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
+/// Migrations that move fewer events than this widen the next epoch.
+const MIGRATE_MIN_BATCH: usize = 8;
+/// Migrations that move more events than this narrow the next epoch.
+const MIGRATE_MAX_BATCH: usize = 4096;
+/// Epoch bounds, in microseconds of simulated time.
+const EPOCH_MIN_US: u64 = 1_000; // 1ms
+const EPOCH_MAX_US: u64 = 3_600_000_000; // 1h
+/// First migration window: one second of simulated time, a few paced
+/// request intervals wide.
+const INITIAL_EPOCH_US: u64 = 1_000_000;
 
 /// A time-ordered queue of events of type `E`.
 ///
@@ -55,7 +66,18 @@ impl<E> Ord for Scheduled<E> {
 /// assert_eq!((t.as_micros(), e), (10, "early"));
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    /// Events with `at < horizon`, sorted descending by `(at, seq)`:
+    /// the earliest event is last and pops in O(1).
+    near: Vec<Scheduled<E>>,
+    /// Events with `at >= horizon`, unsorted.
+    far: Vec<Scheduled<E>>,
+    /// Cached minimum firing time across `far` (meaningless when empty).
+    far_min: SimTime,
+    /// Every `near` event fires strictly before this; every `far` event
+    /// fires at or after it.
+    horizon: SimTime,
+    /// Current migration window width, adapted to event density.
+    epoch_us: u64,
     next_seq: u64,
     now: SimTime,
 }
@@ -70,7 +92,11 @@ impl<E> EventQueue<E> {
     /// Create an empty queue with the clock at time zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            near: Vec::new(),
+            far: Vec::new(),
+            far_min: SimTime::MAX,
+            horizon: SimTime::ZERO,
+            epoch_us: INITIAL_EPOCH_US,
             next_seq: 0,
             now: SimTime::ZERO,
         }
@@ -85,20 +111,68 @@ impl<E> EventQueue<E> {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        if at >= self.horizon {
+            if at < self.far_min {
+                self.far_min = at;
+            }
+            self.far.push(Scheduled { at, seq, event });
+        } else {
+            // `near` is sorted descending by (at, seq). The new event has
+            // the largest seq so far, so among equal times it sorts first
+            // in the array — and therefore pops last, preserving FIFO.
+            let idx = self.near.partition_point(|e| e.at > at);
+            self.near.insert(idx, Scheduled { at, seq, event });
+        }
     }
 
     /// Remove and return the earliest event, advancing the clock to its
     /// firing time. Returns `None` when no events remain.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let s = self.heap.pop()?;
+        if self.near.is_empty() {
+            self.migrate();
+        }
+        let s = self.near.pop()?;
         self.now = s.at;
         Some((s.at, s.event))
     }
 
+    /// Move every far event within one epoch of the earliest into `near`
+    /// and sort the batch. Called only when `near` is empty.
+    fn migrate(&mut self) {
+        if self.far.is_empty() {
+            return;
+        }
+        // epoch_us >= 1, so the earliest far event always migrates.
+        let cutoff = SimTime::from_micros(self.far_min.as_micros().saturating_add(self.epoch_us));
+        let mut i = 0;
+        while i < self.far.len() {
+            if self.far[i].at < cutoff {
+                self.near.push(self.far.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        // Keys (at, seq) are unique, so an unstable sort is deterministic.
+        self.near
+            .sort_unstable_by_key(|e| std::cmp::Reverse((e.at, e.seq)));
+        self.horizon = cutoff;
+        self.far_min = self.far.iter().map(|e| e.at).min().unwrap_or(SimTime::MAX);
+        // Adapt the window so future migrations move a healthy batch.
+        let moved = self.near.len();
+        if moved < MIGRATE_MIN_BATCH {
+            self.epoch_us = (self.epoch_us.saturating_mul(2)).min(EPOCH_MAX_US);
+        } else if moved > MIGRATE_MAX_BATCH {
+            self.epoch_us = (self.epoch_us / 2).max(EPOCH_MIN_US);
+        }
+    }
+
     /// The firing time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        match self.near.last() {
+            Some(e) => Some(e.at),
+            None if !self.far.is_empty() => Some(self.far_min),
+            None => None,
+        }
     }
 
     /// Current simulation clock (time of the last popped event).
@@ -108,12 +182,12 @@ impl<E> EventQueue<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.near.len() + self.far.len()
     }
 
     /// Whether the queue has no pending events.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.near.is_empty() && self.far.is_empty()
     }
 }
 
@@ -175,5 +249,39 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, "c");
         assert_eq!(q.pop().unwrap().1, "b");
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_sees_across_both_rungs() {
+        let mut q = EventQueue::new();
+        // Far-future event first: lands in the far rung.
+        q.schedule(t(10_000_000), "far");
+        assert_eq!(q.peek_time(), Some(t(10_000_000)));
+        // Pop migrates it; a near-past-horizon schedule then splits rungs.
+        assert_eq!(q.pop().unwrap().1, "far");
+        q.schedule(t(10_000_001), "a");
+        q.schedule(t(90_000_000), "b");
+        assert_eq!(q.peek_time(), Some(t(10_000_001)));
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.peek_time(), Some(t(90_000_000)));
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn migration_batches_do_not_reorder_ties() {
+        // Many events at identical times spread far apart, forcing several
+        // migrations; FIFO within each tick must survive every batch.
+        let mut q = EventQueue::new();
+        let mut expect = Vec::new();
+        for round in 0..50u64 {
+            for k in 0..20u64 {
+                let id = round * 20 + k;
+                q.schedule(t(round * 5_000_000), id);
+                expect.push(id);
+            }
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, expect);
     }
 }

@@ -196,11 +196,25 @@ impl Histogram {
     }
 }
 
-/// A sparse table of discrete value → count, used for seek-distance
+/// Values below this use the dense count array; larger values spill to
+/// the ordered map. Seek distances are bounded by the disk's cylinder
+/// count (≈2000 for the paper's disks), so in practice every observation
+/// lands in the dense half and recording is a single array increment.
+const DIST_DENSE_LIMIT: u64 = 4096;
+
+/// A table of discrete value → count, used for seek-distance
 /// distributions (value = distance in cylinders).
+///
+/// Layout is dense-first: small values (the common case) count into a
+/// flat array indexed by value, anything `>= DIST_DENSE_LIMIT` falls
+/// back to an ordered map. Iteration is ascending by value across both
+/// halves — the same order the previous all-`BTreeMap` layout produced,
+/// so order-sensitive consumers ([`DistTable::mean_by`] sums `f64`s in
+/// iteration order) observe identical results.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct DistTable {
-    counts: BTreeMap<u64, u64>,
+    dense: Vec<u64>,
+    spill: BTreeMap<u64, u64>,
     count: u64,
     total: u128,
 }
@@ -213,7 +227,15 @@ impl DistTable {
 
     /// Record one observation of `value`.
     pub fn record(&mut self, value: u64) {
-        *self.counts.entry(value).or_insert(0) += 1;
+        if value < DIST_DENSE_LIMIT {
+            let idx = value as usize;
+            if idx >= self.dense.len() {
+                self.dense.resize(idx + 1, 0);
+            }
+            self.dense[idx] += 1;
+        } else {
+            *self.spill.entry(value).or_insert(0) += 1;
+        }
         self.count += 1;
         self.total += u128::from(value);
     }
@@ -234,7 +256,11 @@ impl DistTable {
 
     /// Number of observations of exactly `value`.
     pub fn count_of(&self, value: u64) -> u64 {
-        self.counts.get(&value).copied().unwrap_or(0)
+        if value < DIST_DENSE_LIMIT {
+            self.dense.get(value as usize).copied().unwrap_or(0)
+        } else {
+            self.spill.get(&value).copied().unwrap_or(0)
+        }
     }
 
     /// Fraction of observations of exactly `value` (NaN if empty). The
@@ -249,7 +275,12 @@ impl DistTable {
 
     /// Iterate `(value, count)` in ascending value order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.counts.iter().map(|(&v, &c)| (v, c))
+        self.dense
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(v, &c)| (v as u64, c))
+            .chain(self.spill.iter().map(|(&v, &c)| (v, c)))
     }
 
     /// Apply a function to every observed value, producing the mean of the
@@ -260,22 +291,29 @@ impl DistTable {
         if self.count == 0 {
             return f64::NAN;
         }
-        let sum: f64 = self.counts.iter().map(|(&v, &c)| f(v) * c as f64).sum();
+        let sum: f64 = self.iter().map(|(v, c)| f(v) * c as f64).sum();
         sum / self.count as f64
     }
 
     /// Merge another table into this one.
     pub fn merge(&mut self, other: &DistTable) {
-        for (&v, &c) in &other.counts {
-            *self.counts.entry(v).or_insert(0) += c;
+        if other.dense.len() > self.dense.len() {
+            self.dense.resize(other.dense.len(), 0);
+        }
+        for (slot, &c) in self.dense.iter_mut().zip(&other.dense) {
+            *slot += c;
+        }
+        for (&v, &c) in &other.spill {
+            *self.spill.entry(v).or_insert(0) += c;
         }
         self.count += other.count;
         self.total += other.total;
     }
 
-    /// Reset to empty.
+    /// Reset to empty, keeping the dense array's allocation for reuse.
     pub fn clear(&mut self) {
-        self.counts.clear();
+        self.dense.fill(0);
+        self.spill.clear();
         self.count = 0;
         self.total = 0;
     }

@@ -13,6 +13,9 @@
 //!   named substreams, so every experiment is exactly reproducible.
 //! * [`dist`] — the random distributions the workload models need
 //!   (Zipf with numeric calibration, exponential, discrete weighted tables).
+//! * [`hash`] — deterministic fixed-key hashing for hot-path maps (the
+//!   std hasher's per-process SipHash key costs ~2× per probe and buys
+//!   nothing against internal keys).
 //! * [`arrival`] — arrival processes: Poisson and bursty ON/OFF trains,
 //!   plus the periodic-update write burst pattern of the UNIX `update`
 //!   daemon.
@@ -30,6 +33,7 @@
 pub mod arrival;
 pub mod dist;
 pub mod event;
+pub mod hash;
 pub mod hist;
 pub mod json;
 pub mod narrow;

@@ -12,8 +12,8 @@ use abr_driver::request::IoRequest;
 use abr_fs::fs::{DirHandle, FileHandle, FileSystem, FsError};
 use abr_sim::arrival::OnOff;
 use abr_sim::dist::{FileSizes, Weighted, Zipf};
+use abr_sim::hash::FastMap;
 use abr_sim::{SimRng, SimTime};
-use std::collections::BTreeMap;
 
 /// A file-level operation, resolved to concrete handles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,7 +84,7 @@ pub struct WorkloadState {
     /// Per-file-size Zipf over block indices (lazily built): page-in
     /// offsets within a file are skewed and *stable* across days (a
     /// binary faults the same startup/hot-path pages every day).
-    offset_zipf: BTreeMap<usize, Zipf>,
+    offset_zipf: FastMap<usize, Zipf>,
 }
 
 impl std::fmt::Debug for WorkloadState {
@@ -196,7 +196,7 @@ impl WorkloadState {
                 dirs,
                 rng: arrival_rng,
                 day: 0,
-                offset_zipf: BTreeMap::new(),
+                offset_zipf: FastMap::default(),
             },
             setup_reqs,
         ))
@@ -457,7 +457,7 @@ impl WorkloadState {
             dirs: serde_json::from_value(state["dirs"].clone())?,
             rng: arrival_rng,
             day,
-            offset_zipf: BTreeMap::new(),
+            offset_zipf: FastMap::default(),
         })
     }
 
