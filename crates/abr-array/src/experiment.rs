@@ -151,6 +151,7 @@ impl ArrayExperiment {
             scheduler: base.scheduler,
             monitor_capacity: 1 << 20,
             table_max_entries: 8192,
+            ..DriverConfig::default()
         };
         let members: Vec<AdaptiveDriver> = (0..config.n_disks)
             .map(|_| {

@@ -46,7 +46,7 @@ use abr_core::recovery::{IoBudget, MaintenanceConfig};
 use abr_disk::SECTOR_SIZE;
 use abr_driver::request::IoDir;
 use abr_driver::{AdaptiveDriver, DriverError, IoRequest, RequestId};
-use abr_obs::{with_registry, CounterId, GaugeId};
+use abr_obs::{with_registry, CounterId, GaugeId, HiresId};
 use abr_sim::SimTime;
 use bytes::Bytes;
 use std::collections::HashMap; // abr-lint: allow(D001, request bookkeeping; keyed insert/remove only, completion order is driven by sorted member queues)
@@ -230,6 +230,9 @@ struct ArrayObs {
     dead: GaugeId,
     degraded: GaugeId,
     lost: GaugeId,
+    /// Volume-level request latency (accept → last sub-request done),
+    /// the array's roll-up counterpart of `driver.service_us`.
+    request_us: HiresId,
     per_disk: Vec<DiskObs>,
 }
 
@@ -250,6 +253,7 @@ impl ArrayObs {
                 dead: r.gauge("array.disks.dead"),
                 degraded: r.gauge("array.disks.degraded"),
                 lost: r.gauge("array.blocks.lost"),
+                request_us: r.hires("array.request_us"),
                 per_disk: (0..n_disks)
                     .map(|i| DiskObs {
                         submitted: r.counter(&format!("array.disk.{i}.submitted")),
@@ -1247,6 +1251,7 @@ impl ArrayVolume {
         } else {
             self.req_failed += 1;
         }
+        with_registry(|r| r.observe_hires(self.obs.request_us, (now - done.arrived).as_micros()));
         Some(VolCompletion {
             id: VolRequestId(vol),
             arrived: done.arrived,
@@ -1862,6 +1867,7 @@ mod tests {
             scheduler: SchedulerKind::Scan,
             monitor_capacity: 1 << 16,
             table_max_entries: 1024,
+            ..DriverConfig::default()
         };
         let mut disk = Disk::new(model);
         AdaptiveDriver::format(&mut disk, &label, &cfg);

@@ -116,6 +116,7 @@ fn member(spb: u32) -> AdaptiveDriver {
         scheduler: SchedulerKind::Scan,
         monitor_capacity: 1 << 16,
         table_max_entries: 1024,
+        ..DriverConfig::default()
     };
     let mut disk = Disk::new(model);
     AdaptiveDriver::format(&mut disk, &label, &cfg);

@@ -19,6 +19,7 @@
 //! abrctl replay  disk.img trace.jsonl [--blocks N]
 //! abrctl trace   spans.jsonl [--top N]
 //! abrctl array   disk0.img disk1.img ... [--redundancy none|mirror|rotparity]
+//! abrctl report  BENCH_experiments.json [--json] [--folded out.folded]
 //! ```
 //!
 //! Two different "traces" exist: `workload --trace` writes a *workload*
@@ -83,6 +84,7 @@ fn run(args: &[String]) -> Result<(), Error> {
         "replay" => replay_cmd(rest),
         "trace" => trace_summary(rest),
         "array" => array_status(rest),
+        "report" => report_cmd(rest),
         "help" | "--help" | "-h" => {
             eprintln!("{}", usage());
             Ok(())
@@ -92,7 +94,7 @@ fn run(args: &[String]) -> Result<(), Error> {
 }
 
 fn usage() -> Box<dyn std::error::Error> {
-    "usage: abrctl <create|info|workload|analyze|rearrange|clean|stats|monitor-dump|replay|trace|array|help> <image|file>... [options]"
+    "usage: abrctl <create|info|workload|analyze|rearrange|clean|stats|monitor-dump|replay|trace|array|report|help> <image|file>... [options]"
         .into()
 }
 
@@ -120,6 +122,7 @@ fn driver_config() -> DriverConfig {
         scheduler: abr_driver::SchedulerKind::Scan,
         monitor_capacity: 1 << 21,
         table_max_entries: 8192,
+        ..DriverConfig::default()
     }
 }
 
@@ -858,6 +861,35 @@ fn array_status(args: &[String]) -> Result<(), Error> {
                  protection; data mapping to them is offline"
             );
         }
+    }
+    Ok(())
+}
+
+/// Render a deterministic tail-latency report from a
+/// `BENCH_experiments.json` record (see `abr_bench::runreport`): per-day
+/// p50/p99/p999 latency tables, SLO verdicts, starvation counts. The
+/// default markdown (and `--json`) contain simulation-time data only and
+/// are byte-identical for any `--jobs` value; `--folded FILE`
+/// additionally exports the nondeterministic `wall.*` timers as folded
+/// stacks for flamegraph tools.
+fn report_cmd(args: &[String]) -> Result<(), Error> {
+    let file = args.iter().find(|a| !a.starts_with("--")).ok_or(
+        "missing BENCH_experiments.json path (the `experiments` binary writes one per suite run)",
+    )?;
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let bench = JsonValue::parse(&text).map_err(|e| format!("{file}: {e}"))?;
+    if let Some(out) = opt(args, "--folded") {
+        let folded = abr_bench::runreport::folded_profile(&bench);
+        std::fs::write(&out, &folded)?;
+        eprintln!(
+            "folded wall profile: {} frame(s) -> {out}",
+            folded.lines().count()
+        );
+    }
+    if has_flag(args, "--json") {
+        println!("{}", abr_bench::runreport::render_json(&bench)?.pretty());
+    } else {
+        print!("{}", abr_bench::runreport::render_markdown(&bench)?);
     }
     Ok(())
 }

@@ -25,7 +25,8 @@ use crate::report::Report;
 use crate::runs::{Campaign, DayCache};
 use abr_core::{run_meter, run_meter_reset, RunMeter};
 use abr_obs::{
-    registry_clear, registry_snapshot, trace_start, trace_take, TraceBuffer, DEFAULT_TRACE_CAPACITY,
+    day_series_reset, day_series_take, registry_clear, registry_snapshot, slo_clear, slo_install,
+    trace_start, trace_take, Slo, TraceBuffer, DEFAULT_TRACE_CAPACITY,
 };
 use abr_sim::{jsn, JsonValue};
 use std::panic::AssertUnwindSafe;
@@ -142,6 +143,10 @@ pub struct RunOutcome {
     /// Snapshot of the run's metrics registry (counters, gauges,
     /// histograms), taken on its worker right after the run finished.
     pub metrics: JsonValue,
+    /// Per-day metric time series (`abr_obs::series`): one point per
+    /// simulated day with counter deltas, tail-latency quantiles, and
+    /// SLO verdicts. Deterministic — `wall.*` is excluded at source.
+    pub day_series: JsonValue,
     /// The run's flight-recorder trace, when the batch traced.
     pub trace: Option<TraceBuffer>,
 }
@@ -212,6 +217,7 @@ impl BatchResult {
                 "sim_days": o.meter.days,
                 "sim_per_real": o.sim_per_real(),
                 "metrics": o.metrics.clone(),
+                "day_series": o.day_series.clone(),
             }));
         }
         let suite: Vec<&str> = self.outcomes.iter().map(|o| o.spec.id.as_str()).collect();
@@ -411,6 +417,8 @@ impl RunBatch {
         // zero-valued definition left by a previous run would make
         // this run's snapshot depend on scheduling.
         registry_clear();
+        day_series_reset();
+        slo_install(default_slos());
         if self.trace {
             trace_start(DEFAULT_TRACE_CAPACITY);
         }
@@ -429,8 +437,11 @@ impl RunBatch {
         }));
         let wall = t0.elapsed();
         // Always harvest, even after a panic: worker threads are reused
-        // and a leaked recorder would bleed into the next run.
+        // and a leaked recorder (or series/objective set) would bleed
+        // into the next run.
         let trace = trace_take();
+        let day_series = day_series_take();
+        slo_clear();
         let report = match result {
             // `resolve()` vetted the id, so the inner Err is unreachable
             // in practice; fold it into the failure path anyway.
@@ -443,9 +454,27 @@ impl RunBatch {
             wall,
             meter: run_meter(),
             metrics: registry_snapshot(),
+            day_series,
             trace,
         }
     }
+}
+
+/// The default tail-latency objective set installed for every bench
+/// run. Objectives are recorded, not gating: a violated SLO shows up in
+/// the day series and the run report, never as a failed run. Metrics an
+/// objective names but a run never touches pass vacuously, so driver
+/// SLOs are harmless on array runs and vice versa.
+pub fn default_slos() -> Vec<Slo> {
+    [
+        "p99(driver.service_us) < 150ms",
+        "p999(driver.service_us) < 1s",
+        "p99(driver.queueing_us) < 500ms",
+        "p99(array.request_us) < 250ms",
+    ]
+    .iter()
+    .map(|s| Slo::parse(s).expect("default SLO parses"))
+    .collect()
 }
 
 fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
@@ -463,11 +492,19 @@ fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
 /// much absolute wall time.
 const REGRESSION_NOISE_FLOOR_S: f64 = 0.05;
 
+/// High-resolution metrics whose p99 `bench compare` reports as
+/// informational deltas alongside the gating wall-time table.
+const METRIC_DELTA_ALLOWLIST: &[&str] = &[
+    "driver.service_us",
+    "driver.queueing_us",
+    "array.request_us",
+];
+
 /// Compare two `BENCH_experiments.json` files run-by-run.
 ///
 /// A run regresses when its wall time in `new` exceeds its wall time in
 /// `old` by more than `threshold_pct` percent AND by at least
-/// [`REGRESSION_NOISE_FLOOR_S`] seconds — tiny runs jitter by large
+/// `REGRESSION_NOISE_FLOOR_S` seconds — tiny runs jitter by large
 /// percentages without meaning anything. Runs only in `new` are
 /// reported as `NEW` (informational — suites grow); runs only in `old`
 /// are reported as `DISAPPEARED` and treated as failures by the CLI,
@@ -585,6 +622,47 @@ pub fn bench_compare(
                 0.0
             }
         ));
+    }
+
+    // Informational throughput / tail-latency deltas. These never feed
+    // `regressions` — wall time stays the only gate — but a wall
+    // regression with flat sim_per_real (host noise) reads differently
+    // from one where throughput and p99 moved together (real change).
+    let find = |v: &JsonValue, id: &str| -> Option<JsonValue> {
+        v["runs"]
+            .as_array()?
+            .iter()
+            .find(|r| r["id"].as_str() == Some(id))
+            .cloned()
+    };
+    let mut info = String::new();
+    for (id, _, _) in &new_runs {
+        let (Some(o), Some(n)) = (find(&old, id), find(&new, id)) else {
+            continue;
+        };
+        if let (Some(os), Some(ns)) = (o["sim_per_real"].as_f64(), n["sim_per_real"].as_f64()) {
+            if os > 0.0 {
+                info.push_str(&format!(
+                    "{id:<20} sim_per_real {os:>12.1} -> {ns:>12.1} ({:+.1}%)\n",
+                    (ns - os) / os * 100.0
+                ));
+            }
+        }
+        for metric in METRIC_DELTA_ALLOWLIST {
+            let p99 = |r: &JsonValue| r["metrics"]["hires"][*metric]["quantiles"]["p99"].as_u64();
+            if let (Some(op), Some(np)) = (p99(&o), p99(&n)) {
+                if op > 0 {
+                    info.push_str(&format!(
+                        "{id:<20} {metric} p99 {op:>10}us -> {np:>10}us ({:+.1}%)\n",
+                        (np as f64 - op as f64) / op as f64 * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    if !info.is_empty() {
+        text.push_str("metric deltas (informational, not gated):\n");
+        text.push_str(&info);
     }
     Ok(BenchComparison {
         text,
@@ -719,6 +797,55 @@ mod tests {
         assert!(cmp.regressions.is_empty());
         assert!(cmp.text.contains("NEW"));
         assert!(cmp.text.contains("DISAPPEARED"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compare_prints_metric_deltas_without_gating_on_them() {
+        let dir = std::env::temp_dir().join("abr-bench-compare-metrics-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mk = |spr: f64, p99: u64| {
+            jsn!({
+                "schema": "abr-bench/1",
+                "wall_s": 1.0,
+                "runs": vec![jsn!({
+                    "id": "table2",
+                    "ok": true,
+                    "wall_s": 1.0,
+                    "sim_per_real": spr,
+                    "metrics": jsn!({
+                        "hires": jsn!({
+                            "driver.service_us": jsn!({
+                                "quantiles": jsn!({"p99": p99}),
+                            }),
+                        }),
+                    }),
+                })],
+            })
+        };
+        let a = dir.join("a.json");
+        let b = dir.join("b.json");
+        // Throughput halves and tail latency doubles, but wall time is
+        // flat: informational lines appear, regressions stay empty.
+        std::fs::write(&a, mk(2000.0, 40_000).pretty()).unwrap();
+        std::fs::write(&b, mk(1000.0, 80_000).pretty()).unwrap();
+        let cmp = bench_compare(&a, &b, 25.0).unwrap();
+        assert!(cmp.regressions.is_empty());
+        assert!(cmp.text.contains("sim_per_real"));
+        assert!(cmp.text.contains("-50.0%"));
+        assert!(cmp.text.contains("driver.service_us p99"));
+        assert!(cmp.text.contains("+100.0%"));
+        // Files without metrics (older schema) skip the section cleanly.
+        let bare = jsn!({
+            "schema": "abr-bench/1",
+            "wall_s": 1.0,
+            "runs": vec![jsn!({"id": "table2", "ok": true, "wall_s": 1.0})],
+        });
+        std::fs::write(&a, bare.pretty()).unwrap();
+        std::fs::write(&b, bare.pretty()).unwrap();
+        let cmp = bench_compare(&a, &b, 25.0).unwrap();
+        assert!(!cmp.text.contains("metric deltas"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

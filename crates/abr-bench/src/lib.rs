@@ -24,6 +24,7 @@ pub mod arrays;
 pub mod engine;
 pub mod faults;
 pub mod report;
+pub mod runreport;
 pub mod runs;
 
 pub use engine::{RunBatch, RunSpec, UnknownId};

@@ -1,0 +1,79 @@
+//! Day-series determinism: the per-day metric time series and the run
+//! report rendered from it are pure sim-time artifacts, so a batch must
+//! produce byte-identical series, SLO verdicts, and report markdown
+//! whether it runs serially or on four workers.
+//!
+//! The id set is chosen with disjoint day-vector cache keys (a
+//! single-disk experiment and the redundant array sweep): when two runs
+//! *share* day vectors through the in-process cache, whichever run
+//! computes them first also does the driving — its registry sees the
+//! work — and that order is scheduling. Disjoint keys keep every run's
+//! series self-contained and hence `--jobs`-invariant.
+
+use abr_bench::engine::RunBatch;
+use abr_bench::runreport;
+
+const IDS: [&str; 2] = ["table2", "array-redundant"];
+
+#[test]
+fn day_series_and_report_are_byte_identical_across_workers() {
+    let serial = RunBatch::new(&IDS, 1).unwrap().execute();
+    let parallel = RunBatch::new(&IDS, 4).unwrap().execute();
+
+    for (s, p) in serial.outcomes.iter().zip(&parallel.outcomes) {
+        assert_eq!(s.spec, p.spec, "outcomes must stay in spec order");
+        assert_eq!(
+            s.day_series.pretty(),
+            p.day_series.pretty(),
+            "{}: day series differs between --jobs 1 and --jobs 4",
+            s.spec.id
+        );
+    }
+
+    // The whole rendered report — tables, SLO verdicts, starvation
+    // lines — must match byte for byte too. Rendering goes through the
+    // full bench record, so this also pins the record's deterministic
+    // subset.
+    let (sm, pm) = (
+        runreport::render_markdown(&serial.bench_json()).expect("serial report renders"),
+        runreport::render_markdown(&parallel.bench_json()).expect("parallel report renders"),
+    );
+    assert_eq!(sm, pm, "run report differs between --jobs 1 and --jobs 4");
+
+    // The gate must cover live data, not vacuously compare empties:
+    // every run records one point per simulated day, with real latency
+    // observations and an SLO verdict on each.
+    for o in &serial.outcomes {
+        let days = o.day_series.as_array().expect("series is an array");
+        assert_eq!(
+            days.len() as u64,
+            o.meter.days,
+            "{}: one point per simulated day",
+            o.spec.id
+        );
+        assert!(!days.is_empty(), "{}: series must not be empty", o.spec.id);
+        let with_latency = days
+            .iter()
+            .filter(|d| {
+                d["hires"]["driver.service_us"]["count"]
+                    .as_u64()
+                    .unwrap_or(0)
+                    > 0
+            })
+            .count();
+        assert!(
+            with_latency > 0,
+            "{}: no day point carries service-latency observations",
+            o.spec.id
+        );
+        assert!(
+            days.iter().all(|d| d["slo"].as_array().is_some()),
+            "{}: every day point must carry SLO verdicts",
+            o.spec.id
+        );
+    }
+    assert!(
+        sm.contains("### Tail latency by day"),
+        "report must contain at least one latency table"
+    );
+}

@@ -232,6 +232,7 @@ mod tests {
             scheduler: SchedulerKind::Scan,
             monitor_capacity: 1000,
             table_max_entries: 64,
+            ..DriverConfig::default()
         }
     }
 

@@ -244,6 +244,7 @@ mod tests {
             scheduler: SchedulerKind::Scan,
             monitor_capacity: 1000,
             table_max_entries: 64,
+            ..DriverConfig::default()
         };
         AdaptiveDriver::format(&mut disk, &label, &cfg);
         AdaptiveDriver::attach(disk, cfg).unwrap()

@@ -76,6 +76,11 @@ pub fn run_meter_add(sim: SimDuration) {
         r.inc(sim_us, sim.as_micros());
         r.inc(days, 1);
     });
+    // Close out the day in the metric time series: this runs after the
+    // day-end stats ioctl flushed the driver's batched observations, so
+    // the recorded deltas are exactly this day's traffic. SLOs installed
+    // for the run are evaluated on the same deltas.
+    abr_obs::day_series_record();
 }
 
 /// Experiment configuration.
@@ -247,6 +252,7 @@ impl Experiment {
             scheduler: config.scheduler,
             monitor_capacity: 1 << 20,
             table_max_entries: 8192,
+            ..DriverConfig::default()
         };
         let mut disk = Disk::new(model);
         AdaptiveDriver::format(&mut disk, &label, &driver_cfg);

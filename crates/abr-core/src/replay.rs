@@ -84,6 +84,7 @@ pub fn replay(trace: &TraceLog, config: &ReplayConfig) -> DayMetrics {
         scheduler: config.scheduler,
         monitor_capacity: 1 << 21,
         table_max_entries: 8192,
+        ..DriverConfig::default()
     };
     let mut disk = Disk::new(config.disk.clone());
     AdaptiveDriver::format(&mut disk, &label, &driver_cfg);

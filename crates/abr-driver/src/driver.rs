@@ -44,6 +44,11 @@ pub struct DriverConfig {
     pub monitor_capacity: usize,
     /// Maximum block-table entries (sizes the on-disk table region).
     pub table_max_entries: u32,
+    /// Queue age (strategy receipt → dispatch) at or above which a
+    /// dispatch counts as starved, feeding the `driver.starved_total`
+    /// counter and `driver.queue_age_max_us` gauge (aging/fairness
+    /// instrumentation for scheduler work).
+    pub starvation_age: SimDuration,
 }
 
 impl Default for DriverConfig {
@@ -53,6 +58,7 @@ impl Default for DriverConfig {
             scheduler: SchedulerKind::Scan,
             monitor_capacity: 65_536,
             table_max_entries: 4096,
+            starvation_age: crate::monitor::DEFAULT_STARVATION_AGE,
         }
     }
 }
@@ -487,7 +493,7 @@ impl AdaptiveDriver {
             queue: Vec::new(),
             active: None,
             req_mon: RequestMonitor::new(config.monitor_capacity),
-            perf: PerfMonitor::new(),
+            perf: PerfMonitor::with_starvation_age(config.starvation_age),
             cyl_map: None,
             last_arrival_cyl: None,
             last_dispatch_cyl: None,
@@ -991,7 +997,7 @@ impl AdaptiveDriver {
     }
 
     /// Mirror the buffered per-request counters into the registry in a
-    /// single pass (see [`PendingDriverObs`]). Runs automatically at the
+    /// single pass (see `PendingDriverObs`). Runs automatically at the
     /// `ReadStats` ioctl; callers that snapshot the registry without
     /// reading stats can invoke it directly.
     pub fn flush_obs(&mut self) {
@@ -1591,6 +1597,7 @@ mod tests {
             scheduler: SchedulerKind::Scan,
             monitor_capacity: 1000,
             table_max_entries: 64,
+            ..DriverConfig::default()
         }
     }
 

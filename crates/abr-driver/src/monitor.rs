@@ -13,7 +13,7 @@
 //! resolution with exact cumulative sums.
 
 use abr_disk::disk::IoDir;
-use abr_obs::{with_registry, CounterId};
+use abr_obs::{with_registry, CounterId, GaugeId, HiresId, LogHistogram};
 use abr_sim::{DistTable, SimDuration, TimeStats};
 use serde::{Deserialize, Serialize};
 
@@ -282,16 +282,11 @@ struct PerfHandles {
     lost_blocks: CounterId,
     table_write_failures: CounterId,
     reserved_dispatches: CounterId,
-    service_us: abr_obs::HistogramId,
-    queueing_us: abr_obs::HistogramId,
+    service_us: HiresId,
+    queueing_us: HiresId,
+    starved_total: CounterId,
+    queue_age_max_us: GaugeId,
 }
-
-/// Fixed bucket bounds (µs) for the registry's latency histograms:
-/// 1 ms .. 1 s, roughly log-spaced. Exact sums ride alongside, so the
-/// coarse buckets never degrade means.
-const LATENCY_BOUNDS_US: [u64; 9] = [
-    1_000, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000,
-];
 
 impl PerfHandles {
     fn resolve() -> Self {
@@ -303,8 +298,10 @@ impl PerfHandles {
             lost_blocks: r.counter("driver.faults.lost_blocks"),
             table_write_failures: r.counter("driver.faults.table_write_failures"),
             reserved_dispatches: r.counter("driver.dispatch.reserved"),
-            service_us: r.histogram("driver.service_us", &LATENCY_BOUNDS_US),
-            queueing_us: r.histogram("driver.queueing_us", &LATENCY_BOUNDS_US),
+            service_us: r.hires("driver.service_us"),
+            queueing_us: r.hires("driver.queueing_us"),
+            starved_total: r.counter("driver.starved_total"),
+            queue_age_max_us: r.gauge("driver.queue_age_max_us"),
         })
     }
 }
@@ -316,6 +313,9 @@ pub struct PerfMonitor {
     writes: DirStats,
     faults: FaultStats,
     handles: PerfHandles,
+    /// Queue age (receipt → dispatch) at or above which a request
+    /// counts as starved (µs). See `DriverConfig::starvation_age`.
+    starvation_age_us: u64,
     /// Per-request registry observations accumulated locally and merged
     /// in one pass at the day-boundary read-and-clear — the hot path
     /// (dispatch/completion, hundreds of thousands per day) never takes
@@ -327,20 +327,30 @@ pub struct PerfMonitor {
 /// Locally-buffered registry deltas (see [`PerfMonitor::pending`]).
 #[derive(Debug, Clone)]
 struct PendingObs {
-    service_us: abr_obs::FixedHistogram,
-    queueing_us: abr_obs::FixedHistogram,
+    service_us: LogHistogram,
+    queueing_us: LogHistogram,
     reserved_dispatches: u64,
+    /// Largest queue age seen at dispatch since the last flush (µs).
+    queue_age_max_us: u64,
+    /// Dispatches whose queue age reached the starvation threshold.
+    starved: u64,
 }
 
 impl PendingObs {
     fn new() -> Self {
         PendingObs {
-            service_us: abr_obs::FixedHistogram::with_bounds(&LATENCY_BOUNDS_US),
-            queueing_us: abr_obs::FixedHistogram::with_bounds(&LATENCY_BOUNDS_US),
+            service_us: LogHistogram::new(),
+            queueing_us: LogHistogram::new(),
             reserved_dispatches: 0,
+            queue_age_max_us: 0,
+            starved: 0,
         }
     }
 }
+
+/// Default starvation-age threshold: a request waiting 2 simulated
+/// seconds for the arm is starving under any of the paper's loads.
+pub const DEFAULT_STARVATION_AGE: SimDuration = SimDuration::from_millis(2_000);
 
 /// Histogram range: times at or beyond this many ms land in the overflow
 /// bucket (they still count exactly toward means).
@@ -353,13 +363,20 @@ impl Default for PerfMonitor {
 }
 
 impl PerfMonitor {
-    /// A fresh, empty monitor.
+    /// A fresh, empty monitor with the default starvation threshold.
     pub fn new() -> Self {
+        Self::with_starvation_age(DEFAULT_STARVATION_AGE)
+    }
+
+    /// A fresh, empty monitor counting dispatches whose queue age
+    /// reached `starvation_age` as starved.
+    pub fn with_starvation_age(starvation_age: SimDuration) -> Self {
         PerfMonitor {
             reads: DirStats::new(RANGE_MS),
             writes: DirStats::new(RANGE_MS),
             faults: FaultStats::default(),
             handles: PerfHandles::resolve(),
+            starvation_age_us: starvation_age.as_micros(),
             pending: PendingObs::new(),
         }
     }
@@ -429,7 +446,12 @@ impl PerfMonitor {
         let d = self.dir_mut(dir);
         d.sched_seek.record(distance);
         d.queueing.record(queueing);
-        self.pending.queueing_us.observe(queueing.as_micros());
+        let age_us = queueing.as_micros();
+        self.pending.queueing_us.observe(age_us);
+        self.pending.queue_age_max_us = self.pending.queue_age_max_us.max(age_us);
+        if age_us >= self.starvation_age_us {
+            self.pending.starved += 1;
+        }
         if in_reserved {
             self.dir_mut(dir).reserved_dispatches += 1;
             self.pending.reserved_dispatches += 1;
@@ -477,18 +499,29 @@ impl PerfMonitor {
     /// cheap) when nothing is buffered.
     pub fn flush_obs(&mut self) {
         let p = &mut self.pending;
-        if p.service_us.count() == 0 && p.queueing_us.count() == 0 && p.reserved_dispatches == 0 {
+        if p.service_us.is_empty() && p.queueing_us.is_empty() && p.reserved_dispatches == 0 {
             return;
         }
         let h = self.handles;
         with_registry(|r| {
-            r.merge_histogram(h.service_us, &p.service_us);
-            r.merge_histogram(h.queueing_us, &p.queueing_us);
+            r.merge_hires(h.service_us, &p.service_us);
+            r.merge_hires(h.queueing_us, &p.queueing_us);
             r.inc(h.reserved_dispatches, p.reserved_dispatches);
+            if p.starved > 0 {
+                r.inc(h.starved_total, p.starved);
+            }
+            // The gauge is the run-wide maximum: only ever raised.
+            let prev = r.gauge_value(h.queue_age_max_us);
+            let cur = i64::try_from(p.queue_age_max_us).unwrap_or(i64::MAX);
+            if cur > prev {
+                r.set_gauge(h.queue_age_max_us, cur);
+            }
         });
         p.service_us.reset();
         p.queueing_us.reset();
         p.reserved_dispatches = 0;
+        p.queue_age_max_us = 0;
+        p.starved = 0;
     }
 }
 
@@ -635,6 +668,49 @@ mod tests {
         assert_eq!(s.faults.table_write_failures, 1);
         // Cleared with the rest of the stats.
         assert!(!p.snapshot().faults.any());
+    }
+
+    #[test]
+    fn starvation_and_queue_age_metrics() {
+        abr_obs::registry_clear();
+        let mut p = PerfMonitor::with_starvation_age(SimDuration::from_millis(10));
+        p.record_dispatch(IoDir::Read, 1, SimDuration::from_millis(2), false);
+        p.record_dispatch(IoDir::Read, 1, SimDuration::from_millis(50), false);
+        // Exactly at the threshold counts as starved (>=).
+        p.record_dispatch(IoDir::Write, 1, SimDuration::from_millis(10), false);
+        p.flush_obs();
+        let snap = abr_obs::registry_snapshot();
+        assert_eq!(snap["counters"]["driver.starved_total"], 2);
+        assert_eq!(snap["gauges"]["driver.queue_age_max_us"], 50_000);
+        assert_eq!(snap["hires"]["driver.queueing_us"]["count"], 3);
+        // The gauge is a run-wide max: a later, quieter flush keeps it.
+        p.record_dispatch(IoDir::Read, 1, SimDuration::from_millis(1), false);
+        p.flush_obs();
+        let snap = abr_obs::registry_snapshot();
+        assert_eq!(snap["gauges"]["driver.queue_age_max_us"], 50_000);
+        assert_eq!(snap["counters"]["driver.starved_total"], 2);
+    }
+
+    #[test]
+    fn latency_histograms_are_high_resolution() {
+        abr_obs::registry_clear();
+        let mut p = PerfMonitor::new();
+        p.record_completion(
+            IoDir::Read,
+            SimDuration::from_micros(12_345),
+            SimDuration::from_millis(4),
+            SimDuration::from_millis(6),
+        );
+        p.flush_obs();
+        let snap = abr_obs::registry_snapshot();
+        let h = &snap["hires"]["driver.service_us"];
+        assert_eq!(h["scheme"], "log2m32");
+        assert_eq!(h["count"], 1);
+        assert_eq!(h["sum"], 12_345);
+        assert_eq!(h["max"], 12_345);
+        // ~3.1% bucket resolution: p99 lands within one sub-bucket.
+        let p99 = h["quantiles"]["p99"].as_u64().unwrap();
+        assert!((12_345..=12_345 + 12_345 / 32 + 1).contains(&p99));
     }
 
     #[test]

@@ -15,8 +15,15 @@
 //!   recording is a thread-local concern so `--jobs N` parallelism
 //!   cannot perturb a trace.
 //! * [`registry`] — a unified metrics registry (counters, gauges,
-//!   fixed-bucket histograms) with static handles, snapshotable as
-//!   deterministic JSON through [`abr_sim::json`].
+//!   fixed-bucket histograms, high-resolution [`hires::LogHistogram`]s)
+//!   with static handles, snapshotable as deterministic JSON through
+//!   [`abr_sim::json`].
+//! * [`series`] — a per-day metric time series: registry deltas
+//!   snapshotted at each simulated day boundary, so tail latency and
+//!   adaptation are visible day over day, not just end-of-run.
+//! * [`slo`] — declarative tail-latency objectives
+//!   (`p99(driver.service_us) < 150ms`) evaluated per day against the
+//!   series deltas, with violations recorded.
 //! * [`timer`] — scoped *wall-clock* timers feeding the same registry,
 //!   so simulated-time and real-time cost of each pipeline phase
 //!   (analyzer, placement, event loop) are reported side by side.
@@ -33,18 +40,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hires;
 pub mod recorder;
 pub mod registry;
+pub mod series;
+pub mod slo;
 pub mod span;
 pub mod timer;
 
+pub use hires::LogHistogram;
 pub use recorder::{
     record, record_with, trace_active, trace_pause, trace_start, trace_take, FlightRecorder,
     TraceBuffer, TracePause, DEFAULT_TRACE_CAPACITY,
 };
 pub use registry::{
     registry_clear, registry_reset, registry_snapshot, with_registry, CounterId, FixedHistogram,
-    GaugeId, HistogramId, Registry,
+    GaugeId, HiresId, HistogramId, Registry,
 };
+pub use series::{day_series_len, day_series_record, day_series_reset, day_series_take};
+pub use slo::{slo_active, slo_clear, slo_install, Slo, SloQuantile};
 pub use span::{MoveKind, ObsEvent, RearrangePhase, RequestSpan};
 pub use timer::{time_scope, ScopedWallTimer};

@@ -19,6 +19,7 @@
 
 use std::cell::RefCell;
 
+use crate::hires::LogHistogram;
 use abr_sim::jsn;
 use abr_sim::json::JsonValue;
 
@@ -34,6 +35,10 @@ pub struct GaugeId(usize);
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HistogramId(usize);
 
+/// Handle to a registered high-resolution [`LogHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HiresId(usize);
+
 /// A histogram with caller-fixed bucket upper bounds plus an overflow
 /// bucket, tracking exact `count` and `sum` alongside.
 ///
@@ -47,6 +52,7 @@ pub struct FixedHistogram {
     buckets: Vec<u64>,
     count: u64,
     sum: u64,
+    max: u64,
 }
 
 impl FixedHistogram {
@@ -65,6 +71,7 @@ impl FixedHistogram {
             buckets: vec![0; n],
             count: 0,
             sum: 0,
+            max: 0,
         }
     }
 
@@ -78,6 +85,7 @@ impl FixedHistogram {
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum += value;
+        self.max = self.max.max(value);
     }
 
     /// Total observations.
@@ -95,11 +103,82 @@ impl FixedHistogram {
         *self.buckets.last().expect("overflow bucket always present")
     }
 
+    /// Largest observation seen (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
     /// Zero all buckets and totals, keeping the bounds.
     pub fn reset(&mut self) {
         self.buckets.iter_mut().for_each(|b| *b = 0);
         self.count = 0;
         self.sum = 0;
+        self.max = 0;
+    }
+
+    /// Quantile by bucket upper edge, same semantics as
+    /// `abr_sim::hist::Histogram::quantile` and
+    /// [`LogHistogram::quantile`]: target rank `ceil(q * count)`,
+    /// cumulative scan, inclusive upper bound of the holding bucket
+    /// (capped at the exact `max`); overflow ranks report `max`.
+    /// Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return match self.bounds.get(i) {
+                    Some(&bound) => bound.min(self.max),
+                    None => self.max, // overflow bucket
+                };
+            }
+        }
+        self.max
+    }
+
+    /// The observations recorded here but not in `baseline` — the
+    /// per-day delta used by the day series. `baseline` must be an
+    /// earlier state of this histogram (same bounds, bucket-wise `<=`);
+    /// counts subtract saturating so a violated precondition degrades
+    /// to an undercount instead of a panic.
+    ///
+    /// `max` is not recoverable from a subtraction: the delta reports
+    /// the upper bound of its highest non-empty bucket, or the lifetime
+    /// `max` if the delta includes overflow observations.
+    pub fn diff(&self, baseline: &FixedHistogram) -> FixedHistogram {
+        let mut d = FixedHistogram::new(self.bounds.clone());
+        let mut top: Option<usize> = None;
+        for (i, (cur, base)) in self.buckets.iter().zip(&baseline.buckets).enumerate() {
+            let delta = cur.saturating_sub(*base);
+            d.buckets[i] = delta;
+            if delta > 0 {
+                top = Some(i);
+            }
+        }
+        d.count = self.count.saturating_sub(baseline.count);
+        d.sum = self.sum.saturating_sub(baseline.sum);
+        d.max = match top {
+            Some(i) => match self.bounds.get(i) {
+                Some(&bound) => bound.min(self.max),
+                None => self.max, // overflow bucket grew this window
+            },
+            None => 0,
+        };
+        d
+    }
+
+    /// The standard quantile set reported in snapshots and day series.
+    pub fn quantiles_json(&self) -> JsonValue {
+        jsn!({
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "p999": self.quantile(0.999),
+        })
     }
 
     fn to_json(&self) -> JsonValue {
@@ -108,6 +187,8 @@ impl FixedHistogram {
             "buckets": self.buckets.clone(),
             "count": self.count,
             "sum": self.sum,
+            "max": self.max,
+            "quantiles": self.quantiles_json(),
         })
     }
 }
@@ -118,6 +199,7 @@ pub struct Registry {
     counters: Vec<(String, u64)>,
     gauges: Vec<(String, i64)>,
     histograms: Vec<(String, FixedHistogram)>,
+    hires: Vec<(String, LogHistogram)>,
     /// Counter values at the previous snapshot — sanitize builds verify
     /// counters are monotone between snapshots (a counter running
     /// backwards means someone wrote through a stale handle).
@@ -161,6 +243,17 @@ impl Registry {
         HistogramId(self.histograms.len() - 1)
     }
 
+    /// Get or create the high-resolution histogram named `name`. The
+    /// bucket layout is a global constant (see [`LogHistogram`]), so
+    /// there is nothing to fix at registration time.
+    pub fn hires(&mut self, name: &str) -> HiresId {
+        if let Some(i) = self.hires.iter().position(|(n, _)| n == name) {
+            return HiresId(i);
+        }
+        self.hires.push((name.to_string(), LogHistogram::new()));
+        HiresId(self.hires.len() - 1)
+    }
+
     /// Add `delta` to a counter.
     pub fn inc(&mut self, id: CounterId, delta: u64) {
         self.counters[id.0].1 += delta;
@@ -200,11 +293,49 @@ impl Registry {
         }
         h.count += other.count;
         h.sum += other.sum;
+        h.max = h.max.max(other.max);
     }
 
     /// Read access to a histogram.
     pub fn histogram_value(&self, id: HistogramId) -> &FixedHistogram {
         &self.histograms[id.0].1
+    }
+
+    /// Record one observation into a high-resolution histogram.
+    pub fn observe_hires(&mut self, id: HiresId, value: u64) {
+        self.hires[id.0].1.observe(value);
+    }
+
+    /// Merge a locally-accumulated [`LogHistogram`] into a registered
+    /// one — the batched alternative to per-observation
+    /// [`Registry::observe_hires`] on hot paths.
+    pub fn merge_hires(&mut self, id: HiresId, other: &LogHistogram) {
+        self.hires[id.0].1.merge(other);
+    }
+
+    /// Read access to a high-resolution histogram.
+    pub fn hires_value(&self, id: HiresId) -> &LogHistogram {
+        &self.hires[id.0].1
+    }
+
+    /// Iterate counters as `(name, value)` in registration order.
+    pub fn iter_counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Iterate gauges as `(name, value)` in registration order.
+    pub fn iter_gauges(&self) -> impl Iterator<Item = (&str, i64)> + '_ {
+        self.gauges.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Iterate fixed-bucket histograms in registration order.
+    pub fn iter_histograms(&self) -> impl Iterator<Item = (&str, &FixedHistogram)> + '_ {
+        self.histograms.iter().map(|(n, h)| (n.as_str(), h))
+    }
+
+    /// Iterate high-resolution histograms in registration order.
+    pub fn iter_hires(&self) -> impl Iterator<Item = (&str, &LogHistogram)> + '_ {
+        self.hires.iter().map(|(n, h)| (n.as_str(), h))
     }
 
     /// Zero all values, **keeping definitions** so existing handles
@@ -217,11 +348,13 @@ impl Registry {
         self.counters.iter_mut().for_each(|(_, v)| *v = 0);
         self.gauges.iter_mut().for_each(|(_, v)| *v = 0);
         self.histograms.iter_mut().for_each(|(_, h)| h.reset());
+        self.hires.iter_mut().for_each(|(_, h)| h.reset());
     }
 
     /// Serialize all metrics, names sorted within each section, as a
     /// deterministic JSON object:
-    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+    /// `{"counters": {...}, "gauges": {...}, "hires": {...},
+    /// "histograms": {...}}`.
     pub fn snapshot(&self) -> JsonValue {
         #[cfg(feature = "sanitize")]
         {
@@ -256,7 +389,14 @@ impl Registry {
             h.insert(name.as_str(), hist.to_json());
         }
 
-        jsn!({ "counters": c, "gauges": g, "histograms": h })
+        let mut hires: Vec<&(String, LogHistogram)> = self.hires.iter().collect();
+        hires.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut hr = JsonValue::object();
+        for (name, hist) in hires {
+            hr.insert(name.as_str(), hist.to_json());
+        }
+
+        jsn!({ "counters": c, "gauges": g, "hires": hr, "histograms": h })
     }
 }
 

@@ -21,6 +21,7 @@ fn small_config() -> DriverConfig {
         scheduler: SchedulerKind::Scan,
         monitor_capacity: 100_000,
         table_max_entries: 512,
+        ..DriverConfig::default()
     }
 }
 

@@ -27,6 +27,7 @@ fn config() -> DriverConfig {
         scheduler: SchedulerKind::Scan,
         monitor_capacity: 4096,
         table_max_entries: 64,
+        ..DriverConfig::default()
     }
 }
 

@@ -21,6 +21,7 @@ fn config() -> DriverConfig {
         scheduler: SchedulerKind::Scan,
         monitor_capacity: 4096,
         table_max_entries: 512,
+        ..DriverConfig::default()
     }
 }
 

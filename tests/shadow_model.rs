@@ -52,6 +52,7 @@ impl Harness {
             scheduler: SchedulerKind::Scan,
             monitor_capacity: 1 << 16,
             table_max_entries: 128,
+            ..DriverConfig::default()
         }
     }
 
