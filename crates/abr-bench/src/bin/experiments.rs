@@ -28,6 +28,7 @@ use abr_bench::ablations;
 use abr_bench::arrays;
 use abr_bench::engine::{bench_compare, detected_parallelism, RunBatch};
 use abr_bench::runs::Campaign;
+use abr_bench::serve;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -57,6 +58,9 @@ fn main() -> ExitCode {
         }
         println!("faults");
         for id in arrays::array_ids() {
+            println!("{id}");
+        }
+        for id in serve::serve_ids() {
             println!("{id}");
         }
         return ExitCode::SUCCESS;

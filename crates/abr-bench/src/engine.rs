@@ -23,6 +23,7 @@ use crate::arrays::{array_ids, run_array};
 use crate::faults::run_faults;
 use crate::report::Report;
 use crate::runs::{Campaign, DayCache};
+use crate::serve::{run_serve, serve_ids};
 use abr_core::{run_meter, run_meter_reset, RunMeter};
 use abr_obs::{
     day_series_reset, day_series_take, registry_clear, registry_snapshot, slo_clear, slo_install,
@@ -57,6 +58,7 @@ impl UnknownId {
         ids.extend_from_slice(ablation_ids());
         ids.push("faults");
         ids.extend_from_slice(array_ids());
+        ids.extend_from_slice(serve_ids());
         ids
     }
 }
@@ -84,6 +86,8 @@ pub enum RunKind {
     Faults,
     /// An array scale-out run (`array`, `array-n2`).
     Array,
+    /// A serving-front-end run (`serve`, `serve-smoke`).
+    Serve,
 }
 
 impl RunKind {
@@ -94,6 +98,7 @@ impl RunKind {
             RunKind::Ablation => "ablation",
             RunKind::Faults => "faults",
             RunKind::Array => "array",
+            RunKind::Serve => "serve",
         }
     }
 }
@@ -119,6 +124,8 @@ impl RunSpec {
             RunKind::Faults
         } else if array_ids().contains(&id) {
             RunKind::Array
+        } else if serve_ids().contains(&id) {
+            RunKind::Serve
         } else {
             return Err(UnknownId::new(id));
         };
@@ -434,6 +441,7 @@ impl RunBatch {
             RunKind::Ablation => run_ablation(&spec.id),
             RunKind::Faults => Ok(run_faults()),
             RunKind::Array => run_array(&spec.id),
+            RunKind::Serve => run_serve(&spec.id),
         }));
         let wall = t0.elapsed();
         // Always harvest, even after a panic: worker threads are reused
@@ -471,6 +479,8 @@ pub fn default_slos() -> Vec<Slo> {
         "p999(driver.service_us) < 1s",
         "p99(driver.queueing_us) < 500ms",
         "p99(array.request_us) < 250ms",
+        "p999(serve.request_us) < 2s",
+        "p99(serve.queue_us) < 1s",
     ]
     .iter()
     .map(|s| Slo::parse(s).expect("default SLO parses"))
@@ -498,6 +508,8 @@ const METRIC_DELTA_ALLOWLIST: &[&str] = &[
     "driver.service_us",
     "driver.queueing_us",
     "array.request_us",
+    "serve.request_us",
+    "serve.queue_us",
 ];
 
 /// Compare two `BENCH_experiments.json` files run-by-run.

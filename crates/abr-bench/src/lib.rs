@@ -26,6 +26,7 @@ pub mod faults;
 pub mod report;
 pub mod runreport;
 pub mod runs;
+pub mod serve;
 
 pub use engine::{RunBatch, RunSpec, UnknownId};
 pub use report::Report;

@@ -30,6 +30,8 @@ const TABLE_METRICS: &[(&str, &str)] = &[
     ("driver.service_us", "service"),
     ("driver.queueing_us", "queueing"),
     ("array.request_us", "request"),
+    ("serve.request_us", "srv req"),
+    ("serve.queue_us", "srv queue"),
 ];
 
 /// Quantile columns per metric, keyed into the day point's `quantiles`
@@ -141,13 +143,19 @@ pub fn render_markdown(bench: &JsonValue) -> Result<String, String> {
             days.len()
         );
         if days.is_empty() {
+            // A run with zero completed days still gets an explicit
+            // section (and its run-level starvation figures below) —
+            // an empty table would read as a rendering bug.
+            let _ = writeln!(out);
+            let _ = writeln!(out, "### Day series");
+            let _ = writeln!(out);
             let _ = writeln!(
                 out,
-                "No day points recorded (day vectors served from the \
-                 in-process cache, or the run failed before its first \
-                 day boundary)."
+                "No day series: zero day points recorded (day vectors \
+                 served from the in-process cache, or the run failed \
+                 before its first day boundary). Tail-latency and SLO \
+                 tables are omitted."
             );
-            continue;
         }
 
         let metrics = present_metrics(&days);
@@ -179,24 +187,26 @@ pub fn render_markdown(bench: &JsonValue) -> Result<String, String> {
             }
         }
 
-        let slos = slo_summaries(&days);
-        let _ = writeln!(out);
-        let _ = writeln!(out, "### SLO verdicts");
-        let _ = writeln!(out);
-        if slos.is_empty() {
-            let _ = writeln!(out, "No objectives were installed for this run.");
-        } else {
-            let _ = writeln!(out, "| objective | days ok | days violated | worst |");
-            let _ = writeln!(out, "|---|----:|----:|----:|");
-            for s in &slos {
-                let _ = writeln!(
-                    out,
-                    "| {} | {} | {} | {} |",
-                    s.text,
-                    s.days_ok,
-                    s.days_violated,
-                    s.worst_us.map_or_else(|| "vacuous".to_string(), fmt_us)
-                );
+        if !days.is_empty() {
+            let slos = slo_summaries(&days);
+            let _ = writeln!(out);
+            let _ = writeln!(out, "### SLO verdicts");
+            let _ = writeln!(out);
+            if slos.is_empty() {
+                let _ = writeln!(out, "No objectives were installed for this run.");
+            } else {
+                let _ = writeln!(out, "| objective | days ok | days violated | worst |");
+                let _ = writeln!(out, "|---|----:|----:|----:|");
+                for s in &slos {
+                    let _ = writeln!(
+                        out,
+                        "| {} | {} | {} | {} |",
+                        s.text,
+                        s.days_ok,
+                        s.days_violated,
+                        s.worst_us.map_or_else(|| "vacuous".to_string(), fmt_us)
+                    );
+                }
             }
         }
 
@@ -343,7 +353,12 @@ mod tests {
                     "ok": true,
                     "wall_s": 0.25,
                     "sim_days": 35u64,
-                    "metrics": jsn!({"counters": JsonValue::object()}),
+                    // Zero day points, but run-level counters exist —
+                    // the report must render them anyway.
+                    "metrics": jsn!({
+                        "counters": jsn!({"driver.starved_total": 3u64}),
+                        "gauges": jsn!({"driver.queue_age_max_us": 70_000u64}),
+                    }),
                     "day_series": JsonValue::Array(Vec::new()),
                 }),
             ],
@@ -361,10 +376,56 @@ mod tests {
         assert!(md.contains("oldest request waited 90.000ms"));
         // The cache-fed run is reported honestly, not invented.
         assert!(md.contains("## fig8"));
-        assert!(md.contains("No day points recorded"));
+        assert!(md.contains("No day series: zero day points recorded"));
         // Wall-clock data must never leak into the deterministic body.
         assert!(!md.contains("wall.event_loop"));
         assert!(!md.contains("1.25"));
+    }
+
+    #[test]
+    fn zero_day_run_still_renders_run_level_sections() {
+        let md = render_markdown(&fixture()).unwrap();
+        let fig8 = md.split("## fig8").nth(1).expect("fig8 section");
+        // Explicit section, not an empty table, not a bare paragraph.
+        assert!(fig8.contains("### Day series"));
+        assert!(fig8.contains("Tail-latency and SLO tables are omitted"));
+        assert!(!fig8.contains("| day |"), "no empty latency table");
+        assert!(!fig8.contains("### SLO verdicts"), "no vacuous SLO table");
+        // Run-level starvation counters are independent of day points
+        // and must survive the zero-day path.
+        assert!(fig8.contains("### Starvation"));
+        assert!(fig8.contains("3 dispatch(es) exceeded the starvation age"));
+        assert!(fig8.contains("oldest request waited 70.000ms"));
+    }
+
+    #[test]
+    fn serve_metrics_get_table_columns() {
+        // A one-run record shaped like a serve-family day point.
+        let record = jsn!({
+            "schema": "abr-bench/1",
+            "suite": vec!["serve-smoke"],
+            "runs": vec![jsn!({
+                "id": "serve-smoke",
+                "ok": true,
+                "sim_days": 1u64,
+                "metrics": jsn!({"counters": JsonValue::object()}),
+                "day_series": vec![jsn!({
+                    "day": 0u64,
+                    "hires": jsn!({
+                        "serve.request_us": jsn!({
+                            "count": 10u64,
+                            "quantiles": jsn!({
+                                "p50": 8_000u64, "p90": 20_000u64,
+                                "p99": 28_000u64, "p999": 30_000u64,
+                            }),
+                        }),
+                    }),
+                })],
+            })],
+        });
+        let md = render_markdown(&record).unwrap();
+        assert!(md.contains("srv req p50"));
+        assert!(md.contains("8.000ms"));
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Serving-front-end determinism: admission decisions, DRR dispatch
+//! order, and arrival processes are pure sim-time machinery, so a batch
+//! containing the serve family must produce byte-identical reports AND
+//! byte-identical `serve.*` metric snapshots whether it runs serially
+//! or on four workers.
+//!
+//! The comparison is restricted to `serve.*` counters/gauges and the
+//! `serve.*` high-resolution histograms: the registry also carries
+//! wall-clock timer data (`wall.*`), which legitimately depends on host
+//! scheduling.
+
+use abr_bench::engine::RunBatch;
+use abr_sim::json::JsonValue;
+
+const IDS: [&str; 2] = ["serve-smoke", "serve"];
+
+/// Pretty-print only the sim-deterministic `serve.*` entries from a
+/// registry snapshot.
+fn serve_metrics(snapshot: &JsonValue) -> String {
+    let mut out = JsonValue::object();
+    for section in ["counters", "gauges", "hires"] {
+        let mut filtered = JsonValue::object();
+        if let Some(entries) = snapshot[section].as_object() {
+            for (name, value) in entries {
+                if name.starts_with("serve.") {
+                    filtered.insert(name.clone(), value.clone());
+                }
+            }
+        }
+        out.insert(section, filtered);
+    }
+    out.pretty()
+}
+
+#[test]
+fn serve_family_is_byte_identical_across_workers() {
+    let serial = RunBatch::new(&IDS, 1).unwrap().execute();
+    let parallel = RunBatch::new(&IDS, 4).unwrap().execute();
+
+    for (s, p) in serial.outcomes.iter().zip(&parallel.outcomes) {
+        assert_eq!(s.spec, p.spec, "outcomes must stay in spec order");
+        let (sr, pr) = (
+            s.report.as_ref().expect("serial run failed"),
+            p.report.as_ref().expect("parallel run failed"),
+        );
+        assert_eq!(sr.text, pr.text, "{}: text differs", s.spec.id);
+        assert_eq!(
+            sr.json.pretty(),
+            pr.json.pretty(),
+            "{}: JSON differs",
+            s.spec.id
+        );
+        assert_eq!(
+            serve_metrics(&s.metrics),
+            serve_metrics(&p.metrics),
+            "{}: serve.* metrics differ",
+            s.spec.id
+        );
+        assert_eq!(
+            s.day_series.pretty(),
+            p.day_series.pretty(),
+            "{}: day series differs",
+            s.spec.id
+        );
+    }
+
+    // The gate must cover live traffic, not vacuously compare zeros,
+    // and the smoke cell must exercise the shed path.
+    let smoke = serial
+        .outcomes
+        .iter()
+        .find(|o| o.spec.id == "serve-smoke")
+        .expect("smoke cell ran");
+    for name in ["serve.arrivals", "serve.completed", "serve.shed_total"] {
+        assert!(
+            smoke.metrics["counters"][name].as_u64().unwrap_or(0) > 0,
+            "{name} must be live in the smoke cell"
+        );
+    }
+    assert!(
+        smoke.metrics["hires"]["serve.request_us"]["quantiles"]["p999"]
+            .as_u64()
+            .unwrap_or(0)
+            > 0,
+        "p999 request latency must be reported"
+    );
+}

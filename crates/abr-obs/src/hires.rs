@@ -322,6 +322,86 @@ mod tests {
     }
 
     #[test]
+    fn merge_with_both_sides_overflowed() {
+        // Overflow observations must combine like any bucket: counts
+        // add, the merged max is the larger lifetime max, and overflow
+        // ranks still report the exact max.
+        let big_a = 1u64 << 33;
+        let big_b = (1u64 << 34) + 17;
+        let mut a = LogHistogram::new();
+        a.observe(10);
+        a.observe(big_a);
+        let mut b = LogHistogram::new();
+        b.observe(big_b);
+        b.observe(big_b);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.overflow(), 3);
+        assert_eq!(a.max(), big_b);
+        assert_eq!(a.sum(), 10 + big_a + 2 * big_b);
+        assert_eq!(a.quantile(1.0), big_b);
+        // Merging an empty histogram in either direction is identity.
+        let before = a.clone();
+        a.merge(&LogHistogram::new());
+        assert_eq!(a, before);
+        let mut empty = LogHistogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn diff_against_empty_baseline_is_identity_modulo_max() {
+        // The day series' first boundary diffs against a fresh
+        // histogram: every count must survive, and the only permitted
+        // difference is `max` quantizing up to its bucket edge.
+        let mut h = LogHistogram::new();
+        for v in [3u64, 700, 123_456] {
+            h.observe(v);
+        }
+        let d = h.diff(&LogHistogram::new());
+        assert_eq!(d.count(), h.count());
+        assert_eq!(d.sum(), h.sum());
+        assert_eq!(d.overflow(), 0);
+        assert_eq!(d.quantile(0.5), h.quantile(0.5));
+        assert!(d.max() >= h.max() && d.max() <= h.max() + (h.max() >> SUB_BITS) + 1);
+        // Two degenerate corners: empty-vs-empty is empty with max 0,
+        // and diffing a histogram against itself is empty.
+        let zero = LogHistogram::new().diff(&LogHistogram::new());
+        assert!(zero.is_empty());
+        assert_eq!(zero.max(), 0);
+        let selfdiff = h.diff(&h);
+        assert!(selfdiff.is_empty());
+        assert_eq!(selfdiff.max(), 0);
+        assert_eq!(selfdiff.sum(), 0);
+    }
+
+    #[test]
+    fn diff_with_overflow_delta_reports_lifetime_max() {
+        // When the delta includes overflow observations, no bucket edge
+        // can describe them — the diff must fall back to the lifetime
+        // max rather than the top regular bucket's edge.
+        let mut h = LogHistogram::new();
+        h.observe(50);
+        let baseline = h.clone();
+        let huge = (1u64 << 35) + 5;
+        h.observe(huge);
+        let d = h.diff(&baseline);
+        assert_eq!(d.count(), 1);
+        assert_eq!(d.overflow(), 1);
+        assert_eq!(d.max(), huge, "overflow delta must report the exact max");
+        assert_eq!(d.quantile(1.0), huge);
+        // Conversely, when overflow cancels out (both sides saw it),
+        // the delta's max comes from its highest regular bucket.
+        let mut base2 = LogHistogram::new();
+        base2.observe(huge);
+        let mut cur2 = base2.clone();
+        cur2.observe(200);
+        let d2 = cur2.diff(&base2);
+        assert_eq!(d2.overflow(), 0);
+        assert!(d2.max() >= 200 && d2.max() < 210);
+    }
+
+    #[test]
     fn snapshot_is_sparse() {
         let mut h = LogHistogram::new();
         h.observe(5);

@@ -1,0 +1,181 @@
+//! Deficit round-robin over per-client queues.
+//!
+//! Classic DRR (Shreedhar & Varghese): active clients sit in a ring;
+//! each visit credits the client one quantum of deficit, and the client
+//! dispatches head-of-line requests while its deficit covers their
+//! cost. A client that drains its queue leaves the ring and forfeits
+//! its deficit, so credit cannot be hoarded across idle periods. With
+//! per-request costs bounded by a few quanta this gives each backlogged
+//! client an equal long-run share of dispatch slots regardless of how
+//! unequal the *offered* loads are — the fairness property the serve
+//! harness asserts.
+//!
+//! The ring is a `VecDeque` of client indices; activation order (and
+//! therefore scan order) is a pure function of the event sequence, so
+//! dispatch decisions are deterministic.
+
+use std::collections::VecDeque;
+
+/// A deficit round-robin scheduler over `n` client queues.
+///
+/// The scheduler does not own the queues; callers report occupancy via
+/// [`Drr::activate`] and answer cost queries in [`Drr::next`].
+#[derive(Debug, Clone)]
+pub struct Drr {
+    quantum: u64,
+    deficit: Vec<u64>,
+    in_ring: Vec<bool>,
+    ring: VecDeque<usize>,
+}
+
+impl Drr {
+    /// A scheduler over `n` clients crediting `quantum` cost units per
+    /// ring visit.
+    ///
+    /// # Panics
+    /// Panics if the quantum is zero (the ring scan would never
+    /// accumulate credit).
+    pub fn new(n: usize, quantum: u64) -> Self {
+        assert!(quantum > 0, "DRR quantum must be positive");
+        Drr {
+            quantum,
+            deficit: vec![0; n],
+            in_ring: vec![false; n],
+            ring: VecDeque::new(),
+        }
+    }
+
+    /// Note that client `c` has queued work. Idempotent; newly active
+    /// clients join the tail of the ring with zero deficit.
+    pub fn activate(&mut self, c: usize) {
+        if !self.in_ring[c] {
+            self.in_ring[c] = true;
+            self.ring.push_back(c);
+        }
+    }
+
+    /// Pick the client whose head-of-line request dispatches next.
+    ///
+    /// `head_cost(c)` returns the cost of client `c`'s head request, or
+    /// `None` when its queue is empty (the client then leaves the ring
+    /// and its deficit resets). Returns `None` once the ring is empty.
+    /// The chosen client's deficit is charged; the caller must actually
+    /// dispatch the head request it reported.
+    pub fn next(&mut self, mut head_cost: impl FnMut(usize) -> Option<u64>) -> Option<usize> {
+        while let Some(&c) = self.ring.front() {
+            match head_cost(c) {
+                None => {
+                    // Drained: leave the ring, forfeit the deficit.
+                    self.ring.pop_front();
+                    self.in_ring[c] = false;
+                    self.deficit[c] = 0;
+                }
+                Some(cost) => {
+                    if self.deficit[c] >= cost {
+                        self.deficit[c] -= cost;
+                        return Some(c);
+                    }
+                    // Not enough credit: grant a quantum and move on.
+                    // Each full lap adds one quantum, so any bounded
+                    // cost is eventually covered.
+                    self.deficit[c] += self.quantum;
+                    self.ring.rotate_left(1);
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of clients currently holding queued work.
+    pub fn active(&self) -> usize {
+        self.ring.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// Drive the scheduler over explicit queues until everything
+    /// drains; returns dispatch order.
+    fn drain(drr: &mut Drr, queues: &mut [VecDeque<u64>]) -> Vec<usize> {
+        let mut order = Vec::new();
+        loop {
+            let picked = drr.next(|c| queues[c].front().copied());
+            match picked {
+                Some(c) => {
+                    queues[c].pop_front();
+                    order.push(c);
+                }
+                None => return order,
+            }
+        }
+    }
+
+    #[test]
+    fn equal_queues_interleave() {
+        let mut drr = Drr::new(2, 1);
+        let mut queues = vec![VecDeque::from(vec![1, 1, 1]), VecDeque::from(vec![1, 1, 1])];
+        drr.activate(0);
+        drr.activate(1);
+        let order = drain(&mut drr, &mut queues);
+        assert_eq!(order, vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn hot_client_cannot_starve_the_rest() {
+        // Client 0 offers 100 requests, clients 1..4 offer 10 each. In
+        // the first 40 dispatches every backlogged client gets an equal
+        // share — the hot client does not run ahead.
+        let mut drr = Drr::new(4, 1);
+        let mut queues = vec![
+            VecDeque::from(vec![1; 100]),
+            VecDeque::from(vec![1; 10]),
+            VecDeque::from(vec![1; 10]),
+            VecDeque::from(vec![1; 10]),
+        ];
+        for c in 0..4 {
+            drr.activate(c);
+        }
+        let order = drain(&mut drr, &mut queues);
+        let first40 = &order[..40];
+        for c in 0..4 {
+            let share = first40.iter().filter(|&&x| x == c).count();
+            assert_eq!(share, 10, "client {c} got {share}/40 early dispatches");
+        }
+        assert_eq!(order.len(), 130);
+    }
+
+    #[test]
+    fn large_costs_accumulate_credit_across_laps() {
+        // Cost 5 with quantum 2: three laps of credit are needed per
+        // dispatch, but progress is still made and stays fair.
+        let mut drr = Drr::new(2, 2);
+        let mut queues = vec![VecDeque::from(vec![5, 5]), VecDeque::from(vec![5, 5])];
+        drr.activate(0);
+        drr.activate(1);
+        let order = drain(&mut drr, &mut queues);
+        assert_eq!(order.len(), 4);
+        assert_eq!(order.iter().filter(|&&c| c == 0).count(), 2);
+    }
+
+    #[test]
+    fn drained_client_forfeits_deficit() {
+        let mut drr = Drr::new(1, 10);
+        let mut queues = vec![VecDeque::from(vec![1])];
+        drr.activate(0);
+        drain(&mut drr, &mut queues);
+        assert_eq!(drr.active(), 0);
+        assert_eq!(drr.deficit[0], 0, "idle client must not hoard credit");
+    }
+
+    #[test]
+    fn reactivation_rejoins_at_tail() {
+        let mut drr = Drr::new(3, 1);
+        drr.activate(1);
+        drr.activate(1); // idempotent
+        drr.activate(0);
+        assert_eq!(drr.ring, VecDeque::from(vec![1, 0]));
+    }
+}

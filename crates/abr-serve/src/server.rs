@@ -1,0 +1,929 @@
+//! The serving harness: open-loop clients over an [`ArrayVolume`].
+//!
+//! One instance is a single-threaded discrete-event simulation of a
+//! block server: per-client arrival generators feed the admission path
+//! (token bucket, then the bounded accept queue), a DRR scan dispatches
+//! accepted requests to the volume, and completions flow back to the
+//! clients. The event loop merges arrivals, volume completions, monitor
+//! reads, and array maintenance into one time-ordered stream with fixed
+//! tie-breaking, so a configuration maps to exactly one execution.
+//!
+//! Epochs play the role the measured day plays in the paper harnesses:
+//! each [`ServeExperiment::run_epoch`] serves one epoch, drains, and
+//! records a day-series point; with a reserved region configured,
+//! [`ServeExperiment::rearrange`] runs the paper's overnight protocol
+//! between epochs — per-member hot lists from the epoch's monitor
+//! reads, placed into each member's reserved cylinders.
+
+use crate::admission::TokenBucket;
+use crate::config::{ArrivalKind, ServeConfig};
+use crate::drr::Drr;
+use abr_array::{ArrayHealth, ArrayVolume, VolRequestId};
+use abr_core::analyzer::FullAnalyzer;
+use abr_core::arranger::{BlockArranger, RearrangeReport};
+use abr_core::daemon::RearrangementDaemon;
+use abr_core::{run_meter_add, PolicyKind};
+use abr_disk::fault::{FaultInjector, FaultPlan};
+use abr_disk::{Disk, DiskLabel};
+use abr_driver::{AdaptiveDriver, DriverConfig, IoRequest, Ioctl};
+use abr_obs::registry::{CounterId, GaugeId, HiresId};
+use abr_obs::with_registry;
+use abr_sim::arrival::{OnOff, OnOffParams, Poisson};
+use abr_sim::dist::Zipf;
+use abr_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Sectors per file-system block (8 KB blocks of 512-byte sectors);
+/// every client request is exactly one block, so it never crosses a
+/// block boundary and maps onto one member disk.
+const SECTORS_PER_BLOCK: u32 = 16;
+
+/// `serve.*` registry handles, resolved once at construction.
+struct ServeObs {
+    arrivals: CounterId,
+    accepted: CounterId,
+    shed: CounterId,
+    throttled: CounterId,
+    completed: CounterId,
+    errors: CounterId,
+    clients: GaugeId,
+    queue_depth: GaugeId,
+    queue_depth_max: GaugeId,
+    inflight: GaugeId,
+    request_us: HiresId,
+    queue_us: HiresId,
+}
+
+impl ServeObs {
+    fn resolve() -> ServeObs {
+        with_registry(|r| ServeObs {
+            arrivals: r.counter("serve.arrivals"),
+            accepted: r.counter("serve.accepted"),
+            shed: r.counter("serve.shed_total"),
+            throttled: r.counter("serve.throttled_total"),
+            completed: r.counter("serve.completed"),
+            errors: r.counter("serve.errors"),
+            clients: r.gauge("serve.clients"),
+            queue_depth: r.gauge("serve.queue_depth"),
+            queue_depth_max: r.gauge("serve.queue_depth_max"),
+            inflight: r.gauge("serve.inflight"),
+            request_us: r.hires("serve.request_us"),
+            queue_us: r.hires("serve.queue_us"),
+        })
+    }
+}
+
+/// One client's arrival process.
+enum ArrivalGen {
+    Poisson(Poisson),
+    Bursty(OnOff),
+}
+
+/// An accepted request waiting in its client's queue for dispatch.
+struct Queued {
+    arrived: SimTime,
+    sector: u64,
+    write: bool,
+}
+
+/// One simulated client: generators, bucket, and its accept queue.
+struct Client {
+    gen: ArrivalGen,
+    arrival_rng: SimRng,
+    shape_rng: SimRng,
+    bucket: TokenBucket,
+    queue: VecDeque<Queued>,
+    completions: u64,
+}
+
+impl Client {
+    fn next_arrival(&mut self, now: SimTime) -> SimTime {
+        match &mut self.gen {
+            ArrivalGen::Poisson(p) => p.next_after(now, &mut self.arrival_rng),
+            ArrivalGen::Bursty(o) => o.next_after(now, &mut self.arrival_rng),
+        }
+    }
+}
+
+/// A request in flight at the volume.
+struct Pending {
+    client: usize,
+    arrived: SimTime,
+}
+
+/// Counters for one epoch (deltas, not lifetime totals).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Requests the clients offered.
+    pub arrivals: u64,
+    /// Requests past both admission gates.
+    pub accepted: u64,
+    /// Requests refused because the accept queue was full.
+    pub shed: u64,
+    /// Requests refused by their client's token bucket.
+    pub throttled: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests that failed (submit reject or completion error).
+    pub errors: u64,
+}
+
+/// Lifetime totals of a serving run.
+#[derive(Debug, Clone, Default)]
+pub struct ServeSummary {
+    /// Requests the clients offered.
+    pub arrivals: u64,
+    /// Requests past both admission gates.
+    pub accepted: u64,
+    /// Requests refused because the accept queue was full.
+    pub shed: u64,
+    /// Requests refused by their client's token bucket.
+    pub throttled: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests that failed (submit reject or completion error).
+    pub errors: u64,
+    /// Requests still in flight when the run ended (a degraded member
+    /// that never completed them — bounded by `max_inflight`).
+    pub stranded: u64,
+    /// Deepest the accept queue ever got (bounded by the cap).
+    pub queue_depth_max: u64,
+    /// Blocks sitting in reserved regions at the end of the run.
+    pub placed: u32,
+    /// Per-client completion counts — the fairness evidence.
+    pub per_client_completions: Vec<u64>,
+}
+
+impl ServeSummary {
+    /// Max/min ratio of per-client completions (∞ when some client
+    /// completed nothing); ≤ 2 is the acceptance bar under DRR.
+    pub fn fairness_ratio(&self) -> f64 {
+        let max = self
+            .per_client_completions
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0);
+        let min = self
+            .per_client_completions
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(0);
+        if min == 0 {
+            if max == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            max as f64 / min as f64
+        }
+    }
+}
+
+/// The assembled block server: volume, clients, admission, dispatch.
+pub struct ServeExperiment {
+    config: ServeConfig,
+    volume: ArrayVolume,
+    clients: Vec<Client>,
+    drr: Drr,
+    arrivals: EventQueue<usize>,
+    /// Total accepted-but-undispatched requests across clients.
+    backlog: usize,
+    inflight: BTreeMap<VolRequestId, Pending>,
+    daemons: Vec<RearrangementDaemon>,
+    clock: SimTime,
+    epoch_index: u64,
+    obs: ServeObs,
+    totals: ServeSummary,
+    epoch_stats: EpochStats,
+    queue_depth_max: usize,
+    /// Blocks in the volume's data address space.
+    total_blocks: u64,
+    /// Rank→block scatter stride, coprime with `total_blocks`.
+    stride: u64,
+    zipf: Zipf,
+    placed: u32,
+    rearrange_failures: u64,
+    /// Member format, kept to build hot-spare replacement drives.
+    label: DiskLabel,
+    driver_cfg: DriverConfig,
+    replaced: Vec<bool>,
+}
+
+impl std::fmt::Debug for ServeExperiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeExperiment")
+            .field("disk", &self.config.disk.name)
+            .field("n_disks", &self.config.n_disks)
+            .field("n_clients", &self.config.n_clients)
+            .field("epoch", &self.epoch_index)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeExperiment {
+    /// Build the stack: format the members, assemble the volume, seed
+    /// the client population, and install any fault injectors.
+    ///
+    /// # Panics
+    /// Panics when the configuration is degenerate (no clients, no
+    /// capacity, a working set larger than the volume).
+    pub fn new(config: ServeConfig) -> ServeExperiment {
+        let _unmeasured = abr_obs::trace_pause();
+        assert!(config.n_clients > 0, "a server needs clients");
+        assert!(config.accept_queue_cap > 0, "accept queue needs capacity");
+        assert!(config.max_inflight > 0, "need at least one dispatch slot");
+        assert!(
+            (0.0..=1.0).contains(&config.read_fraction),
+            "read fraction is a probability"
+        );
+        let model = config.disk.clone();
+        let label = if config.reserved_cylinders > 0 {
+            DiskLabel::rearranged_aligned(
+                model.geometry,
+                config.reserved_cylinders,
+                SECTORS_PER_BLOCK,
+            )
+        } else {
+            DiskLabel::whole_disk(model.geometry)
+        };
+        let driver_cfg = DriverConfig {
+            block_size: 8192,
+            scheduler: config.scheduler,
+            monitor_capacity: 1 << 20,
+            table_max_entries: 8192,
+            ..DriverConfig::default()
+        };
+        let members: Vec<AdaptiveDriver> = (0..config.n_disks)
+            .map(|_| {
+                let mut disk = Disk::new(model.clone());
+                AdaptiveDriver::format(&mut disk, &label, &driver_cfg);
+                let mut d =
+                    AdaptiveDriver::attach(disk, driver_cfg).expect("fresh format attaches");
+                // The front end tracks timing only; no payload delivery.
+                d.set_deliver_read_data(false);
+                d
+            })
+            .collect();
+        let mut volume = ArrayVolume::with_redundancy(
+            members,
+            config.stripe,
+            config.redundancy,
+            config.maintenance,
+        );
+
+        let total_blocks = volume.vol_sectors() / u64::from(SECTORS_PER_BLOCK);
+        assert!(
+            (config.working_set_blocks as u64) <= total_blocks,
+            "working set exceeds the volume ({} > {total_blocks} blocks)",
+            config.working_set_blocks
+        );
+        // Scatter Zipf ranks across the whole volume so the hot set is
+        // spread out until rearrangement clusters it: block(r) =
+        // r * stride mod total, with the stride forced coprime so the
+        // map is injective.
+        let mut stride: u64 = 7919;
+        while gcd(stride, total_blocks) != 1 {
+            stride += 1;
+        }
+        let zipf = Zipf::new(config.working_set_blocks, config.zipf_exponent);
+
+        // One rearrangement daemon per member when a reserved region
+        // exists. Raw block traffic has no file-system interleave, so
+        // the organ-pipe arrangement uses interleave 1.
+        let daemons: Vec<RearrangementDaemon> = if config.reserved_cylinders > 0 {
+            (0..config.n_disks)
+                .map(|_| {
+                    RearrangementDaemon::new(
+                        Box::new(FullAnalyzer::new()),
+                        BlockArranger::new(PolicyKind::OrganPipe.make(1)),
+                        config.monitor_period,
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        // Zero every member's monitors so epoch 1 starts clean.
+        for i in 0..config.n_disks {
+            volume
+                .disk_mut(i)
+                .ioctl(Ioctl::ReadStats, SimTime::ZERO)
+                .expect("stats read on a fresh member");
+            volume
+                .disk_mut(i)
+                .ioctl(Ioctl::ReadRequestTable, SimTime::ZERO)
+                .expect("table read on a fresh member");
+        }
+
+        // The client population: indexed arrival/shape substreams, so
+        // adding clients never perturbs existing ones.
+        let root = SimRng::new(config.seed);
+        let per_client = config.per_client_rate();
+        let clients: Vec<Client> = (0..config.n_clients)
+            .map(|i| {
+                let mut arrival_rng = root.substream_idx("client", i as u64);
+                let gen = match config.arrivals {
+                    ArrivalKind::Poisson => ArrivalGen::Poisson(Poisson::per_sec(per_client)),
+                    ArrivalKind::Bursty { burst, mean_on } => {
+                        assert!(burst > 1.0, "burst factor must exceed 1");
+                        let params = OnOffParams {
+                            mean_on,
+                            // off = on * (burst - 1) keeps the long-run
+                            // rate at `per_client`.
+                            mean_off: SimDuration::from_micros(
+                                (mean_on.as_micros() as f64 * (burst - 1.0)) as u64,
+                            ),
+                            on_rate_per_sec: per_client * burst,
+                        };
+                        ArrivalGen::Bursty(OnOff::new(params, &mut arrival_rng))
+                    }
+                };
+                Client {
+                    gen,
+                    arrival_rng,
+                    shape_rng: root.substream_idx("req", i as u64),
+                    bucket: TokenBucket::new(config.bucket_rate_per_sec, config.bucket_burst),
+                    queue: VecDeque::new(),
+                    completions: 0,
+                }
+            })
+            .collect();
+
+        let obs = ServeObs::resolve();
+        with_registry(|r| r.set_gauge(obs.clients, config.n_clients as i64));
+
+        let n_disks = config.n_disks;
+        let n_clients = config.n_clients;
+        let drr_quantum = u64::from(config.drr_quantum);
+        let mut e = ServeExperiment {
+            config,
+            volume,
+            clients,
+            drr: Drr::new(n_clients, drr_quantum),
+            arrivals: EventQueue::new(),
+            backlog: 0,
+            inflight: BTreeMap::new(),
+            daemons,
+            clock: SimTime::ZERO,
+            epoch_index: 0,
+            obs,
+            totals: ServeSummary {
+                per_client_completions: vec![0; n_clients],
+                ..ServeSummary::default()
+            },
+            epoch_stats: EpochStats::default(),
+            queue_depth_max: 0,
+            total_blocks,
+            stride,
+            zipf,
+            placed: 0,
+            rearrange_failures: 0,
+            label,
+            driver_cfg,
+            replaced: vec![false; n_disks],
+        };
+        e.prime_arrivals();
+        for i in 0..e.config.n_disks {
+            if let Some(plan) = e.config.fault_plans.get(i).copied().flatten() {
+                e.set_injector(i, plan);
+            }
+        }
+        e
+    }
+
+    /// Install (or replace) disk `i`'s fault plan. Disk 0 draws from
+    /// the same `"faults"` substream as a single disk; disk `i > 0`
+    /// gets an independent indexed substream (the abr-array scheme).
+    pub fn install_fault_plan(&mut self, i: usize, plan: FaultPlan) {
+        if self.config.fault_plans.len() <= i {
+            self.config.fault_plans.resize(i + 1, None);
+        }
+        self.config.fault_plans[i] = Some(plan);
+        self.set_injector(i, plan);
+    }
+
+    fn set_injector(&mut self, i: usize, plan: FaultPlan) {
+        let rng = if i == 0 {
+            SimRng::new(self.config.seed).substream("faults")
+        } else {
+            SimRng::new(self.config.seed).substream_idx("faults", i as u64)
+        };
+        self.volume
+            .disk_mut(i)
+            .disk_mut()
+            .set_injector(Some(FaultInjector::new(plan, rng)));
+    }
+
+    /// Schedule every client's first arrival after the current clock.
+    fn prime_arrivals(&mut self) {
+        self.arrivals = EventQueue::new();
+        let now = self.clock;
+        for c in 0..self.clients.len() {
+            let at = self.clients[c].next_arrival(now);
+            self.arrivals.schedule(at, c);
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The current simulated clock.
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// The volume (inspection in tests and benches).
+    pub fn volume(&self) -> &ArrayVolume {
+        &self.volume
+    }
+
+    /// The volume, mutably.
+    pub fn volume_mut(&mut self) -> &mut ArrayVolume {
+        &mut self.volume
+    }
+
+    /// Snapshot array health (and publish the `array.*` gauges).
+    pub fn health(&mut self) -> ArrayHealth {
+        self.volume.health()
+    }
+
+    /// Blocks currently placed across all reserved areas.
+    pub fn placed(&self) -> u32 {
+        self.placed
+    }
+
+    /// Overnight rearrangement passes that failed and were skipped.
+    pub fn rearrange_failures(&self) -> u64 {
+        self.rearrange_failures
+    }
+
+    /// Map a Zipf rank to the first sector of its scattered block.
+    fn rank_to_sector(&self, rank: usize) -> u64 {
+        let block = (rank as u64).wrapping_mul(self.stride) % self.total_blocks;
+        block * u64::from(SECTORS_PER_BLOCK)
+    }
+
+    /// One client arrival: generate the request shape, then run the
+    /// admission path (bucket → bounded queue → accept).
+    fn on_arrival(&mut self, c: usize, now: SimTime) {
+        self.epoch_stats.arrivals += 1;
+        with_registry(|r| r.inc(self.obs.arrivals, 1));
+        let rank = {
+            let client = &mut self.clients[c];
+            self.zipf.sample(&mut client.shape_rng)
+        };
+        let sector = self.rank_to_sector(rank);
+        let write = {
+            let client = &mut self.clients[c];
+            !client.shape_rng.chance(self.config.read_fraction)
+        };
+        if !self.clients[c].bucket.try_take(now) {
+            self.epoch_stats.throttled += 1;
+            with_registry(|r| r.inc(self.obs.throttled, 1));
+            return;
+        }
+        if self.backlog >= self.config.accept_queue_cap {
+            self.epoch_stats.shed += 1;
+            with_registry(|r| r.inc(self.obs.shed, 1));
+            return;
+        }
+        self.clients[c].queue.push_back(Queued {
+            arrived: now,
+            sector,
+            write,
+        });
+        self.backlog += 1;
+        self.queue_depth_max = self.queue_depth_max.max(self.backlog);
+        self.epoch_stats.accepted += 1;
+        with_registry(|r| {
+            r.inc(self.obs.accepted, 1);
+            r.set_gauge(self.obs.queue_depth_max, self.queue_depth_max as i64);
+        });
+        self.drr.activate(c);
+        self.pump(now);
+    }
+
+    /// One volume completion at `now`.
+    fn on_completion(&mut self, now: SimTime) {
+        if let Some(done) = self.volume.complete_next(now) {
+            if let Some(p) = self.inflight.remove(&done.id) {
+                let latency = (done.completed - p.arrived).as_micros();
+                with_registry(|r| r.observe_hires(self.obs.request_us, latency));
+                if done.error.is_some() {
+                    self.epoch_stats.errors += 1;
+                    with_registry(|r| r.inc(self.obs.errors, 1));
+                } else {
+                    self.epoch_stats.completed += 1;
+                    self.clients[p.client].completions += 1;
+                    with_registry(|r| r.inc(self.obs.completed, 1));
+                }
+            }
+        }
+        self.pump(now);
+    }
+
+    /// Fill free dispatch slots from the accept queues via DRR.
+    fn pump(&mut self, now: SimTime) {
+        while self.inflight.len() < self.config.max_inflight && self.backlog > 0 {
+            let clients = &self.clients;
+            let Some(c) = self.drr.next(|c| {
+                clients[c]
+                    .queue
+                    .front()
+                    .map(|_| u64::from(SECTORS_PER_BLOCK))
+            }) else {
+                break;
+            };
+            let q = self.clients[c]
+                .queue
+                .pop_front()
+                .expect("DRR picked a client with queued work");
+            self.backlog -= 1;
+            let waited = (now - q.arrived).as_micros();
+            with_registry(|r| r.observe_hires(self.obs.queue_us, waited));
+            let req = if q.write {
+                IoRequest::write_zeroes(0, q.sector, SECTORS_PER_BLOCK)
+            } else {
+                IoRequest::read(0, q.sector, SECTORS_PER_BLOCK)
+            };
+            match self.volume.submit(req, now) {
+                Ok(id) => {
+                    self.inflight.insert(
+                        id,
+                        Pending {
+                            client: c,
+                            arrived: q.arrived,
+                        },
+                    );
+                }
+                Err(_) => {
+                    // Rejected before reaching any member queue (e.g. a
+                    // dead unredundant member): an explicit failure.
+                    self.epoch_stats.errors += 1;
+                    with_registry(|r| r.inc(self.obs.errors, 1));
+                }
+            }
+        }
+        with_registry(|r| {
+            r.set_gauge(self.obs.queue_depth, self.backlog as i64);
+            r.set_gauge(self.obs.inflight, self.inflight.len() as i64);
+        });
+    }
+
+    /// Read every member's request table into its daemon.
+    fn collect_all(&mut self, now: SimTime) {
+        for i in 0..self.daemons.len() {
+            self.daemons[i].collect(self.volume.disk_mut(i), now);
+        }
+    }
+
+    /// Serve one epoch, drain, and record a day-series point. Returns
+    /// the epoch's admission/service counters.
+    pub fn run_epoch(&mut self) -> EpochStats {
+        let _t = abr_obs::time_scope("event_loop");
+        self.epoch_stats = EpochStats::default();
+        let epoch_start = self.clock;
+        let epoch_end = epoch_start + self.config.epoch;
+        let adaptive = !self.daemons.is_empty();
+        let mut next_monitor = if adaptive {
+            epoch_start + self.config.monitor_period
+        } else {
+            SimTime::MAX
+        };
+        let maint_period = self.config.maintenance.period;
+        let mut next_maint = if self.volume.has_maintenance() {
+            epoch_start + maint_period
+        } else {
+            SimTime::MAX
+        };
+
+        loop {
+            let next_arrival = self.arrivals.peek_time().unwrap_or(SimTime::MAX);
+            let next_completion = self.volume.next_completion().unwrap_or(SimTime::MAX);
+            let t = next_arrival
+                .min(next_completion)
+                .min(next_monitor)
+                .min(next_maint);
+            if t > epoch_end {
+                break;
+            }
+            self.clock = t;
+            if t == next_completion {
+                self.on_completion(t);
+            } else if t == next_maint {
+                self.install_replacements(t);
+                self.volume.maintenance_tick(t);
+                next_maint = t + maint_period;
+            } else if t == next_arrival {
+                let (_, c) = self.arrivals.pop().expect("peeked non-empty");
+                self.on_arrival(c, t);
+                let at = self.clients[c].next_arrival(t);
+                self.arrivals.schedule(at, c);
+            } else {
+                self.collect_all(t);
+                next_monitor = t + self.config.monitor_period;
+            }
+        }
+
+        // Epoch end: stop admitting, drain the backlog and in-flight
+        // work. A member that strands requests (dead, unredundant)
+        // stops producing completions; whatever it stranded stays in
+        // `inflight` — bounded by `max_inflight` — and is reported.
+        let mut t = epoch_end;
+        while let Some(ct) = self.volume.next_completion() {
+            t = ct;
+            self.on_completion(ct);
+        }
+        self.clock = t.max(epoch_end);
+        if adaptive {
+            self.collect_all(self.clock);
+        }
+        // Flush each member's batched driver observations so the day
+        // point below sees `driver.*` histograms up to date.
+        for i in 0..self.config.n_disks {
+            let _ = self.volume.disk_mut(i).ioctl(Ioctl::ReadStats, self.clock);
+        }
+        self.volume.health();
+
+        self.totals.arrivals += self.epoch_stats.arrivals;
+        self.totals.accepted += self.epoch_stats.accepted;
+        self.totals.shed += self.epoch_stats.shed;
+        self.totals.throttled += self.epoch_stats.throttled;
+        self.totals.completed += self.epoch_stats.completed;
+        self.totals.errors += self.epoch_stats.errors;
+
+        // `run_meter_add` also closes out the day point in the metric
+        // series, so each epoch is one day-series entry.
+        run_meter_add(self.clock - epoch_start);
+        self.epoch_index += 1;
+        self.epoch_stats
+    }
+
+    /// The overnight protocol between epochs (adaptive members only):
+    /// each member places its `place_blocks` hottest blocks, the clock
+    /// jumps the movement gap, and clients re-prime. A no-op without a
+    /// reserved region.
+    pub fn rearrange(&mut self) -> RearrangeReport {
+        let mut total = RearrangeReport::default();
+        if self.daemons.is_empty() {
+            return total;
+        }
+        let n = self.config.place_blocks;
+        for i in 0..self.config.n_disks {
+            let hot = self.daemons[i].hot_list(n);
+            match self.daemons[i].end_day_with(self.volume.disk_mut(i), &hot, n, self.clock) {
+                Ok(report) => {
+                    total.blocks_placed += report.blocks_placed;
+                    total.blocks_failed += report.blocks_failed;
+                    total.io_ops += report.io_ops;
+                    total.busy = total.busy.max(report.busy);
+                }
+                Err(_) => {
+                    // The pass failed outright; the on-disk placement
+                    // is still consistent. Skip, keep the placement.
+                    self.rearrange_failures += 1;
+                    self.daemons[i].end_day_keep_placement();
+                }
+            }
+        }
+        self.placed = (0..self.config.n_disks)
+            .map(|i| self.volume.disk(i).block_table().len() as u32)
+            .sum();
+        self.clock += total.busy + SimDuration::from_mins(1);
+        // The movement polluted member stats; clear them so the next
+        // epoch starts clean, then restart the arrival processes from
+        // the new clock (clients pause over the movement window).
+        for i in 0..self.config.n_disks {
+            let _ = self.volume.disk_mut(i).ioctl(Ioctl::ReadStats, self.clock);
+        }
+        self.prime_arrivals();
+        total
+    }
+
+    /// Serve `config.epochs` epochs with rearrangement between them
+    /// (when a reserved region is configured) and return the totals.
+    pub fn run(&mut self) -> ServeSummary {
+        for e in 0..self.config.epochs {
+            self.run_epoch();
+            if e + 1 < self.config.epochs {
+                self.rearrange();
+            }
+        }
+        self.summary()
+    }
+
+    /// Lifetime totals so far.
+    pub fn summary(&self) -> ServeSummary {
+        let mut s = self.totals.clone();
+        s.stranded = self.inflight.len() as u64;
+        s.queue_depth_max = self.queue_depth_max as u64;
+        s.placed = self.placed;
+        s.per_client_completions = self.clients.iter().map(|c| c.completions).collect();
+        s
+    }
+
+    /// Install scheduled hot-spare replacements (redundant volumes):
+    /// once a member has died, its replacement has arrived, and its
+    /// queue has drained, swap in a freshly formatted drive.
+    fn install_replacements(&mut self, now: SimTime) {
+        if !self.volume.redundancy().is_redundant() {
+            return;
+        }
+        for i in 0..self.config.n_disks {
+            if self.replaced[i] {
+                continue;
+            }
+            let Some(plan) = self.config.fault_plans.get(i).copied().flatten() else {
+                continue;
+            };
+            let Some(at) = plan.replacement_at() else {
+                continue;
+            };
+            if now < at || !self.volume.disk(i).is_idle() {
+                continue;
+            }
+            let died = self.volume.disk(i).disk().injector().is_some_and(|inj| {
+                inj.is_failed() || inj.plan().disk_death_at.is_some_and(|t| now >= t)
+            });
+            if !died {
+                continue;
+            }
+            let mut disk = Disk::new(self.config.disk.clone());
+            AdaptiveDriver::format(&mut disk, &self.label, &self.driver_cfg);
+            let mut fresh =
+                AdaptiveDriver::attach(disk, self.driver_cfg).expect("fresh format attaches");
+            fresh.set_deliver_read_data(false);
+            self.volume.replace_disk(i, fresh);
+            self.replaced[i] = true;
+        }
+    }
+}
+
+/// Greatest common divisor (Euclid).
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_disk::models;
+    use abr_sim::SimDuration;
+
+    fn tiny_config() -> ServeConfig {
+        let mut c = ServeConfig::new(models::tiny_test_disk());
+        c.n_clients = 4;
+        c.aggregate_rate_per_sec = 8.0;
+        c.bucket_rate_per_sec = 8.0;
+        c.bucket_burst = 16;
+        c.working_set_blocks = 64;
+        c.epoch = SimDuration::from_secs(30);
+        c.accept_queue_cap = 32;
+        c.max_inflight = 4;
+        c
+    }
+
+    #[test]
+    fn serves_requests_and_accounts_exactly() {
+        abr_obs::registry_clear();
+        abr_obs::day_series_reset();
+        let mut e = ServeExperiment::new(tiny_config());
+        let s = e.run();
+        assert!(s.arrivals > 100, "open-loop clients offered load");
+        assert_eq!(
+            s.arrivals,
+            s.accepted + s.shed + s.throttled,
+            "every arrival is accepted, shed, or throttled"
+        );
+        assert_eq!(
+            s.accepted,
+            s.completed + s.errors + s.stranded,
+            "every accepted request completes, errors, or strands (backlog drained)"
+        );
+        assert_eq!(s.errors, 0);
+        assert_eq!(s.stranded, 0);
+        assert!(s.queue_depth_max <= 32);
+    }
+
+    #[test]
+    fn overload_sheds_with_bounded_queue() {
+        abr_obs::registry_clear();
+        abr_obs::day_series_reset();
+        let mut c = tiny_config();
+        // Far beyond the tiny disk's service rate, with generous
+        // buckets so the bound — not the buckets — does the shedding.
+        c.aggregate_rate_per_sec = 2000.0;
+        c.bucket_rate_per_sec = 600.0;
+        c.bucket_burst = 64;
+        c.accept_queue_cap = 24;
+        c.epoch = SimDuration::from_secs(20);
+        let mut e = ServeExperiment::new(c);
+        let s = e.run();
+        assert!(s.shed > 0, "overload must shed");
+        assert!(s.queue_depth_max <= 24, "accept queue exceeded its bound");
+        assert!(s.completed > 0, "the server still made progress");
+        // The registry carries the same story.
+        let snap = abr_obs::registry_snapshot();
+        assert_eq!(snap["counters"]["serve.shed_total"].as_u64(), Some(s.shed));
+        assert!(
+            snap["hires"]["serve.request_us"]["count"]
+                .as_u64()
+                .unwrap_or(0)
+                > 0
+        );
+    }
+
+    #[test]
+    fn token_bucket_throttles_hot_clients() {
+        abr_obs::registry_clear();
+        abr_obs::day_series_reset();
+        let mut c = tiny_config();
+        // Offered rate far above the per-client bucket refill.
+        c.aggregate_rate_per_sec = 400.0;
+        c.bucket_rate_per_sec = 2.0;
+        c.bucket_burst = 4;
+        let mut e = ServeExperiment::new(c);
+        let s = e.run();
+        assert!(s.throttled > 0, "dry buckets must throttle");
+        // Bucket admission is bounded by refill + burst over the epoch.
+        let ceiling = (30.0 * 2.0 + 4.0) * 4.0;
+        assert!(
+            (s.accepted + s.shed) as f64 <= ceiling + 1.0,
+            "bucket ceiling exceeded: {} > {ceiling}",
+            s.accepted + s.shed
+        );
+    }
+
+    #[test]
+    fn drr_keeps_backlogged_clients_fair() {
+        abr_obs::registry_clear();
+        abr_obs::day_series_reset();
+        let mut c = tiny_config();
+        c.aggregate_rate_per_sec = 800.0;
+        c.bucket_rate_per_sec = 250.0;
+        c.bucket_burst = 32;
+        c.accept_queue_cap = 64;
+        c.epoch = SimDuration::from_secs(20);
+        let mut e = ServeExperiment::new(c);
+        let s = e.run();
+        assert!(s.completed > 50);
+        let ratio = s.fairness_ratio();
+        assert!(ratio <= 2.0, "per-client completion ratio {ratio} > 2");
+    }
+
+    #[test]
+    fn identical_configs_reproduce_bit_identical_summaries() {
+        abr_obs::registry_clear();
+        abr_obs::day_series_reset();
+        let run = || {
+            abr_obs::registry_clear();
+            abr_obs::day_series_reset();
+            let mut e = ServeExperiment::new(tiny_config());
+            let s = e.run();
+            // Wall-clock `wall.*` counters are measurement noise, not
+            // results; drop their lines before the byte-compare.
+            let snap: String = abr_obs::registry_snapshot()
+                .pretty()
+                .lines()
+                .filter(|l| !l.contains("\"wall."))
+                .collect::<Vec<_>>()
+                .join("\n");
+            (
+                s.arrivals,
+                s.accepted,
+                s.shed,
+                s.throttled,
+                s.completed,
+                s.per_client_completions.clone(),
+                snap,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn adaptive_members_place_blocks_between_epochs() {
+        abr_obs::registry_clear();
+        abr_obs::day_series_reset();
+        let mut c = tiny_config();
+        c.reserved_cylinders = 10;
+        c.place_blocks = 32;
+        c.epochs = 2;
+        c.monitor_period = SimDuration::from_secs(10);
+        let mut e = ServeExperiment::new(c);
+        let s = e.run();
+        assert!(s.placed > 0, "no blocks reached the reserved region");
+        assert_eq!(s.errors, 0);
+        assert_eq!(abr_obs::day_series_len(), 2, "one day point per epoch");
+    }
+}
