@@ -35,7 +35,7 @@ use std::process::ExitCode;
 fn usage() -> &'static str {
     "usage: experiments [--jobs N] [--trace FILE] [--list | --ablations | <id>...]\n\
      \x20      experiments bench-compare <old.json> <new.json> [--threshold-pct P]\n\
-     \x20      experiments lint"
+     \x20      experiments lint [--json] [--jobs N] [--write-budget] [--write-baseline]"
 }
 
 fn main() -> ExitCode {
@@ -46,7 +46,7 @@ fn main() -> ExitCode {
     }
 
     if args.first().map(String::as_str) == Some("lint") {
-        return lint_main();
+        return lint_main(&args[1..]);
     }
 
     if args.iter().any(|a| a == "--list") {
@@ -194,9 +194,37 @@ fn main() -> ExitCode {
 
 /// The determinism/panic-safety gate, wired in next to the perf gates so
 /// one binary can drive all of CI. Same behaviour as
-/// `cargo run -p abr-lint -- --workspace`: sorted `file:line` findings,
-/// nonzero exit on any violation.
-fn lint_main() -> ExitCode {
+/// `cargo run -p abr-lint -- --workspace`: sorted `file:line` findings
+/// (or the `--json` machine report), nonzero exit on any violation.
+/// `--write-budget`/`--write-baseline` rewrite the ratchet files — only
+/// downward; a write is refused when findings increased.
+fn lint_main(args: &[String]) -> ExitCode {
+    let mut opts = abr_lint::LintOptions::default();
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--jobs" | "-j" => {
+                let Some(n) = it
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|n| *n > 0)
+                else {
+                    eprintln!("error: --jobs needs a positive integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                opts.jobs = n;
+            }
+            "--write-budget" | "--update-budget" => opts.write_budget = true,
+            "--write-baseline" => opts.write_baseline = true,
+            other => {
+                eprintln!("error: unknown lint argument {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
     let Some(root) = abr_lint::find_root(&cwd) else {
         eprintln!(
@@ -205,8 +233,18 @@ fn lint_main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     };
-    let report = abr_lint::lint_workspace(&root);
-    print!("{}", report.render());
+    let report = match abr_lint::run_lint(&root, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render());
+    }
     if report.diags.is_empty() {
         eprintln!("abr-lint: clean");
         ExitCode::SUCCESS

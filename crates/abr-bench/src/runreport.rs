@@ -38,6 +38,58 @@ const TABLE_METRICS: &[(&str, &str)] = &[
 /// object.
 const TABLE_QUANTILES: &[&str] = &["p50", "p99", "p999"];
 
+/// Run-wide registry counters the report surfaces, with their row
+/// labels, in row order. Counters absent from a run's snapshot (array
+/// counters on a single-disk run, serve counters on a batch run)
+/// contribute no rows. This list is also the curated consumer side of
+/// the abr-lint M001 dead-metric check: a producer counter nobody
+/// reads — not here, not in an SLO, not in bench-compare — is flagged.
+const REPORT_COUNTERS: &[(&str, &str)] = &[
+    ("engine.days", "simulated days"),
+    ("engine.sim_us", "simulated time (us)"),
+    ("driver.submitted", "requests submitted"),
+    ("driver.completed", "requests completed"),
+    ("driver.failed", "requests failed"),
+    ("driver.move.ops", "rearrangement move ops"),
+    ("driver.move.busy_us", "rearrangement busy (us)"),
+    ("driver.dispatch.reserved", "reserved-area dispatches"),
+    ("driver.monitor.dropped", "monitor entries dropped"),
+    ("driver.monitor.suspensions", "monitor suspensions"),
+    ("driver.faults.retries", "fault retries"),
+    ("driver.faults.read_failures", "read failures"),
+    ("driver.faults.write_failures", "write failures"),
+    ("driver.faults.quarantines", "slot quarantines"),
+    ("driver.faults.lost_blocks", "lost blocks"),
+    ("driver.faults.table_write_failures", "table write failures"),
+    ("slo.violations", "SLO violations"),
+    ("array.requests", "array requests"),
+    ("array.subrequests", "array subrequests"),
+    ("array.writes.redirected", "array writes redirected"),
+    ("array.rebuild.ops", "rebuild I/O ops"),
+    ("array.rebuild.errors", "rebuild errors"),
+    ("array.scrub.defects", "scrub defects remapped"),
+    ("serve.arrivals", "serve arrivals"),
+    ("serve.accepted", "serve accepted"),
+    ("serve.completed", "serve completed"),
+    ("serve.errors", "serve errors"),
+    ("serve.shed_total", "serve shed"),
+    ("serve.throttled_total", "serve throttled"),
+];
+
+/// Run-wide registry gauges shown alongside [`REPORT_COUNTERS`].
+const REPORT_GAUGES: &[(&str, &str)] = &[
+    ("array.disks", "disks in array"),
+    ("array.disks.dead", "disks dead"),
+    ("array.disks.degraded", "disks degraded"),
+    ("array.disks.rebuilding", "disks rebuilding"),
+    ("array.blocks.lost", "blocks lost"),
+    ("array.rebuild.pending", "resilver pending"),
+    ("serve.clients", "serve clients"),
+    ("serve.queue_depth", "final queue depth"),
+    ("serve.queue_depth_max", "peak queue depth"),
+    ("serve.inflight", "final inflight"),
+];
+
 /// Format microseconds as fixed-point milliseconds (`14.335ms`).
 /// Integer arithmetic only, so the bytes depend on nothing but the
 /// value.
@@ -223,8 +275,37 @@ pub fn render_markdown(bench: &JsonValue) -> Result<String, String> {
                 fmt_us(max_age)
             );
         }
+
+        let rows = counter_rows(run);
+        if !rows.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "### Run counters");
+            let _ = writeln!(out);
+            let _ = writeln!(out, "| counter | value |");
+            let _ = writeln!(out, "|---|----:|");
+            for (_, label, v) in &rows {
+                let _ = writeln!(out, "| {label} | {v} |");
+            }
+        }
     }
     Ok(out)
+}
+
+/// The curated counter/gauge rows present in a run's metrics snapshot,
+/// as `(metric name, label, value)` in declaration order.
+fn counter_rows(run: &JsonValue) -> Vec<(&'static str, &'static str, u64)> {
+    let mut rows = Vec::new();
+    for (name, label) in REPORT_COUNTERS {
+        if let Some(v) = run["metrics"]["counters"][*name].as_u64() {
+            rows.push((*name, *label, v));
+        }
+    }
+    for (name, label) in REPORT_GAUGES {
+        if let Some(v) = run["metrics"]["gauges"][*name].as_u64() {
+            rows.push((*name, *label, v));
+        }
+    }
+    rows
 }
 
 /// Render the same report as a machine-readable JSON document
@@ -256,6 +337,14 @@ pub fn render_json(bench: &JsonValue) -> Result<JsonValue, String> {
         }
         if let Some(v) = run["metrics"]["gauges"]["driver.queue_age_max_us"].as_u64() {
             r.insert("queue_age_max_us", JsonValue::from(v));
+        }
+        let rows = counter_rows(run);
+        if !rows.is_empty() {
+            let mut counters = JsonValue::object();
+            for (name, _, v) in rows {
+                counters.insert(name, JsonValue::from(v));
+            }
+            r.insert("counters", counters);
         }
         out_runs.push(r);
     }
@@ -447,6 +536,40 @@ mod tests {
     fn folded_profile_exports_wall_timers_only() {
         let folded = folded_profile(&fixture());
         assert_eq!(folded, "table2;event_loop 123456\n");
+    }
+
+    #[test]
+    fn run_counters_section_renders_curated_rows_only() {
+        let record = jsn!({
+            "schema": "abr-bench/1",
+            "suite": vec!["array-n2"],
+            "runs": vec![jsn!({
+                "id": "array-n2",
+                "ok": true,
+                "sim_days": 1u64,
+                "metrics": jsn!({
+                    "counters": jsn!({
+                        "driver.submitted": 1_000u64,
+                        "array.requests": 500u64,
+                        "wall.event_loop.ns": 5u64,
+                    }),
+                    "gauges": jsn!({"array.disks.dead": 1u64}),
+                }),
+                "day_series": JsonValue::Array(Vec::new()),
+            })],
+        });
+        let md = render_markdown(&record).unwrap();
+        assert!(md.contains("### Run counters"));
+        assert!(md.contains("| requests submitted | 1000 |"));
+        assert!(md.contains("| array requests | 500 |"));
+        assert!(md.contains("| disks dead | 1 |"));
+        assert!(!md.contains("wall.event_loop"), "wall data must not leak");
+        let j = render_json(&record).unwrap();
+        assert_eq!(j["runs"][0]["counters"]["array.requests"], 500);
+        assert_eq!(j["runs"][0]["counters"]["array.disks.dead"], 1);
+        // The fixture's uncurated counters never get a section at all.
+        let base = render_markdown(&fixture()).unwrap();
+        assert!(!base.contains("### Run counters"));
     }
 
     #[test]

@@ -312,6 +312,7 @@ impl Campaign {
             "Two-day detail, system file system (off day / on day)",
         );
         // Paper: [fcfs_dist, dist, zero%, fcfs_seek, seek, svc, wait]
+        // abr-lint: allow(D005, keyed lookup of paper constants; never iterated)
         let paper: HashMap<(DiskKind, bool), [f64; 7]> = HashMap::from([
             (
                 (DiskKind::Toshiba, false),
@@ -496,6 +497,7 @@ impl Campaign {
             "table7",
             "Placement policy summary: % reduction in daily mean seek time vs FCFS/no-rearrangement",
         );
+        // abr-lint: allow(D005, keyed lookup of paper constants; never iterated)
         let paper: HashMap<(DiskKind, &str, bool), f64> = HashMap::from([
             ((DiskKind::Toshiba, "Organ-pipe", false), 95.0),
             ((DiskKind::Toshiba, "Interleaved", false), 87.0),
@@ -597,6 +599,7 @@ impl Campaign {
             "{:22} {:6.2} ms   (paper 18.58)",
             "Without rearrangement", base
         ));
+        // abr-lint: allow(D005, keyed lookup of paper constants; never iterated)
         let paper: HashMap<&str, f64> = HashMap::from([
             ("Organ-pipe", 19.42),
             ("Serial", 19.29),

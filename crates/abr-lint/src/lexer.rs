@@ -17,8 +17,12 @@ pub enum TokKind {
     Ident,
     /// Single punctuation character (`::` arrives as two `:` tokens).
     Punct,
-    /// String/char/number literal (contents not preserved verbatim).
+    /// Char/number literal (contents not preserved verbatim).
     Lit,
+    /// String literal (plain, raw, or byte). `text` holds the contents
+    /// between the quotes, uncooked: escape sequences stay as written.
+    /// The schema cross-checker reads metric names out of these.
+    Str,
     /// A lifetime such as `'a`.
     Lifetime,
 }
@@ -135,20 +139,28 @@ pub fn lex(source: &str) -> Lexed {
                 }
             }
             b'"' => {
+                let start_line = line;
+                let content_start = i + 1;
                 i = skip_string(b, i, &mut line);
+                let content_end = if i > content_start && b[i - 1] == b'"' {
+                    i - 1
+                } else {
+                    i // unterminated at EOF
+                };
                 tokens.push(Tok {
-                    kind: TokKind::Lit,
-                    text: String::new(),
-                    line,
+                    kind: TokKind::Str,
+                    text: source[content_start..content_end].to_string(),
+                    line: start_line,
                 });
                 line_has_token = true;
             }
             b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
                 let start_line = line;
-                i = skip_raw_or_byte_string(b, i, &mut line);
+                let (next, content) = skip_raw_or_byte_string(source, b, i, &mut line);
+                i = next;
                 tokens.push(Tok {
-                    kind: TokKind::Lit,
-                    text: String::new(),
+                    kind: TokKind::Str,
+                    text: content,
                     line: start_line,
                 });
                 line_has_token = true;
@@ -249,7 +261,8 @@ fn skip_string(b: &[u8], i: usize, line: &mut u32) -> usize {
     let mut i = i + 1;
     while i < b.len() {
         match b[i] {
-            b'\\' => i += 2,
+            // An escape at the last byte must not step past EOF.
+            b'\\' => i = (i + 2).min(b.len()),
             b'\n' => {
                 *line += 1;
                 i += 1;
@@ -262,7 +275,9 @@ fn skip_string(b: &[u8], i: usize, line: &mut u32) -> usize {
 }
 
 /// Skip a raw/byte string starting at `b[i]` (`r`, `b`, or `br` prefix).
-fn skip_raw_or_byte_string(b: &[u8], i: usize, line: &mut u32) -> usize {
+/// Returns the index after the closing delimiter and the contents
+/// between the quotes.
+fn skip_raw_or_byte_string(source: &str, b: &[u8], i: usize, line: &mut u32) -> (usize, String) {
     let mut j = i;
     if b[j] == b'b' {
         j += 1;
@@ -278,9 +293,18 @@ fn skip_raw_or_byte_string(b: &[u8], i: usize, line: &mut u32) -> usize {
     }
     debug_assert!(j < b.len() && b[j] == b'"');
     if !raw {
-        return skip_string(b, j, line);
+        // Byte string `b"..."`: ordinary escape rules.
+        let content_start = j + 1;
+        let end = skip_string(b, j, line);
+        let content_end = if end > content_start && b[end - 1] == b'"' {
+            end - 1
+        } else {
+            end
+        };
+        return (end, source[content_start..content_end].to_string());
     }
     j += 1;
+    let content_start = j;
     while j < b.len() {
         if b[j] == b'\n' {
             *line += 1;
@@ -293,14 +317,14 @@ fn skip_raw_or_byte_string(b: &[u8], i: usize, line: &mut u32) -> usize {
                 k += 1;
             }
             if seen == hashes {
-                return k;
+                return (k, source[content_start..j].to_string());
             }
             j += 1;
         } else {
             j += 1;
         }
     }
-    j
+    (j, source[content_start..j.min(b.len())].to_string())
 }
 
 /// Lex a `'`-introduced token: a char literal or a lifetime.
@@ -607,6 +631,99 @@ mod tests {
     fn byte_strings_are_literals() {
         let l = lex(r#"let b = b"SystemTime"; let c = br#
             "#);
-        assert!(l.tokens.iter().all(|t| t.text != "SystemTime"));
+        // The name must never surface as an identifier a rule would
+        // match — only as string *contents*.
+        assert!(l
+            .tokens
+            .iter()
+            .all(|t| t.kind != TokKind::Ident || t.text != "SystemTime"));
+    }
+
+    #[test]
+    fn string_contents_are_preserved() {
+        let l = lex(r##"let a = "driver.service_us"; let b = r#"raw "metric" x"#;"##);
+        let strs: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["driver.service_us", r#"raw "metric" x"#]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_close_on_exact_hash_count() {
+        // `"#` inside an `r##"..."##` string must not terminate it, and
+        // the extra `#` after a shorter close stays punctuation.
+        let src = r###"let a = r##"has "# inside"##; let tail = r#"x"#; done"###;
+        let l = lex(src);
+        let strs: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec![r##"has "# inside"##, "x"]);
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "done"));
+    }
+
+    #[test]
+    fn multiline_raw_string_tracks_lines_and_start() {
+        let src = "let a = r#\"one\ntwo\nthree\"#;\nlet target = 1;";
+        let l = lex(src);
+        let s = l.tokens.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert_eq!(s.line, 1, "string token carries its start line");
+        let t = l.tokens.iter().find(|t| t.text == "target").unwrap();
+        assert_eq!(t.line, 4);
+    }
+
+    #[test]
+    fn multiline_plain_string_token_carries_start_line() {
+        let l = lex("let a = \"x\ny\nz\";");
+        let s = l.tokens.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert_eq!(s.line, 1);
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime_disambiguation() {
+        // Labeled loops, anonymous lifetimes, unicode escapes, and the
+        // underscore char literal all on one pass.
+        let src = "fn f<'_ignored>(x: &'_ str) { 'outer: loop { break 'outer; } \
+                   let c = '\\u{1F600}'; let u = '_'; let z = 'z'; }";
+        let l = lex(src);
+        let lifetimes: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["_ignored", "_", "outer", "outer"]);
+        let lits = l.tokens.iter().filter(|t| t.kind == TokKind::Lit).count();
+        assert_eq!(lits, 3, "three char literals");
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_terminate() {
+        let src = "/* a /* b /* c */ d */ e */ live(); /*/ not closed by that */ more();";
+        let l = lex(src);
+        let idents: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["live", "more"]);
+    }
+
+    #[test]
+    fn unterminated_string_at_eof_does_not_panic() {
+        let l = lex("let a = \"abc\\");
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::Str));
+        let l = lex("let a = r##\"abc\"#");
+        let s = l.tokens.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert_eq!(s.text, "abc\"#");
     }
 }

@@ -13,6 +13,11 @@
 //! | P001 | `unwrap()`/`expect()` in library code stays within the ratcheted budget |
 //! | C001 | no `as` narrowing casts in sector/cylinder arithmetic modules |
 //! | L001 | annotations must be well-formed (known rule, non-empty reason) |
+//!
+//! The interprocedural rules (D004/D005, [`crate::taint`]) and the
+//! metric schema cross-check (M001/M002, [`crate::schema`]) live in
+//! their own modules — they need the whole workspace, not one file —
+//! but their ids are registered here so annotations naming them parse.
 
 use crate::lexer::{Lexed, Tok, TokKind};
 use crate::Diagnostic;
@@ -46,7 +51,9 @@ pub const C001_FILES: &[&str] = &["geometry.rs", "layout.rs", "cylmap.rs", "stri
 pub const C001_NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
 
 /// All rule ids an annotation may name.
-pub const KNOWN_RULES: &[&str] = &["D001", "D002", "D003", "P001", "C001"];
+pub const KNOWN_RULES: &[&str] = &[
+    "D001", "D002", "D003", "D004", "D005", "P001", "C001", "M001", "M002",
+];
 
 /// Everything the rules need to know about one file.
 pub struct FileCtx<'a> {

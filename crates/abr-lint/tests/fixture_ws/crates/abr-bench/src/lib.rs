@@ -1,0 +1,6 @@
+//! Consumer fixture: reads the live metric plus one phantom name no
+//! producer registers (M002).
+
+pub fn report(read: &dyn Fn(&str) -> u64) -> u64 {
+    read("fixt.live.ops") + read("fixt.phantom.ops")
+}

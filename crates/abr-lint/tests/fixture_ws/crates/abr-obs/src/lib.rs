@@ -1,0 +1,13 @@
+//! Producer fixture: `fixt.live.ops` is consumed by the abr-bench
+//! fixture; `fixt.dead.ops` is registered here and read nowhere (M001).
+
+pub struct Registry;
+
+impl Registry {
+    pub fn counter(&mut self, _name: &str) {}
+}
+
+pub fn register(r: &mut Registry) {
+    r.counter("fixt.live.ops");
+    r.counter("fixt.dead.ops");
+}
